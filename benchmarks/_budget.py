@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series it reports, so a ``pytest benchmarks/
+--benchmark-only`` run reads like the paper's evaluation section.
+
+Budgets are laptop-scaled by default; set ``REPRO_BENCH_SCALE`` (a float
+multiplier on trace counts) to push toward the paper's scales, e.g.::
+
+    REPRO_BENCH_SCALE=10 pytest benchmarks/bench_fig4_m1.py --benchmark-only
+"""
+
+import os
+
+def bench_scale() -> float:
+    """Trace-count multiplier from the environment (default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Apply the benchmark scale to a trace count."""
+    return max(16, int(n * bench_scale()))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Figure regeneration is deterministic and expensive; statistical timing
+    repetition belongs to the micro-kernel benchmarks, not these.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

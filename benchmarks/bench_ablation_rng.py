@@ -1,0 +1,65 @@
+"""Ablation: random-number-generator quality (the paper's Assumptions).
+
+The paper assumes the 128-bit LFSR's selections are "sufficiently random".
+This ablation runs RFTC(1, 256) with the real 128-bit LFSR against a
+crippled 8-bit LFSR whose short period revisits only a sliver of the
+configuration space, and measures how many distinct frequency sets (and
+therefore completion times) each actually exercises — the randomness budget
+the countermeasure's security rests on.
+"""
+
+import numpy as np
+
+from benchmarks._budget import run_once, scaled
+from repro.experiments.reporting import format_table
+from repro.hw.lfsr import FibonacciLfsr, Lfsr128
+from repro.rftc import RFTCController, RFTCParams
+from repro.rftc.planner import plan_overlap_free
+
+PARAMS = RFTCParams(m_outputs=1, p_configs=256)
+
+
+def _distinct_sets(rng_source, plan, n):
+    ctrl = RFTCController(PARAMS, plan, rng=rng_source)
+    sched = ctrl.schedule(n)
+    sets = sched.metadata["set_indices"]
+    times = np.round(sched.completion_times_ns(), 6)
+    return {
+        "distinct_sets": int(np.unique(sets).size),
+        "distinct_times": int(np.unique(times).size),
+        "max_identical": int(np.bincount(sets).max()),
+    }
+
+
+def test_ablation_rng_quality(benchmark):
+    n = scaled(20000)
+
+    def run():
+        plan = plan_overlap_free(PARAMS, rng=np.random.default_rng(61))
+        good = _distinct_sets(Lfsr128(seed=0xFEED_BEEF), plan, n)
+        # A 4-bit LFSR's bit stream has period 15, so the 8-bit words the
+        # set selector consumes cycle through at most 15 distinct values —
+        # most of the 256-entry ROM is never addressed.
+        bad = _distinct_sets(FibonacciLfsr(4, seed=0x9), plan, n)
+        return {"good": good, "bad": bad}
+
+    out = run_once(benchmark, run)
+    print()
+    rows = [
+        (
+            name,
+            stats["distinct_sets"],
+            stats["distinct_times"],
+            stats["max_identical"],
+        )
+        for name, stats in (("128-bit LFSR", out["good"]), ("4-bit LFSR", out["bad"]))
+    ]
+    print(
+        format_table(
+            ["generator", "distinct sets used", "distinct times", "worst set reuse"],
+            rows,
+        )
+    )
+    print("Assumptions (Sec. 2): weak generators forfeit the randomness budget.")
+    assert out["good"]["distinct_sets"] > out["bad"]["distinct_sets"]
+    assert out["good"]["distinct_times"] > out["bad"]["distinct_times"]

@@ -1,0 +1,55 @@
+"""Figure 5: the attack battery against RFTC(2, P).
+
+Paper shape: with two clock outputs per round, CPA / PCA-CPA / FFT-CPA fail
+for every P; DTW-CPA still breaks the small-P builds (P = 4, 16).  The
+within-encryption randomization is what disarms the spectral and projection
+attacks that still worked at M = 1.
+"""
+
+from benchmarks._budget import run_once, scaled
+from repro.experiments.figures import figure5_data
+from repro.experiments.reporting import format_table
+
+P_VALUES = (4, 16, 64, 256, 1024)
+
+
+def test_figure5_attacks_on_rftc_m2(benchmark):
+    n = scaled(8000)
+    counts = tuple(c for c in (2000, 4000, 8000) if c <= n)
+
+    def run():
+        return figure5_data(
+            p_values=P_VALUES,
+            n_traces=n,
+            trace_counts=counts,
+            n_repeats=4,
+            seed=47,
+        )
+
+    results = run_once(benchmark, run)
+
+    print()
+    print(f"Figure 5: SR / mean rank at n={counts[-1]} traces, RFTC(2, P)")
+    rows = []
+    for p in P_VALUES:
+        row = [p]
+        for curve in results[p].curves.values():
+            row.append(
+                f"{curve.success_rates[-1]:.2f} / {curve.mean_ranks[-1]:.0f}"
+            )
+        rows.append(row)
+    print(
+        format_table(
+            ["P"] + [f"{a} SR/rank" for a in results[P_VALUES[0]].curves], rows
+        )
+    )
+    print("paper: only DTW-CPA succeeds, and only for P = 4 and 16")
+
+    def rank(p, attack):
+        return results[p].curves[attack].mean_ranks[-1]
+
+    # Shape: M = 2 resists plain CPA everywhere (no disclosure at budget).
+    for p in P_VALUES:
+        assert results[p].curves["cpa"].success_rates[-1] < 0.75
+    # DTW still makes the most progress on the smallest P.
+    assert rank(4, "dtw-cpa") < rank(1024, "dtw-cpa") + 64

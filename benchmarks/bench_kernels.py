@@ -1,0 +1,96 @@
+"""Micro-kernel benchmarks: the library's hot paths under real timing.
+
+Unlike the figure benchmarks (one deterministic regeneration each), these
+use pytest-benchmark's statistical timing to track the throughput of the
+kernels everything else is built from: batch AES, trace synthesis, CPA
+correlation, batched DTW, TVLA accumulation, and frequency planning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.models import last_round_hd_predictions
+from repro.crypto.datapath import AesDatapath, batch_round_states
+from repro.hw.clock import ClockSchedule
+from repro.leakage_assessment.tvla import IncrementalTvla
+from repro.power.synth import TraceSynthesizer
+from repro.preprocess.dtw import batch_dtw_align
+from repro.preprocess.fft import fft_magnitude
+from repro.rftc import RFTCParams
+from repro.rftc.planner import plan_overlap_free
+from repro.utils.stats import column_pearson
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+RNG = np.random.default_rng(1)
+
+
+@pytest.fixture(scope="module")
+def plaintexts():
+    return RNG.integers(0, 256, size=(4096, 16), dtype=np.uint8)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return RNG.normal(size=(2048, 256))
+
+
+def test_kernel_batch_aes(benchmark, plaintexts):
+    key = np.frombuffer(KEY, dtype=np.uint8)
+    out = benchmark(batch_round_states, key, plaintexts)
+    assert out.shape == (4096, 11, 16)
+
+
+def test_kernel_batch_hamming(benchmark, plaintexts):
+    dp = AesDatapath(KEY)
+    out = benchmark(dp.batch_hamming_distances, plaintexts)
+    assert out.shape == (4096, 11)
+
+
+def test_kernel_trace_synthesis(benchmark):
+    synth = TraceSynthesizer()
+    sched = ClockSchedule.from_period_matrix(
+        RNG.uniform(21, 83, size=(2048, 11))
+    )
+    amps = RNG.uniform(40, 120, size=(2048, 11))
+    out = benchmark(synth.synthesize, sched, amps)
+    assert out.shape == (2048, 256)
+
+
+def test_kernel_cpa_correlation(benchmark, traces):
+    cts = RNG.integers(0, 256, size=(2048, 16), dtype=np.uint8)
+    preds = last_round_hd_predictions(cts, 0).astype(np.float64)
+
+    out = benchmark(column_pearson, preds, traces)
+    assert out.shape == (256, 256)
+
+
+def test_kernel_batch_dtw(benchmark, traces):
+    ref = traces[:256, ::2].mean(axis=0)
+    out = benchmark(batch_dtw_align, traces[:256, ::2], ref, 32)
+    assert out.shape == (256, 128)
+
+
+def test_kernel_fft_preprocess(benchmark, traces):
+    out = benchmark(fft_magnitude, traces, 128)
+    assert out.shape == (2048, 128)
+
+
+def test_kernel_tvla_update(benchmark, traces):
+    def run():
+        tvla = IncrementalTvla()
+        tvla.update_fixed(traces[:1024])
+        tvla.update_random(traces[1024:])
+        return tvla.result()
+
+    result = benchmark(run)
+    assert result.t_values.shape == (256,)
+
+
+def test_kernel_frequency_planning(benchmark):
+    params = RFTCParams(m_outputs=3, p_configs=32)
+
+    def run():
+        return plan_overlap_free(params, rng=np.random.default_rng(3))
+
+    plan = benchmark(run)
+    assert plan.n_sets == 32

@@ -1,0 +1,32 @@
+"""Table 1: RFTC vs the related work, regenerated from the models.
+
+Every number in the computed columns comes from the countermeasure models
+(distinct completion times enumerated, time overhead measured on generated
+schedules, power/area from the documented component models) — the paper's
+reported values are printed alongside.
+"""
+
+from benchmarks._budget import run_once
+from repro.experiments.reporting import render_table1
+from repro.experiments.tables import block_ram_count, table1_rows
+
+
+def test_table1_comparison(benchmark):
+    rows = run_once(benchmark, lambda: table1_rows(seed=23))
+
+    print()
+    print("Table 1 (computed vs paper)")
+    print(render_table1(rows))
+    brams = block_ram_count(3, 1024, seed=23)
+    print(f"Block RAMs for RFTC(3, 1024): {brams} (paper: 20)")
+
+    by_name = {r.name: r for r in rows}
+    rftc = by_name["RFTC(3, 1024)"]
+    # The headline: ~three orders of magnitude more completion times.
+    assert rftc.delays > 60000
+    assert rftc.delays / by_name["Clock randomization [9]"].delays > 400
+    # Overheads within the paper's ballpark.
+    assert abs(rftc.time_overhead - 1.72) < 0.5
+    assert abs(rftc.power_overhead - 1.48) < 0.2
+    assert abs(rftc.area_overhead - 1.30) < 0.2
+    assert abs(brams - 20) <= 2

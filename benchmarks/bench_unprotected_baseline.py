@@ -1,0 +1,38 @@
+"""Sec. 7's baseline: attacks against the unprotected AES.
+
+The paper: CPA, PCA-CPA and DTW-CPA disclose the key in ~2,000 traces;
+FFT-CPA needs ~8,000.  The model's channel is calibrated so the same
+numbers come out at the same order of magnitude.
+"""
+
+from benchmarks._budget import run_once, scaled
+from repro.experiments.figures import unprotected_baseline_data
+from repro.experiments.reporting import render_attack_suite
+
+PAPER = {"cpa": 2000, "pca-cpa": 2000, "dtw-cpa": 2000, "fft-cpa": 8000}
+
+
+def test_unprotected_attack_baseline(benchmark):
+    n = scaled(8000)
+
+    def run():
+        return unprotected_baseline_data(
+            n_traces=n,
+            trace_counts=tuple(
+                c for c in (500, 1000, 2000, 4000, 8000) if c <= n
+            ),
+            n_repeats=6,
+            seed=11,
+        )
+
+    result = run_once(benchmark, run)
+    print()
+    print(render_attack_suite(result))
+    print(f"paper traces-to-disclosure: {PAPER}")
+
+    summary = result.disclosure_summary()
+    # Shape targets: plain CPA breaks within ~2k traces (paper: ~2,000) and
+    # every attack breaks within the 8k budget.
+    assert summary["cpa"] is not None and summary["cpa"] <= 4000
+    assert summary["pca-cpa"] is not None
+    assert summary["dtw-cpa"] is not None

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Design-time frequency planning: naive grids leak, duplicate search fixes it.
+
+Reproduces the Sec. 5 / Figure 3 design story at example scale:
+
+* the completion-time combinatorics (66 ways to run 10 rounds on 3 clocks,
+  67,584 distinct completion times for the flagship build);
+* the paper's worked 396.1 ns overlap between two harmonically-related
+  frequency sets;
+* an ASCII rendering of the completion-time histograms for the naive and
+  overlap-free plans.
+
+Run:  python examples/frequency_planning.py
+"""
+
+import numpy as np
+
+from repro.rftc import (
+    RFTCParams,
+    completion_time_count,
+    completion_times_ns,
+    distinct_completion_time_count,
+    simulate_completion_times,
+)
+from repro.rftc.completion import collision_statistics
+from repro.rftc.planner import plan_naive_grid, plan_overlap_free
+
+
+def ascii_histogram(times_ns, bins=48, width=60, label=""):
+    counts, edges = np.histogram(times_ns, bins=bins)
+    peak = counts.max()
+    print(f"  {label} (peak bin: {peak})")
+    for c, lo in zip(counts, edges[:-1]):
+        bar = "#" * int(width * c / peak)
+        print(f"  {lo:7.1f} ns |{bar}")
+
+
+def main():
+    params = RFTCParams(m_outputs=3, p_configs=256)
+
+    # --- combinatorics ------------------------------------------------------
+    print("Sec. 4 combinatorics:")
+    print(f"  ways to clock 10 rounds from 3 outputs: C(12,10) = "
+          f"{completion_time_count(3, 10)}")
+    print(f"  completion times of RFTC(3, 1024): "
+          f"{distinct_completion_time_count(3, 1024, 10)} (paper: 67,584)")
+
+    # --- the paper's overlap example ---------------------------------------
+    set_a = [12.012, 40.240, 30.744]
+    set_b = [24.024, 20.120, 30.744]
+    times_a = completion_times_ns(set_a, 10)
+    times_b = completion_times_ns(set_b, 10)
+    shared = np.intersect1d(np.round(times_a, 6), np.round(times_b, 6))
+    print(f"\nSec. 5 worked example — sets {set_a} and {set_b} MHz share "
+          f"{shared.size} completion times, e.g. {shared[:3]} ns")
+    print("  (this is the alignment leak the planner must exclude)")
+
+    # --- plan and compare ----------------------------------------------------
+    rng = np.random.default_rng(2019)
+    naive = plan_naive_grid(params)
+    careful = plan_overlap_free(params, rng=rng)
+    print(f"\nnaive grid duplicates   : {naive.duplicate_count()}")
+    print(f"overlap-free duplicates : {careful.duplicate_count()} "
+          f"(hardware-lattice residue; grid mode reaches 0)")
+    print(f"every planned set is MMCM-exact: "
+          f"{len(careful.hardware_settings)} counter settings recorded")
+
+    from repro.rftc.completion import completion_time_entropy_bits
+
+    h_careful = completion_time_entropy_bits(careful.sets_mhz, 10)
+    print(f"\neffective completion-time entropy: {h_careful:.1f} bits "
+          f"(log2 of the {params.p_configs * 66} raw count would be "
+          f"{np.log2(params.p_configs * 66):.1f}; multinomial round "
+          f"weighting costs the difference)")
+
+    sim_rng = np.random.default_rng(7)
+    n = 200_000
+    t_naive = simulate_completion_times(naive.sets_mhz, 10, n, sim_rng)
+    t_careful = simulate_completion_times(careful.sets_mhz, 10, n, sim_rng)
+    for label, t in (("naive grid", t_naive), ("overlap-free", t_careful)):
+        max_id, occupied = collision_statistics(t, 1e-3)
+        print(f"\n{label}: {occupied} distinct times, "
+              f"worst repeat {max_id} / {n} encryptions")
+        ascii_histogram(t, label=f"completion-time histogram ({label})")
+
+
+if __name__ == "__main__":
+    main()

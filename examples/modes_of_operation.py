@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""AES modes of operation under power analysis — with and without RFTC.
+
+The RFTC authors' earlier study ([13] in the paper) asked whether modes of
+operation change power-analysis exposure.  This example answers it on the
+reproduction bench:
+
+* CBC chaining does **not** protect: last-round CPA needs only per-block
+  ciphertexts, which the bus exposes;
+* CTR's cipher core never processes the message — but the *counter* is
+  public, so the same attack applies with counters as the known data;
+* putting the core behind RFTC protects every mode at once, because the
+  countermeasure lives below the mode layer.
+
+Run:  python examples/modes_of_operation.py
+"""
+
+import numpy as np
+
+from repro.attacks.cpa import cpa_byte
+from repro.attacks.models import expand_last_round_key
+from repro.crypto.modes import CbcMode, CtrMode
+from repro.experiments import build_rftc
+from repro.experiments.scenarios import DEFAULT_KEY, _measurement_chain
+from repro.baselines import UnprotectedClock
+from repro.power.modes_acquisition import ModeCampaign
+
+N_MESSAGES = 700
+BLOCKS = 4
+IV = bytes(range(16))
+NONCE = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+
+
+def attack_mode(label, device, mode_factory, seed):
+    campaign = ModeCampaign(device, seed=seed)
+    messages = campaign.random_messages(N_MESSAGES, BLOCKS)
+    result = campaign.collect_with_factory(mode_factory, messages)
+    rk10 = expand_last_round_key(DEFAULT_KEY)
+    blocks = result.blocks
+    attack = cpa_byte(blocks.traces, blocks.ciphertexts, 0)
+    rank = attack.rank_of(rk10[0])
+    verdict = "KEY BYTE RECOVERED" if rank == 0 else f"rank {rank}"
+    print(
+        f"  {label:<22} {blocks.n_traces} block traces -> {verdict}"
+    )
+    return rank
+
+
+def main():
+    print(f"{N_MESSAGES} messages x {BLOCKS} blocks, last-round CPA on byte 0\n")
+
+    # CTR *must* take a fresh nonce per message — nonce reuse collapses the
+    # core inputs to constants (and breaks confidentiality outright).
+    nonce_rng = np.random.default_rng(99)
+
+    def fresh_ctr(_mi):
+        return CtrMode(DEFAULT_KEY, nonce_rng.integers(0, 256, 16, dtype=np.uint8).tobytes())
+
+    print("Unprotected core:")
+    plain_device = _measurement_chain(DEFAULT_KEY, UnprotectedClock())
+    r_cbc = attack_mode(
+        "CBC", plain_device, lambda _mi: CbcMode(DEFAULT_KEY, IV), 1
+    )
+    plain_device2 = _measurement_chain(DEFAULT_KEY, UnprotectedClock())
+    r_ctr = attack_mode("CTR (fresh nonces)", plain_device2, fresh_ctr, 2)
+    assert r_cbc == 0 and r_ctr == 0
+
+    print("\nSame modes behind RFTC(3, 64):")
+    rftc = build_rftc(3, 64, seed=21)
+    r_cbc = attack_mode(
+        "CBC + RFTC", rftc.device, lambda _mi: CbcMode(DEFAULT_KEY, IV), 3
+    )
+    rftc2 = build_rftc(3, 64, seed=22)
+    r_ctr = attack_mode("CTR + RFTC", rftc2.device, fresh_ctr, 4)
+    assert r_cbc > 0 and r_ctr > 0
+
+    print(
+        "\nmodes change *what the attacker knows*, not *how the core "
+        "leaks*; RFTC protects below the mode layer, so every mode "
+        "inherits it."
+    )
+
+
+if __name__ == "__main__":
+    main()

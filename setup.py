@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517/660 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim enables
+``pip install -e . --no-use-pep517`` (legacy ``setup.py develop``), which
+needs no wheel.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Power-analysis attacks: CPA and its preprocessed variants' scaffolding."""
+
+from repro.attacks.cpa import CpaByteResult, CpaResult, cpa_attack, cpa_byte
+from repro.attacks.guess import guessing_entropy, key_rank
+from repro.attacks.models import (
+    first_round_hw_predictions,
+    last_round_hd_predictions,
+    recover_master_key_from_last_round,
+)
+from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.mia import mia_byte, mutual_information
+from repro.attacks.progression import (
+    RankProgression,
+    guessing_entropy_progression,
+    rank_progression,
+)
+from repro.attacks.sliding_window import (
+    SlidingWindowPreprocessor,
+    sliding_window_cpa,
+    sliding_window_sums,
+)
+from repro.attacks.template import (
+    TemplateModel,
+    build_templates,
+    template_attack,
+    template_rank,
+)
+from repro.attacks.success_rate import (
+    SuccessRateCurve,
+    success_rate_curve,
+    traces_to_disclosure,
+)
+
+__all__ = [
+    "CpaByteResult",
+    "CpaResult",
+    "cpa_attack",
+    "cpa_byte",
+    "guessing_entropy",
+    "key_rank",
+    "first_round_hw_predictions",
+    "last_round_hd_predictions",
+    "recover_master_key_from_last_round",
+    "IncrementalCpa",
+    "mia_byte",
+    "mutual_information",
+    "RankProgression",
+    "guessing_entropy_progression",
+    "rank_progression",
+    "SlidingWindowPreprocessor",
+    "sliding_window_cpa",
+    "sliding_window_sums",
+    "TemplateModel",
+    "build_templates",
+    "template_attack",
+    "template_rank",
+    "SuccessRateCurve",
+    "success_rate_curve",
+    "traces_to_disclosure",
+]

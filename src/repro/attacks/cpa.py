@@ -1,0 +1,143 @@
+"""Correlation Power Analysis (Brier, Clavier, Olivier — CHES 2004).
+
+For each key-byte guess, correlate the model's predicted leakage against
+every trace sample; the guess whose correlation peaks highest (in absolute
+value, anywhere in the trace) is the attack's answer.  Misalignment
+countermeasures like RFTC work precisely by spreading the secret round's
+samples so that no single sample correlates for the right guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.models import last_round_hd_predictions
+from repro.errors import AttackError
+from repro.utils.stats import column_pearson
+
+#: Signature of a prediction model: (ciphertexts_or_plaintexts, byte_index)
+#: -> (n, 256) predictions.
+PredictionModel = Callable[[np.ndarray, int], np.ndarray]
+
+
+@dataclass
+class CpaByteResult:
+    """Outcome of CPA on one key byte.
+
+    Attributes
+    ----------
+    byte_index:
+        Which key byte was attacked.
+    peak_corr:
+        ``(256,)`` best absolute correlation of each guess over all samples.
+    best_guess:
+        argmax of ``peak_corr``.
+    corr_matrix:
+        Optional full ``(256, n_samples)`` correlation traces (kept only on
+        request — it is the expensive artifact).
+    """
+
+    byte_index: int
+    peak_corr: np.ndarray
+    best_guess: int
+    corr_matrix: Optional[np.ndarray] = None
+
+    def ranking(self) -> np.ndarray:
+        """Guesses sorted from most to least likely."""
+        return np.argsort(-self.peak_corr, kind="stable")
+
+    def rank_of(self, key_byte: int) -> int:
+        """Position of ``key_byte`` in the ranking (0 == attack succeeded)."""
+        if not 0 <= key_byte <= 255:
+            raise AttackError("key_byte must be in [0, 255]")
+        return int(np.nonzero(self.ranking() == key_byte)[0][0])
+
+
+@dataclass
+class CpaResult:
+    """Outcome of CPA on several key bytes."""
+
+    byte_results: List[CpaByteResult]
+
+    @property
+    def recovered_bytes(self) -> List[int]:
+        return [r.best_guess for r in self.byte_results]
+
+    def recovered_key(self) -> bytes:
+        """The best-guess value of every attacked byte, in byte order."""
+        ordered = sorted(self.byte_results, key=lambda r: r.byte_index)
+        return bytes(r.best_guess for r in ordered)
+
+    def is_correct(self, true_round_key: bytes) -> bool:
+        """True when every attacked byte matches the true (round) key."""
+        for r in self.byte_results:
+            if r.best_guess != true_round_key[r.byte_index]:
+                return False
+        return True
+
+
+def cpa_byte(
+    traces: np.ndarray,
+    data: np.ndarray,
+    byte_index: int,
+    model: PredictionModel = last_round_hd_predictions,
+    keep_corr_matrix: bool = False,
+    sample_window: Optional[slice] = None,
+) -> CpaByteResult:
+    """CPA on one key byte.
+
+    Parameters
+    ----------
+    traces:
+        ``(n, S)`` preprocessed or raw traces.
+    data:
+        ``(n, 16)`` known values the model consumes (ciphertexts for the
+        last-round model, plaintexts for the first-round model).
+    byte_index:
+        Target key byte.
+    model:
+        Prediction model (default: last-round Hamming distance).
+    keep_corr_matrix:
+        Retain the full correlation matrix for plotting.
+    sample_window:
+        Restrict the attack to a slice of samples (a windowed attack).
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise AttackError("traces must be a 2-D matrix")
+    if traces.shape[0] < 4:
+        raise AttackError("CPA requires at least 4 traces")
+    if traces.shape[0] != np.asarray(data).shape[0]:
+        raise AttackError("traces and data disagree on the number of traces")
+    if sample_window is not None:
+        traces = traces[:, sample_window]
+    predictions = model(data, byte_index).astype(np.float64)
+    corr = column_pearson(predictions, traces)  # (256, S)
+    peak = np.abs(corr).max(axis=1)
+    best = int(np.argmax(peak))
+    return CpaByteResult(
+        byte_index=byte_index,
+        peak_corr=peak,
+        best_guess=best,
+        corr_matrix=corr if keep_corr_matrix else None,
+    )
+
+
+def cpa_attack(
+    traces: np.ndarray,
+    data: np.ndarray,
+    byte_indices: Sequence[int] = tuple(range(16)),
+    model: PredictionModel = last_round_hd_predictions,
+    sample_window: Optional[slice] = None,
+) -> CpaResult:
+    """CPA across several key bytes (all 16 by default)."""
+    if not byte_indices:
+        raise AttackError("at least one byte index is required")
+    results = [
+        cpa_byte(traces, data, b, model=model, sample_window=sample_window)
+        for b in byte_indices
+    ]
+    return CpaResult(byte_results=results)

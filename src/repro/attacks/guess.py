@@ -1,0 +1,46 @@
+"""Key-rank metrics: how close an unsuccessful attack got.
+
+``key_rank`` is the rank of the true byte in one attack's guess ranking;
+``guessing_entropy`` (Standaert et al.) averages it over repeated attacks.
+These power the success-rate machinery and give the partial-progress signal
+the paper's SR curves summarize.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.cpa import CpaByteResult, CpaResult
+from repro.errors import AttackError
+
+
+def key_rank(result: CpaByteResult, true_byte: int) -> int:
+    """Rank of the true key byte (0 == recovered)."""
+    return result.rank_of(true_byte)
+
+
+def full_key_rank_product_log2(result: CpaResult, true_key: bytes) -> float:
+    """log2 of the product of per-byte ranks+1 — a cheap full-key rank bound.
+
+    Enumerating keys in per-byte rank order visits the true key after at
+    most prod(rank_b + 1) candidates; the log2 of that product is the
+    standard cheap estimate of remaining brute-force effort.
+    """
+    if len(true_key) != 16:
+        raise AttackError("true_key must be 16 bytes")
+    total = 0.0
+    for r in result.byte_results:
+        total += np.log2(r.rank_of(true_key[r.byte_index]) + 1)
+    return float(total)
+
+
+def guessing_entropy(ranks: Sequence[int]) -> float:
+    """Average rank over repeated attacks (per byte)."""
+    arr = np.asarray(ranks, dtype=np.float64)
+    if arr.size == 0:
+        raise AttackError("guessing_entropy requires at least one rank")
+    if (arr < 0).any():
+        raise AttackError("ranks must be non-negative")
+    return float(arr.mean())

@@ -1,0 +1,107 @@
+"""Attack hypothesis models: intermediate predictions per key guess.
+
+The paper attacks the *last* AES round (Sec. 6, following [13]): the final
+register transition is S9 -> ciphertext, where
+
+    ct[i] = SBOX[ S9[ SR(i) ] ] ^ K10[i]
+
+so guessing one byte of the last round key K10 predicts the Hamming
+distance of one register byte:
+
+    HD = HW( INV_SBOX[ ct[i] ^ k ] ^ ct[ SR(i) ] )
+
+This is a known-ciphertext model — exactly the threat model of Sec. 2.
+Recovering all 16 bytes of K10 then inverts the key schedule back to the
+AES-128 master key.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.aes_tables import INV_SBOX, RCON, SBOX, SHIFT_ROWS_MAP
+from repro.errors import AttackError
+from repro.utils.bitops import HW8
+
+_GUESSES = np.arange(256, dtype=np.uint8)
+
+
+def last_round_hd_predictions(
+    ciphertexts: np.ndarray, byte_index: int
+) -> np.ndarray:
+    """Hamming-distance predictions for every guess of ``K10[byte_index]``.
+
+    Parameters
+    ----------
+    ciphertexts:
+        ``(n, 16)`` uint8.
+    byte_index:
+        Which byte of the last round key is guessed (0..15).
+
+    Returns
+    -------
+    ``(n, 256)`` uint8: predicted register-byte Hamming distance of the
+    final round transition under each key guess.
+    """
+    ct = np.asarray(ciphertexts, dtype=np.uint8)
+    if ct.ndim != 2 or ct.shape[1] != 16:
+        raise AttackError("ciphertexts must be (n, 16) uint8")
+    if not 0 <= byte_index < 16:
+        raise AttackError(f"byte_index must be in [0, 16), got {byte_index}")
+    partner = int(SHIFT_ROWS_MAP[byte_index])
+    before = INV_SBOX[ct[:, byte_index, None] ^ _GUESSES[None, :]]
+    after = ct[:, partner, None]
+    return HW8[before ^ after]
+
+
+def first_round_hw_predictions(
+    plaintexts: np.ndarray, byte_index: int
+) -> np.ndarray:
+    """Hamming-weight predictions of ``SBOX[pt ^ k]`` (first-round model).
+
+    The classic known-plaintext CPA target, provided for model-comparison
+    studies; the paper's FPGA leaks transitions, so the last-round HD model
+    is the effective one against this target.
+    """
+    pt = np.asarray(plaintexts, dtype=np.uint8)
+    if pt.ndim != 2 or pt.shape[1] != 16:
+        raise AttackError("plaintexts must be (n, 16) uint8")
+    if not 0 <= byte_index < 16:
+        raise AttackError(f"byte_index must be in [0, 16), got {byte_index}")
+    return HW8[SBOX[pt[:, byte_index, None] ^ _GUESSES[None, :]]]
+
+
+def expand_last_round_key(master_key: bytes) -> bytes:
+    """The 10th round key of AES-128 — ground truth for last-round attacks."""
+    from repro.crypto.aes import expand_key
+
+    if len(master_key) != 16:
+        raise AttackError("master key must be 16 bytes")
+    return expand_key(master_key)[10]
+
+
+def recover_master_key_from_last_round(last_round_key: Sequence[int]) -> bytes:
+    """Invert the AES-128 key schedule from round key 10 to the master key.
+
+    The schedule is invertible round by round:
+    ``w[i-4] = w[i] ^ f(w[i-1])`` where f is the rotate/sub/rcon transform
+    on every 4th word.
+    """
+    rk = list(bytes(last_round_key))
+    if len(rk) != 16:
+        raise AttackError("last round key must be 16 bytes")
+    words = [rk[4 * i : 4 * i + 4] for i in range(4)]
+    # Walk backwards: round r words from round r+1 words.
+    for rnd in range(10, 0, -1):
+        w0, w1, w2, w3 = words[0], words[1], words[2], words[3]
+        prev3 = [w3[j] ^ w2[j] for j in range(4)]
+        prev2 = [w2[j] ^ w1[j] for j in range(4)]
+        prev1 = [w1[j] ^ w0[j] for j in range(4)]
+        temp = prev3[1:] + prev3[:1]
+        temp = [int(SBOX[b]) for b in temp]
+        temp[0] ^= RCON[rnd]
+        prev0 = [w0[j] ^ temp[j] for j in range(4)]
+        words = [prev0, prev1, prev2, prev3]
+    return bytes(b for w in words for b in w)

@@ -1,0 +1,125 @@
+"""Attack progression: how an attack's key rank evolves with trace count.
+
+The SR machinery answers "what fraction of repeated attacks succeed at n";
+this module answers the cheaper, smoother question "how close is *one*
+attack after n traces" by evaluating nested prefixes of one campaign.  The
+resulting rank/correlation-margin curves are what the paper's Fig. 4/5
+success-rate curves integrate over, and they converge with far less
+compute — useful for exploratory work and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.cpa import PredictionModel, cpa_byte
+from repro.attacks.models import expand_last_round_key, last_round_hd_predictions
+from repro.errors import AttackError
+from repro.power.acquisition import TraceSet
+
+
+@dataclass
+class RankProgression:
+    """Rank-vs-traces curve for one key byte.
+
+    Attributes
+    ----------
+    trace_counts:
+        Prefix sizes evaluated.
+    ranks:
+        Rank of the true byte at each prefix (0 = recovered).
+    margins:
+        ``peak_corr[true] - max(peak_corr[others])`` at each prefix; positive
+        once the attack has won, and its trend shows convergence direction.
+    byte_index:
+        The attacked key byte.
+    """
+
+    trace_counts: np.ndarray
+    ranks: np.ndarray
+    margins: np.ndarray
+    byte_index: int
+    label: str = ""
+
+    def first_disclosure(self) -> Optional[int]:
+        """Smallest prefix with rank 0 (None if never)."""
+        hits = np.nonzero(self.ranks == 0)[0]
+        if hits.size == 0:
+            return None
+        return int(self.trace_counts[hits[0]])
+
+    def converging(self) -> bool:
+        """Heuristic: is the margin improving over the last half of the curve?"""
+        if self.margins.size < 4:
+            raise AttackError("need at least 4 points to judge convergence")
+        half = self.margins.size // 2
+        return float(self.margins[half:].mean()) > float(self.margins[:half].mean())
+
+
+def rank_progression(
+    trace_set: TraceSet,
+    trace_counts: Sequence[int],
+    byte_index: int = 0,
+    model: PredictionModel = last_round_hd_predictions,
+    preprocess: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    use_plaintexts: bool = False,
+    label: str = "",
+) -> RankProgression:
+    """Evaluate one attack on nested prefixes of a campaign.
+
+    Prefixes (not random subsets) model an attacker accumulating traces;
+    the preprocessor, when given, sees each prefix independently.
+    """
+    counts = np.asarray(sorted(set(int(c) for c in trace_counts)), dtype=np.int64)
+    if counts.size == 0 or counts[0] < 4:
+        raise AttackError("trace_counts must contain values >= 4")
+    if counts[-1] > trace_set.n_traces:
+        raise AttackError(
+            f"largest prefix ({counts[-1]}) exceeds the campaign "
+            f"({trace_set.n_traces})"
+        )
+    truth = (
+        trace_set.key if use_plaintexts else expand_last_round_key(trace_set.key)
+    )
+    data = trace_set.plaintexts if use_plaintexts else trace_set.ciphertexts
+    ranks: List[int] = []
+    margins: List[float] = []
+    for n in counts:
+        traces = trace_set.traces[:n]
+        if preprocess is not None:
+            traces = preprocess(traces)
+        result = cpa_byte(traces, data[:n], byte_index, model=model)
+        ranks.append(result.rank_of(truth[byte_index]))
+        true_peak = result.peak_corr[truth[byte_index]]
+        others = np.delete(result.peak_corr, truth[byte_index])
+        margins.append(float(true_peak - others.max()))
+    return RankProgression(
+        trace_counts=counts,
+        ranks=np.asarray(ranks),
+        margins=np.asarray(margins),
+        byte_index=byte_index,
+        label=label,
+    )
+
+
+def guessing_entropy_progression(
+    trace_set: TraceSet,
+    trace_counts: Sequence[int],
+    byte_indices: Sequence[int] = tuple(range(16)),
+    model: PredictionModel = last_round_hd_predictions,
+) -> np.ndarray:
+    """Mean rank over key bytes at each prefix — the guessing-entropy curve.
+
+    Returns ``(len(trace_counts),)`` mean ranks; 0 means the whole attacked
+    key is first-guess recoverable.
+    """
+    if not byte_indices:
+        raise AttackError("at least one byte index required")
+    curves = [
+        rank_progression(trace_set, trace_counts, byte_index=b, model=model).ranks
+        for b in byte_indices
+    ]
+    return np.mean(np.stack(curves), axis=0)

@@ -1,0 +1,73 @@
+"""Shared machinery for baseline countermeasures.
+
+A countermeasure is fundamentally a clock scheduler: ``schedule(n)`` returns
+the per-cycle periods (and dummy-cycle structure) for n encryptions.  The
+base class adds the evaluation hooks Table 1 needs — distinct completion
+times, time overhead — computed *from the schedule model itself* rather
+than quoted, so the comparison table is regenerated, not transcribed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule
+
+#: Load + 10 round cycles of the Hodjat AES core.
+AES_CYCLES = 11
+
+
+class CountermeasureBase(abc.ABC):
+    """Base class: clock scheduling + Table 1 evaluation hooks."""
+
+    #: Human-readable name used in reports.
+    label: str = "countermeasure"
+
+    @abc.abstractmethod
+    def schedule(self, n_encryptions: int) -> ClockSchedule:
+        """Per-cycle clock schedule for ``n_encryptions``."""
+
+    @abc.abstractmethod
+    def enumerate_completion_times_ns(self) -> np.ndarray:
+        """All analytically possible completion times (the "# delays" row).
+
+        For countermeasures whose completion-time space is astronomically
+        large this may raise :class:`NotImplementedError`; callers fall
+        back to :meth:`distinct_completion_time_count`.
+        """
+
+    def distinct_completion_time_count(self, resolution_ns: float = 1e-6) -> int:
+        """Number of distinct completion times at a given resolution."""
+        times = self.enumerate_completion_times_ns()
+        if times.size == 0:
+            raise ConfigurationError("no completion times enumerated")
+        keys = np.round(times / resolution_ns).astype(np.int64)
+        return int(np.unique(keys).size)
+
+    def time_overhead_factor(
+        self, reference_period_ns: Optional[float] = None, n_probe: int = 4096
+    ) -> float:
+        """Mean completion time relative to the unprotected baseline.
+
+        ``reference_period_ns`` defaults to the fastest clock the
+        countermeasure itself ever uses, matching the paper's convention of
+        comparing against the unprotected circuit at the full clock rate.
+        """
+        sched = self.schedule(n_probe)
+        mean_completion = float(sched.completion_times_ns().mean())
+        if reference_period_ns is None:
+            reference_period_ns = float(sched.periods_ns.min())
+        return mean_completion / (AES_CYCLES * reference_period_ns)
+
+    #: First-order overhead figures; subclasses override with their model.
+    def power_overhead_factor(self) -> float:
+        """Dynamic+static power relative to the unprotected AES.  1.0 here."""
+        return 1.0
+
+    def area_overhead_factor(self) -> float:
+        """Slice-area relative to the unprotected AES.  1.0 here."""
+        return 1.0

@@ -1,0 +1,136 @@
+"""Phase-shifted clock randomization (Güneysu & Moradi — CHES 2011) [10].
+
+Two PLLs generate eight copies of one clock at 45-degree phase offsets; a
+three-stage BUFG randomizer hops between them.  Hopping from phase p to
+phase q stretches the current cycle by ((q - p) mod 8)/8 of a period, so
+ten rounds accumulate a delay of (sum of per-round hops)/8 periods — a
+*small* set of distinct completion times (~15 per [19]'s reading), which is
+exactly the weakness RFTC's thousands of frequencies address.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import AES_CYCLES, CountermeasureBase
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule, freq_mhz_to_period_ns
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class PhaseShiftedClocks(CountermeasureBase):
+    """Random phase hopping among ``n_phases`` copies of one clock.
+
+    Parameters
+    ----------
+    freq_mhz:
+        The single underlying frequency.
+    n_phases:
+        Phase copies (8 in [10]).
+    hops_per_encryption:
+        How many round boundaries may hop (the three-stage randomizer of
+        [10] re-decides only a few times per encryption; 3 reproduces the
+        ~15 distinct cumulative delays [19] attributes to it).
+    rng:
+        Hop randomness.
+    """
+
+    def __init__(
+        self,
+        freq_mhz: float = 48.0,
+        n_phases: int = 8,
+        hops_per_encryption: int = 3,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.freq_mhz = check_positive("freq_mhz", freq_mhz)
+        self.n_phases = check_positive_int("n_phases", n_phases)
+        self.hops_per_encryption = check_positive_int(
+            "hops_per_encryption", hops_per_encryption
+        )
+        if self.hops_per_encryption > 10:
+            raise ConfigurationError("at most one hop per round (10 rounds)")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.label = f"phase-shift({n_phases} phases)"
+
+    def _hop_amounts(self, n: int) -> np.ndarray:
+        """Per-encryption phase-step increments, (n, hops)."""
+        return self._rng.integers(
+            0, self.n_phases, size=(n, self.hops_per_encryption)
+        )
+
+    def to_mmcm_config(self, f_in_mhz: float = 24.0):
+        """The MMCM configuration that realizes these phase copies.
+
+        [10] used two PLLs for 8 phases; a single 7-series MMCM covers up
+        to 7 outputs, so this helper programs ``min(n_phases, 7)`` equal
+        -frequency outputs at 360/n_phases-degree offsets — a hardware
+        -exact model of the baseline on the same device RFTC targets.
+        """
+        from repro.hw.mmcm import MmcmConfig, OutputDivider, synthesize_config
+
+        base = synthesize_config(
+            f_in_mhz, [self.freq_mhz], fractional_output0=False
+        )
+        divide = base.outputs[0].divide
+        step_deg = 360.0 / self.n_phases
+        resolution = 45.0 / divide
+        outputs = []
+        for k in range(min(self.n_phases, 7)):
+            snapped = round((k * step_deg) / resolution) * resolution
+            outputs.append(
+                OutputDivider(divide=divide, phase_degrees=snapped % 360.0)
+            )
+        return MmcmConfig(
+            f_in_mhz=f_in_mhz,
+            mult=base.mult,
+            divclk=base.divclk,
+            outputs=tuple(outputs),
+        )
+
+    def schedule(self, n_encryptions: int) -> ClockSchedule:
+        if n_encryptions < 1:
+            raise ConfigurationError("n_encryptions must be >= 1")
+        period = freq_mhz_to_period_ns(self.freq_mhz)
+        periods = np.full((n_encryptions, AES_CYCLES), period)
+        hops = self._hop_amounts(n_encryptions)
+        # Hops land on distinct random round boundaries (cycles 1..10).
+        hop_cycles = np.argsort(
+            self._rng.random((n_encryptions, 10)), axis=1
+        )[:, : self.hops_per_encryption] + 1
+        stretch = hops * (period / self.n_phases)
+        rows = np.repeat(np.arange(n_encryptions), self.hops_per_encryption)
+        np.add.at(
+            periods, (rows, hop_cycles.ravel()), stretch.ravel()
+        )
+        return ClockSchedule.from_period_matrix(
+            periods, metadata={"countermeasure": self.label}
+        )
+
+    def enumerate_completion_times_ns(self) -> np.ndarray:
+        """Completion = 11T + (total hop steps) * T/n_phases.
+
+        Total steps range over [0, hops * (n_phases - 1)]; with 3 hops of 8
+        phases that is 22 values — the "tens, not thousands" scale of [10].
+        """
+        period = freq_mhz_to_period_ns(self.freq_mhz)
+        max_steps = self.hops_per_encryption * (self.n_phases - 1)
+        return AES_CYCLES * period + np.arange(max_steps + 1) * (
+            period / self.n_phases
+        )
+
+    def time_overhead_factor(
+        self, reference_period_ns: Optional[float] = None, n_probe: int = 4096
+    ) -> float:
+        mean_steps = self.hops_per_encryption * (self.n_phases - 1) / 2
+        return 1.0 + mean_steps / (self.n_phases * AES_CYCLES)
+
+    def power_overhead_factor(self) -> float:
+        """Two PLLs run continuously (paper column: NA; PLL static power
+        dominates at these clock rates)."""
+        return 1.15
+
+    def area_overhead_factor(self) -> float:
+        """Seven BUFGs + two PLLs + randomizer control."""
+        return 1.05

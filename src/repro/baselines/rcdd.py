@@ -1,0 +1,90 @@
+"""Random Clock Dummy Data (Boey, Lu, O'Neill, Woods — APCCAS 2010) [3].
+
+A dummy-data scheduler interleaves rounds on random unrelated data with the
+real AES rounds.  Each dummy cycle clocks the full datapath, so it costs a
+real round's power (the paper's 4.4x power overhead) while contributing a
+cumulative misalignment of up to ``max_dummies`` clock periods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import AES_CYCLES, CountermeasureBase
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule, freq_mhz_to_period_ns
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class RandomClockDummyData(CountermeasureBase):
+    """RCDD: random dummy rounds interleaved on a constant clock.
+
+    Parameters
+    ----------
+    freq_mhz:
+        Operating clock.
+    max_dummies:
+        Maximum dummy cycles inserted per encryption; the actual count is
+        uniform in [0, max_dummies] and positions are uniform among the
+        cycle slots.
+    rng:
+        Scheduler randomness.
+    """
+
+    def __init__(
+        self,
+        freq_mhz: float = 48.0,
+        max_dummies: int = 10,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.freq_mhz = check_positive("freq_mhz", freq_mhz)
+        self.max_dummies = check_positive_int("max_dummies", max_dummies)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.label = f"RCDD(<= {max_dummies} dummies)"
+
+    def schedule(self, n_encryptions: int) -> ClockSchedule:
+        if n_encryptions < 1:
+            raise ConfigurationError("n_encryptions must be >= 1")
+        period = freq_mhz_to_period_ns(self.freq_mhz)
+        c = AES_CYCLES + self.max_dummies
+        n_dummy = self._rng.integers(0, self.max_dummies + 1, size=n_encryptions)
+        n_cycles = AES_CYCLES + n_dummy
+        # Choose which of the first n_cycles[i] slots carry real rounds:
+        # rank random keys and take the 11 smallest among the valid slots.
+        keys = self._rng.random((n_encryptions, c))
+        keys[np.arange(c)[None, :] >= n_cycles[:, None]] = np.inf
+        real_positions = np.sort(
+            np.argpartition(keys, AES_CYCLES - 1, axis=1)[:, :AES_CYCLES], axis=1
+        )
+        is_real = np.zeros((n_encryptions, c), dtype=bool)
+        is_real[np.arange(n_encryptions)[:, None], real_positions] = True
+        return ClockSchedule(
+            periods_ns=np.full((n_encryptions, c), period),
+            is_real_cycle=is_real,
+            n_cycles=n_cycles,
+            real_cycle_positions=real_positions,
+            metadata={"countermeasure": self.label, "n_dummy": n_dummy},
+        )
+
+    def enumerate_completion_times_ns(self) -> np.ndarray:
+        """Completion = (11 + k) periods, k in [0, max_dummies]."""
+        period = freq_mhz_to_period_ns(self.freq_mhz)
+        return (AES_CYCLES + np.arange(self.max_dummies + 1)) * period
+
+    def time_overhead_factor(
+        self, reference_period_ns: Optional[float] = None, n_probe: int = 4096
+    ) -> float:
+        return (AES_CYCLES + self.max_dummies / 2) / AES_CYCLES
+
+    def power_overhead_factor(self) -> float:
+        """Dummy rounds burn full-datapath power; the scheduler and the
+        dummy-data generator add constant overhead (paper reports 4.4x)."""
+        duty = (AES_CYCLES + self.max_dummies / 2) / AES_CYCLES
+        scheduler_overhead = 2.9
+        return duty + scheduler_overhead * (self.max_dummies / 10.0)
+
+    def area_overhead_factor(self) -> float:
+        """Dummy scheduler + second data register bank (paper: x1.70)."""
+        return 1.70

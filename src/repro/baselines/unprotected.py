@@ -1,0 +1,43 @@
+"""Unprotected AES: one constant clock (Figure 2-A, Figure 3-a).
+
+The reference point for every comparison: constant 208.33 ns completion at
+48 MHz x 10 rounds, CPA disclosure at ~2,000 traces on the paper's bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import AES_CYCLES, CountermeasureBase
+from repro.hw.clock import ClockSchedule, freq_mhz_to_period_ns
+from repro.utils.validation import check_positive
+
+
+class UnprotectedClock(CountermeasureBase):
+    """Constant-frequency clocking (no countermeasure).
+
+    Parameters
+    ----------
+    freq_mhz:
+        Operating frequency; the paper's Figure 3-a uses 48 MHz.
+    """
+
+    def __init__(self, freq_mhz: float = 48.0):
+        self.freq_mhz = check_positive("freq_mhz", freq_mhz)
+        self.label = f"unprotected@{freq_mhz:g}MHz"
+
+    def schedule(self, n_encryptions: int) -> ClockSchedule:
+        return ClockSchedule.constant(
+            n_encryptions,
+            self.freq_mhz,
+            cycles=AES_CYCLES,
+            metadata={"countermeasure": self.label},
+        )
+
+    def enumerate_completion_times_ns(self) -> np.ndarray:
+        period = freq_mhz_to_period_ns(self.freq_mhz)
+        return np.array([AES_CYCLES * period])
+
+    def round_completion_time_ns(self) -> float:
+        """The paper's 208.33 ns: 10 round cycles at the clock period."""
+        return 10 * freq_mhz_to_period_ns(self.freq_mhz)

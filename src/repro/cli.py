@@ -1,0 +1,240 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Installed as ``repro-rftc`` (see pyproject), or run via
+``python -m repro.cli``.  Subcommands:
+
+* ``info``   — library and flagship-configuration summary
+* ``plan``   — run the frequency planner, print overlap statistics
+* ``attack`` — collect a campaign and run the attack battery
+* ``tvla``   — fixed-vs-random leakage assessment
+* ``table1`` — regenerate the comparison table
+* ``fig3``   — completion-time histogram statistics
+
+Every subcommand prints plain text and exits 0 on success; budgets are
+deliberately small so each command finishes in seconds to a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.rftc import RFTCParams, distinct_completion_time_count
+
+    params = RFTCParams(m_outputs=args.m, p_configs=args.p)
+    print(f"repro {repro.__version__} — RFTC (DAC 2019) reproduction")
+    print(f"configuration   : {params.label()}, N = {params.n_mmcms} MMCMs")
+    print(f"frequency window: {params.f_lo_mhz}-{params.f_hi_mhz} MHz "
+          f"(input {params.f_in_mhz} MHz)")
+    print(f"stored clocks   : {params.total_frequencies}")
+    print(
+        "completion times: "
+        f"{distinct_completion_time_count(params.m_outputs, params.p_configs, params.rounds)}"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.rftc import RFTCParams
+    from repro.rftc.planner import plan_frequencies
+
+    params = RFTCParams(m_outputs=args.m, p_configs=args.p)
+    method = "naive-grid" if args.naive else "overlap-free"
+    kwargs = {} if args.naive else {
+        "rng": np.random.default_rng(args.seed),
+        "hardware": not args.grid,
+    }
+    plan = plan_frequencies(params, method=method, **kwargs)
+    times = plan.all_completion_times_ns()
+    print(f"{params.label()} {method} plan")
+    print(f"  frequencies : {plan.sets_mhz.min():.3f}-{plan.sets_mhz.max():.3f} MHz")
+    print(f"  completion  : {times.min():.2f}-{times.max():.2f} ns "
+          f"({times.size} enumerated)")
+    print(f"  duplicates  : {plan.duplicate_count()}")
+    if plan.hardware_settings:
+        hs = plan.hardware_settings[0]
+        print(f"  MMCM-exact  : yes (e.g. set 0: mult={hs.mult}, "
+              f"divclk={hs.divclk}, odivs={hs.odivs})")
+    if args.out:
+        from repro.rftc.export import (
+            save_plan,
+            write_coe,
+            write_verilog_header,
+        )
+
+        stem = args.out
+        save_plan(plan, f"{stem}.json")
+        n_words = write_coe(plan, f"{stem}.coe")
+        write_verilog_header(plan, f"{stem}.vh")
+        print(
+            f"  exported    : {stem}.json, {stem}.coe ({n_words} ROM words), "
+            f"{stem}.vh"
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.experiments.attack_suite import (
+        EXTENDED_ATTACK_NAMES,
+        run_attack_suite,
+    )
+    from repro.experiments.reporting import render_attack_suite
+    from repro.experiments.scenarios import build_rftc, build_unprotected
+    from repro.power.acquisition import AcquisitionCampaign
+
+    attacks = tuple(args.attacks.split(","))
+    unknown = set(attacks) - set(EXTENDED_ATTACK_NAMES)
+    if unknown:
+        print(f"unknown attacks: {sorted(unknown)}; "
+              f"available: {EXTENDED_ATTACK_NAMES}", file=sys.stderr)
+        return 2
+    if args.target == "unprotected":
+        scenario = build_unprotected()
+    else:
+        scenario = build_rftc(args.m, args.p, seed=args.seed)
+    print(f"collecting {args.traces} traces from {scenario.name} ...")
+    trace_set = AcquisitionCampaign(scenario.device, seed=args.seed).collect(
+        args.traces
+    )
+    counts = [c for c in (args.traces // 4, args.traces // 2, args.traces) if c >= 8]
+    result = run_attack_suite(
+        trace_set,
+        scenario.name,
+        attacks=attacks,
+        trace_counts=counts,
+        n_repeats=args.repeats,
+        byte_indices=(0,),
+        rng=np.random.default_rng(args.seed + 1),
+    )
+    print(render_attack_suite(result))
+    return 0
+
+
+def _cmd_tvla(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import TVLA_FIXED_PLAINTEXT
+    from repro.experiments.scenarios import build_rftc, build_unprotected
+    from repro.leakage_assessment import TVLA_THRESHOLD, tvla_fixed_vs_random
+    from repro.power.acquisition import AcquisitionCampaign
+
+    if args.target == "unprotected":
+        scenario = build_unprotected()
+    else:
+        scenario = build_rftc(args.m, args.p, seed=args.seed)
+    campaign = AcquisitionCampaign(scenario.device, seed=args.seed)
+    fixed, random_ = campaign.collect_fixed_vs_random(
+        args.traces, TVLA_FIXED_PLAINTEXT
+    )
+    result = tvla_fixed_vs_random(fixed.traces, random_.traces)
+    verdict = "PASS" if result.max_abs_t < TVLA_THRESHOLD else "LEAK"
+    print(f"{scenario.name}: max |t| = {result.max_abs_t:.2f} over "
+          f"{args.traces} traces/group -> {verdict} "
+          f"(threshold {TVLA_THRESHOLD})")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import render_table1
+    from repro.experiments.tables import block_ram_count, table1_rows
+
+    print(render_table1(table1_rows(seed=args.seed)))
+    print(f"Block RAMs for RFTC(3, 1024): {block_ram_count(seed=args.seed)} "
+          "(paper: 20)")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure3_data
+
+    data = figure3_data(n_encryptions=args.encryptions, seed=args.seed)
+    for panel in data.values():
+        print(f"{panel.label}: {panel.times_ns.min():.2f}-"
+              f"{panel.times_ns.max():.2f} ns, "
+              f"{panel.occupied_buckets} distinct times, "
+              f"max identical {panel.max_identical}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(profile=args.profile, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rftc",
+        description="RFTC (DAC 2019) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, m=3, pc=1024, traces=None):
+        p.add_argument("--m", type=int, default=m, help="MMCM outputs used (M)")
+        p.add_argument("--p", type=int, default=pc, help="stored sets (P)")
+        p.add_argument("--seed", type=int, default=2019)
+        if traces is not None:
+            p.add_argument("--traces", type=int, default=traces)
+
+    p = sub.add_parser("info", help="configuration summary")
+    common(p)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("plan", help="run the frequency planner")
+    common(p, pc=64)
+    p.add_argument("--naive", action="store_true", help="Fig. 3-b naive grid")
+    p.add_argument("--grid", action="store_true",
+                   help="idealized grid instead of the MMCM lattice")
+    p.add_argument("--out", default=None,
+                   help="export stem: writes <out>.json/.coe/.vh design artifacts")
+    p.set_defaults(func=_cmd_plan)
+
+    p = sub.add_parser("attack", help="run the attack battery")
+    common(p, m=1, pc=16, traces=4000)
+    p.add_argument("--target", choices=("unprotected", "rftc"), default="rftc")
+    p.add_argument("--attacks", default="cpa,dtw-cpa,fft-cpa",
+                   help="comma-separated attack names")
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("tvla", help="fixed-vs-random leakage assessment")
+    common(p, m=3, pc=8, traces=6000)
+    p.add_argument("--target", choices=("unprotected", "rftc"), default="rftc")
+    p.set_defaults(func=_cmd_tvla)
+
+    p = sub.add_parser("table1", help="regenerate the comparison table")
+    p.add_argument("--seed", type=int, default=23)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig3", help="completion-time histogram statistics")
+    p.add_argument("--encryptions", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=33)
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("report", help="generate a full markdown report")
+    p.add_argument("--profile", choices=("smoke", "quick"), default="smoke")
+    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--out", default=None, help="output file (default: stdout)")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

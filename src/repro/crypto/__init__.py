@@ -1,0 +1,17 @@
+"""AES block cipher and the cycle-accurate datapath model it leaks through."""
+
+from repro.crypto.aes import AES, aes128_decrypt, aes128_encrypt, expand_key
+from repro.crypto.aes_tables import INV_SBOX, RCON, SBOX
+from repro.crypto.datapath import AesDatapath, RoundTransition
+
+__all__ = [
+    "AES",
+    "aes128_decrypt",
+    "aes128_encrypt",
+    "expand_key",
+    "INV_SBOX",
+    "RCON",
+    "SBOX",
+    "AesDatapath",
+    "RoundTransition",
+]

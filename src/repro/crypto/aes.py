@@ -1,0 +1,200 @@
+"""AES block cipher (FIPS-197): AES-128/192/256 encrypt, decrypt, key schedule.
+
+The implementation keeps the state as a 16-byte ``bytes`` object in the
+standard column-major order, which is also what the datapath model and the
+leakage models index into.  It is a reference implementation: clarity over
+speed (the hot attack paths never run the cipher per trace — they use the
+vectorized helpers in :mod:`repro.attacks.models`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.crypto.aes_tables import (
+    INV_SBOX,
+    INV_SHIFT_ROWS_MAP,
+    MUL2,
+    MUL3,
+    MUL9,
+    MUL11,
+    MUL13,
+    MUL14,
+    RCON,
+    SBOX,
+    SHIFT_ROWS_MAP,
+)
+from repro.errors import ConfigurationError
+
+_KEY_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+BlockLike = Union[bytes, bytearray, Sequence[int]]
+
+
+def _as_block(name: str, data: BlockLike) -> bytes:
+    block = bytes(data)
+    if len(block) != 16:
+        raise ConfigurationError(f"{name} must be 16 bytes, got {len(block)}")
+    return block
+
+
+def expand_key(key: BlockLike) -> List[bytes]:
+    """Expand an AES key into the per-round 16-byte round keys.
+
+    Returns ``rounds + 1`` round keys (11 for AES-128).
+    """
+    key = bytes(key)
+    if len(key) not in _KEY_ROUNDS:
+        raise ConfigurationError(
+            f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+        )
+    nk = len(key) // 4
+    rounds = _KEY_ROUNDS[len(key)]
+    words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [int(SBOX[b]) for b in temp]
+            temp[0] ^= RCON[i // nk]
+        elif nk > 6 and i % nk == 4:
+            temp = [int(SBOX[b]) for b in temp]
+        words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+    round_keys = []
+    for r in range(rounds + 1):
+        round_keys.append(bytes(b for w in words[4 * r : 4 * r + 4] for b in w))
+    return round_keys
+
+
+def sub_bytes(state: bytes) -> bytes:
+    """Apply the S-box to every byte of the state."""
+    return bytes(int(SBOX[b]) for b in state)
+
+
+def inv_sub_bytes(state: bytes) -> bytes:
+    """Apply the inverse S-box to every byte of the state."""
+    return bytes(int(INV_SBOX[b]) for b in state)
+
+
+def shift_rows(state: bytes) -> bytes:
+    """Cyclically shift row r of the state left by r positions."""
+    return bytes(state[int(SHIFT_ROWS_MAP[i])] for i in range(16))
+
+
+def inv_shift_rows(state: bytes) -> bytes:
+    """Cyclically shift row r of the state right by r positions."""
+    return bytes(state[int(INV_SHIFT_ROWS_MAP[i])] for i in range(16))
+
+
+def mix_columns(state: bytes) -> bytes:
+    """MixColumns over all four state columns."""
+    out = bytearray(16)
+    for c in range(4):
+        a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+        out[4 * c + 0] = MUL2[a0] ^ MUL3[a1] ^ a2 ^ a3
+        out[4 * c + 1] = a0 ^ MUL2[a1] ^ MUL3[a2] ^ a3
+        out[4 * c + 2] = a0 ^ a1 ^ MUL2[a2] ^ MUL3[a3]
+        out[4 * c + 3] = MUL3[a0] ^ a1 ^ a2 ^ MUL2[a3]
+    return bytes(out)
+
+
+def inv_mix_columns(state: bytes) -> bytes:
+    """Inverse MixColumns over all four state columns."""
+    out = bytearray(16)
+    for c in range(4):
+        a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+        out[4 * c + 0] = MUL14[a0] ^ MUL11[a1] ^ MUL13[a2] ^ MUL9[a3]
+        out[4 * c + 1] = MUL9[a0] ^ MUL14[a1] ^ MUL11[a2] ^ MUL13[a3]
+        out[4 * c + 2] = MUL13[a0] ^ MUL9[a1] ^ MUL14[a2] ^ MUL11[a3]
+        out[4 * c + 3] = MUL11[a0] ^ MUL13[a1] ^ MUL9[a2] ^ MUL14[a3]
+    return bytes(out)
+
+
+def add_round_key(state: bytes, round_key: bytes) -> bytes:
+    """XOR the state with a round key."""
+    return bytes(s ^ k for s, k in zip(state, round_key))
+
+
+class AES:
+    """AES block cipher bound to one expanded key.
+
+    >>> cipher = AES(bytes(range(16)))
+    >>> cipher.decrypt(cipher.encrypt(b"\\x00" * 16)) == b"\\x00" * 16
+    True
+    """
+
+    def __init__(self, key: BlockLike):
+        key = bytes(key)
+        if len(key) not in _KEY_ROUNDS:
+            raise ConfigurationError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._key = key
+        self._round_keys = expand_key(key)
+        self.rounds = _KEY_ROUNDS[len(key)]
+
+    @property
+    def key(self) -> bytes:
+        """The raw cipher key."""
+        return self._key
+
+    @property
+    def round_keys(self) -> Tuple[bytes, ...]:
+        """All ``rounds + 1`` round keys."""
+        return tuple(self._round_keys)
+
+    def encrypt(self, plaintext: BlockLike) -> bytes:
+        """Encrypt one 16-byte block."""
+        return self.round_states(plaintext)[-1]
+
+    def round_states(self, plaintext: BlockLike) -> List[bytes]:
+        """Return the state after every round, including the initial AddRoundKey.
+
+        Index 0 is ``plaintext ^ round_key[0]``; index ``rounds`` is the
+        ciphertext.  These are exactly the values the round register of the
+        Hodjat et al. circuit holds after each clock cycle, which is what
+        the Hamming-distance leakage model consumes.
+        """
+        state = _as_block("plaintext", plaintext)
+        states = [add_round_key(state, self._round_keys[0])]
+        state = states[0]
+        for r in range(1, self.rounds):
+            state = sub_bytes(state)
+            state = shift_rows(state)
+            state = mix_columns(state)
+            state = add_round_key(state, self._round_keys[r])
+            states.append(state)
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = add_round_key(state, self._round_keys[self.rounds])
+        states.append(state)
+        return states
+
+    def decrypt(self, ciphertext: BlockLike) -> bytes:
+        """Decrypt one 16-byte block."""
+        state = _as_block("ciphertext", ciphertext)
+        state = add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            state = inv_shift_rows(state)
+            state = inv_sub_bytes(state)
+            state = add_round_key(state, self._round_keys[r])
+            state = inv_mix_columns(state)
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        return add_round_key(state, self._round_keys[0])
+
+
+def aes128_encrypt(key: BlockLike, plaintext: BlockLike) -> bytes:
+    """One-shot AES-128 encryption of a single block."""
+    key = bytes(key)
+    if len(key) != 16:
+        raise ConfigurationError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    return AES(key).encrypt(plaintext)
+
+
+def aes128_decrypt(key: BlockLike, ciphertext: BlockLike) -> bytes:
+    """One-shot AES-128 decryption of a single block."""
+    key = bytes(key)
+    if len(key) != 16:
+        raise ConfigurationError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    return AES(key).decrypt(ciphertext)

@@ -1,0 +1,240 @@
+"""Block cipher modes of operation (ECB, CBC, CTR, OFB, CFB).
+
+The RFTC authors' companion study (Jayasinghe et al., ICCD 2014 — reference
+[13] of the paper) asks whether AES *modes* change power-analysis exposure:
+chaining modes feed previous ciphertexts back through the datapath, which
+changes what the register transitions depend on but not the last-round
+leakage CPA exploits.  These implementations let the acquisition layer run
+multi-block messages through the protected core, with the same round-level
+fidelity as single blocks.
+
+All modes operate on AES-128/192/256 via :class:`repro.crypto.aes.AES` and
+require explicitly padded input (no implicit padding — callers choose).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.crypto.aes import AES, BlockLike
+from repro.errors import ConfigurationError
+
+BLOCK_SIZE = 16
+
+
+def _check_blocks(name: str, data: bytes) -> None:
+    if len(data) % BLOCK_SIZE != 0:
+        raise ConfigurationError(
+            f"{name} length must be a multiple of {BLOCK_SIZE} bytes, "
+            f"got {len(data)}"
+        )
+
+
+def _check_iv(iv: bytes) -> bytes:
+    iv = bytes(iv)
+    if len(iv) != BLOCK_SIZE:
+        raise ConfigurationError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    return iv
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def pkcs7_pad(data: bytes) -> bytes:
+    """PKCS#7 padding to a whole number of blocks (always adds 1..16 bytes)."""
+    pad = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return bytes(data) + bytes([pad]) * pad
+
+
+def pkcs7_unpad(data: bytes) -> bytes:
+    """Strict PKCS#7 unpadding; raises on malformed padding."""
+    data = bytes(data)
+    if not data or len(data) % BLOCK_SIZE != 0:
+        raise ConfigurationError("padded data must be whole non-empty blocks")
+    pad = data[-1]
+    if not 1 <= pad <= BLOCK_SIZE or data[-pad:] != bytes([pad]) * pad:
+        raise ConfigurationError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+class EcbMode:
+    """Electronic codebook: independent blocks (the single-block baseline)."""
+
+    def __init__(self, key: BlockLike):
+        self._aes = AES(key)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        return b"".join(
+            self._aes.encrypt(plaintext[i : i + BLOCK_SIZE])
+            for i in range(0, len(plaintext), BLOCK_SIZE)
+        )
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        ciphertext = bytes(ciphertext)
+        _check_blocks("ciphertext", ciphertext)
+        return b"".join(
+            self._aes.decrypt(ciphertext[i : i + BLOCK_SIZE])
+            for i in range(0, len(ciphertext), BLOCK_SIZE)
+        )
+
+    def block_inputs(self, plaintext: bytes) -> List[bytes]:
+        """The values entering the cipher core per block (for leakage)."""
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        return [
+            plaintext[i : i + BLOCK_SIZE]
+            for i in range(0, len(plaintext), BLOCK_SIZE)
+        ]
+
+
+class CbcMode:
+    """Cipher block chaining: each plaintext XORs the previous ciphertext."""
+
+    def __init__(self, key: BlockLike, iv: BlockLike):
+        self._aes = AES(key)
+        self._iv = _check_iv(bytes(iv))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        out = []
+        prev = self._iv
+        for i in range(0, len(plaintext), BLOCK_SIZE):
+            block = _xor(plaintext[i : i + BLOCK_SIZE], prev)
+            prev = self._aes.encrypt(block)
+            out.append(prev)
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        ciphertext = bytes(ciphertext)
+        _check_blocks("ciphertext", ciphertext)
+        out = []
+        prev = self._iv
+        for i in range(0, len(ciphertext), BLOCK_SIZE):
+            block = ciphertext[i : i + BLOCK_SIZE]
+            out.append(_xor(self._aes.decrypt(block), prev))
+            prev = block
+        return b"".join(out)
+
+    def block_inputs(self, plaintext: bytes) -> List[bytes]:
+        """Core inputs per block: plaintext XOR previous ciphertext."""
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        inputs = []
+        prev = self._iv
+        for i in range(0, len(plaintext), BLOCK_SIZE):
+            block = _xor(plaintext[i : i + BLOCK_SIZE], prev)
+            inputs.append(block)
+            prev = self._aes.encrypt(block)
+        return inputs
+
+
+class CtrMode:
+    """Counter mode: encrypt a counter stream, XOR with the message.
+
+    The cipher core never sees the message — only the counter — so
+    known-plaintext first-round attacks shift to known-counter attacks
+    (the [13] observation).
+    """
+
+    def __init__(self, key: BlockLike, nonce: BlockLike):
+        self._aes = AES(key)
+        self._nonce = _check_iv(bytes(nonce))
+
+    def _counter_block(self, index: int) -> bytes:
+        counter = (int.from_bytes(self._nonce, "big") + index) % (1 << 128)
+        return counter.to_bytes(BLOCK_SIZE, "big")
+
+    def _stream(self, n_bytes: int) -> bytes:
+        blocks = -(-n_bytes // BLOCK_SIZE)
+        return b"".join(
+            self._aes.encrypt(self._counter_block(i)) for i in range(blocks)
+        )[:n_bytes]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        plaintext = bytes(plaintext)
+        return _xor(plaintext, self._stream(len(plaintext)))
+
+    #: CTR decryption is encryption.
+    decrypt = encrypt
+
+    def block_inputs(self, plaintext: bytes) -> List[bytes]:
+        """Core inputs per block: the counter values."""
+        blocks = -(-len(bytes(plaintext)) // BLOCK_SIZE)
+        return [self._counter_block(i) for i in range(blocks)]
+
+
+class OfbMode:
+    """Output feedback: the keystream is the iterated encryption of the IV."""
+
+    def __init__(self, key: BlockLike, iv: BlockLike):
+        self._aes = AES(key)
+        self._iv = _check_iv(bytes(iv))
+
+    def _stream(self, n_bytes: int) -> Tuple[bytes, List[bytes]]:
+        blocks = -(-n_bytes // BLOCK_SIZE)
+        stream = []
+        inputs = []
+        state = self._iv
+        for _ in range(blocks):
+            inputs.append(state)
+            state = self._aes.encrypt(state)
+            stream.append(state)
+        return b"".join(stream)[:n_bytes], inputs
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        plaintext = bytes(plaintext)
+        stream, _ = self._stream(len(plaintext))
+        return _xor(plaintext, stream)
+
+    decrypt = encrypt
+
+    def block_inputs(self, plaintext: bytes) -> List[bytes]:
+        """Core inputs per block: the feedback chain (message-independent)."""
+        _, inputs = self._stream(len(bytes(plaintext)))
+        return inputs
+
+
+class CfbMode:
+    """Cipher feedback (full-block): encrypt previous ciphertext, XOR message."""
+
+    def __init__(self, key: BlockLike, iv: BlockLike):
+        self._aes = AES(key)
+        self._iv = _check_iv(bytes(iv))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        out = []
+        prev = self._iv
+        for i in range(0, len(plaintext), BLOCK_SIZE):
+            keystream = self._aes.encrypt(prev)
+            prev = _xor(plaintext[i : i + BLOCK_SIZE], keystream)
+            out.append(prev)
+        return b"".join(out)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        ciphertext = bytes(ciphertext)
+        _check_blocks("ciphertext", ciphertext)
+        out = []
+        prev = self._iv
+        for i in range(0, len(ciphertext), BLOCK_SIZE):
+            block = ciphertext[i : i + BLOCK_SIZE]
+            out.append(_xor(block, self._aes.encrypt(prev)))
+            prev = block
+        return b"".join(out)
+
+    def block_inputs(self, plaintext: bytes) -> List[bytes]:
+        """Core inputs per block: IV then each ciphertext block."""
+        plaintext = bytes(plaintext)
+        _check_blocks("plaintext", plaintext)
+        inputs = []
+        prev = self._iv
+        for i in range(0, len(plaintext), BLOCK_SIZE):
+            inputs.append(prev)
+            keystream = self._aes.encrypt(prev)
+            prev = _xor(plaintext[i : i + BLOCK_SIZE], keystream)
+        return inputs

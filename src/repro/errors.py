@@ -1,0 +1,40 @@
+"""Exception hierarchy for the RFTC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so a
+caller can catch the library's failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime modelling errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class FrequencyRangeError(ConfigurationError):
+    """A requested frequency cannot be realized by the clocking hardware."""
+
+
+class LockError(ReproError, RuntimeError):
+    """An MMCM output was consumed while the MMCM was not locked."""
+
+
+class ReconfigurationError(ReproError, RuntimeError):
+    """An illegal dynamic-reconfiguration sequence was attempted."""
+
+
+class PlanningError(ReproError, RuntimeError):
+    """The frequency planner could not satisfy its constraints."""
+
+
+class AttackError(ReproError, RuntimeError):
+    """A power-analysis attack was invoked on unusable inputs."""
+
+
+class AcquisitionError(ReproError, RuntimeError):
+    """A trace-acquisition campaign was misconfigured or failed."""

@@ -1,0 +1,28 @@
+"""Experiment orchestration: scenario builders, attack suites, and the
+regeneration code for every table and figure in the paper's evaluation."""
+
+from repro.experiments.attack_suite import (
+    ATTACK_NAMES,
+    AttackSuiteResult,
+    make_preprocessor,
+    run_attack_suite,
+)
+from repro.experiments.scenarios import (
+    DEFAULT_KEY,
+    Scenario,
+    build_baseline,
+    build_rftc,
+    build_unprotected,
+)
+
+__all__ = [
+    "ATTACK_NAMES",
+    "AttackSuiteResult",
+    "make_preprocessor",
+    "run_attack_suite",
+    "DEFAULT_KEY",
+    "Scenario",
+    "build_baseline",
+    "build_rftc",
+    "build_unprotected",
+]

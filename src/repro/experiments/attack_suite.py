@@ -1,0 +1,97 @@
+"""The paper's four-attack battery: CPA, PCA-CPA, DTW-CPA, FFT-CPA.
+
+One campaign is collected per scenario and shared by all four attacks;
+each attack is a preprocessor plugged into the common success-rate
+machinery, exactly the structure of Sec. 7's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.sliding_window import SlidingWindowPreprocessor
+from repro.attacks.success_rate import Preprocessor, SuccessRateCurve, success_rate_curve
+from repro.errors import ConfigurationError
+from repro.power.acquisition import TraceSet
+from repro.preprocess import (
+    DtwAligner,
+    FftPreprocessor,
+    PcaPreprocessor,
+    RapidAligner,
+)
+
+#: The attack battery of Sec. 7, in the paper's presentation order.
+ATTACK_NAMES = ("cpa", "pca-cpa", "dtw-cpa", "fft-cpa")
+
+#: The Sec. 8 future-work attacks, implemented here as extensions.
+EXTENDED_ATTACK_NAMES = ATTACK_NAMES + ("ram-cpa", "sw-cpa")
+
+
+def make_preprocessor(attack: str) -> Optional[Preprocessor]:
+    """The preprocessing stage of each named attack (None = plain CPA)."""
+    if attack == "cpa":
+        return None
+    if attack == "pca-cpa":
+        return PcaPreprocessor(n_components=10)
+    if attack == "dtw-cpa":
+        return DtwAligner()
+    if attack == "fft-cpa":
+        return FftPreprocessor(n_bins=128)
+    if attack == "ram-cpa":
+        return RapidAligner()
+    if attack == "sw-cpa":
+        return SlidingWindowPreprocessor(width=16, step=4)
+    raise ConfigurationError(
+        f"unknown attack {attack!r}; expected one of {EXTENDED_ATTACK_NAMES}"
+    )
+
+
+@dataclass
+class AttackSuiteResult:
+    """SR curves per attack for one scenario."""
+
+    scenario_name: str
+    curves: Dict[str, SuccessRateCurve] = field(default_factory=dict)
+
+    def disclosure_summary(self, threshold: float = 0.8) -> Dict[str, Optional[int]]:
+        """Traces-to-disclosure per attack (None = secure within budget)."""
+        return {
+            name: curve.traces_to_disclosure(threshold)
+            for name, curve in self.curves.items()
+        }
+
+
+def run_attack_suite(
+    trace_set: TraceSet,
+    scenario_name: str,
+    attacks: Sequence[str] = ATTACK_NAMES,
+    trace_counts: Sequence[int] = (1000, 2000, 4000, 8000),
+    n_repeats: int = 10,
+    byte_indices: Sequence[int] = (0,),
+    rng: Optional[np.random.Generator] = None,
+) -> AttackSuiteResult:
+    """Run the battery on one collected campaign.
+
+    ``trace_counts``, ``n_repeats`` and ``byte_indices`` set the compute
+    budget; the paper uses up to 10^6 traces and 100 repeats on bench
+    hardware, the defaults here are the laptop-scaled equivalents (see
+    EXPERIMENTS.md for the scaling discussion).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    result = AttackSuiteResult(scenario_name=scenario_name)
+    for attack in attacks:
+        pre = make_preprocessor(attack)
+        curve = success_rate_curve(
+            trace_set,
+            trace_counts=trace_counts,
+            n_repeats=n_repeats,
+            byte_indices=byte_indices,
+            preprocess=pre,
+            rng=rng,
+            label=f"{attack} on {scenario_name}",
+        )
+        result.curves[attack] = curve
+    return result

@@ -1,0 +1,124 @@
+"""Plain-text rendering of experiment outputs, in the paper's shapes.
+
+The benchmark harness prints through these so a run's stdout reads like the
+paper's tables/figure captions and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.attacks.success_rate import SuccessRateCurve
+from repro.experiments.attack_suite import AttackSuiteResult
+from repro.experiments.tables import Table1Row
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width ASCII table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line(headers), sep]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_success_curve(curve: SuccessRateCurve) -> str:
+    """One SR curve as an n -> SR table row set, with a trend sparkline."""
+    from repro.utils.asciiplot import sparkline
+
+    rows = [
+        (int(n), f"{sr:.2f}", f"{rank:.1f}" if curve.mean_ranks is not None else "NA")
+        for n, sr, rank in zip(
+            curve.trace_counts,
+            curve.success_rates,
+            curve.mean_ranks
+            if curve.mean_ranks is not None
+            else np.full(curve.trace_counts.size, np.nan),
+        )
+    ]
+    header = curve.label or "success rate"
+    if curve.trace_counts.size > 1:
+        header = f"{header}   SR trend: {sparkline(curve.success_rates)}"
+    body = format_table(["traces", "SR", "mean rank"], rows)
+    return f"{header}\n{body}"
+
+
+def render_attack_suite(result: AttackSuiteResult, threshold: float = 0.8) -> str:
+    """All four attacks against one scenario, plus the disclosure summary."""
+    parts = [f"=== {result.scenario_name} ==="]
+    for name, curve in result.curves.items():
+        parts.append(render_success_curve(curve))
+    summary = result.disclosure_summary(threshold)
+    rows = [
+        (attack, _fmt(n_traces) if n_traces is not None else "not disclosed")
+        for attack, n_traces in summary.items()
+    ]
+    parts.append(format_table(["attack", f"traces to SR>={threshold}"], rows))
+    return "\n\n".join(parts)
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Side-by-side computed vs paper Table 1."""
+    body = []
+    for r in rows:
+        body.append(
+            (
+                r.name,
+                _fmt(r.delays),
+                _fmt(r.paper.get("delays")),
+                _fmt(r.time_overhead),
+                _fmt(r.paper.get("time")),
+                _fmt(r.power_overhead),
+                _fmt(r.paper.get("power")),
+                _fmt(r.area_overhead),
+                _fmt(r.paper.get("area")),
+                _fmt(r.energy_overhead),
+            )
+        )
+    headers = [
+        "countermeasure",
+        "#delays",
+        "paper",
+        "time x",
+        "paper",
+        "power x",
+        "paper",
+        "area x",
+        "paper",
+        "energy x",
+    ]
+    return format_table(headers, body)
+
+
+def render_tvla_summary(panels: Dict[str, "object"]) -> str:
+    """Figure 6 summary: peak |t| per build and the 4.5 verdict."""
+    rows = []
+    for label, panel in panels.items():
+        result = panel.result
+        rows.append(
+            (
+                label,
+                f"{result.max_abs_t:.1f}",
+                f"{result.max_abs_t_after_load():.1f}",
+                "PASS" if result.passes else "LEAK",
+            )
+        )
+    return format_table(
+        ["build", "max |t|", "max |t| after load", "TVLA (4.5)"], rows
+    )

@@ -1,0 +1,43 @@
+"""Models of the FPGA hardware substrate RFTC is built from.
+
+Everything in this package models a concrete 7-series primitive or a fabric
+circuit the paper instantiates: MMCM clock managers and their dynamic
+reconfiguration port (DRP), BUFG glitch-free clock multiplexers, block RAMs
+holding precomputed configurations, and the random number generators
+(128-bit LFSR, Coron–Kizhvatov floating mean) that drive the randomization.
+"""
+
+from repro.hw.block_ram import BlockRam, bram_count_for_bits
+from repro.hw.bufg import ClockMux
+from repro.hw.clock import ClockSchedule, ClockSource, freq_mhz_to_period_ns
+from repro.hw.drp import DrpInterface, DrpTransaction, MmcmDrpController
+from repro.hw.floating_mean import FloatingMeanGenerator
+from repro.hw.lfsr import FibonacciLfsr, GaloisLfsr, Lfsr128
+from repro.hw.mmcm import (
+    Mmcm,
+    MmcmConfig,
+    MmcmTimingSpec,
+    OutputDivider,
+    synthesize_config,
+)
+
+__all__ = [
+    "BlockRam",
+    "bram_count_for_bits",
+    "ClockMux",
+    "ClockSchedule",
+    "ClockSource",
+    "freq_mhz_to_period_ns",
+    "DrpInterface",
+    "DrpTransaction",
+    "MmcmDrpController",
+    "FloatingMeanGenerator",
+    "FibonacciLfsr",
+    "GaloisLfsr",
+    "Lfsr128",
+    "Mmcm",
+    "MmcmConfig",
+    "MmcmTimingSpec",
+    "OutputDivider",
+    "synthesize_config",
+]

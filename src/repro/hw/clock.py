@@ -1,0 +1,165 @@
+"""Clock primitives: frequencies, periods, and per-cycle schedules.
+
+A :class:`ClockSchedule` is the contract between the countermeasure layer
+and the power-trace synthesizer: for each encryption it lists the clock
+period of every datapath cycle, from which edge times (and therefore trace
+misalignment) follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+def freq_mhz_to_period_ns(freq_mhz: float) -> float:
+    """Convert a frequency in MHz to a period in nanoseconds."""
+    check_positive("freq_mhz", freq_mhz)
+    return 1000.0 / freq_mhz
+
+
+def period_ns_to_freq_mhz(period_ns: float) -> float:
+    """Convert a period in nanoseconds to a frequency in MHz."""
+    check_positive("period_ns", period_ns)
+    return 1000.0 / period_ns
+
+
+@dataclass(frozen=True)
+class ClockSource:
+    """A fixed-frequency clock.
+
+    Attributes
+    ----------
+    freq_mhz:
+        Output frequency in MHz.
+    jitter_ps_rms:
+        RMS cycle-to-cycle jitter in picoseconds; the synthesizer perturbs
+        edge times with this when nonzero.
+    """
+
+    freq_mhz: float
+    jitter_ps_rms: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("freq_mhz", self.freq_mhz)
+        if self.jitter_ps_rms < 0:
+            raise ConfigurationError("jitter_ps_rms must be >= 0")
+
+    @property
+    def period_ns(self) -> float:
+        return 1000.0 / self.freq_mhz
+
+
+@dataclass
+class ClockSchedule:
+    """Per-cycle clock periods for a batch of encryptions.
+
+    Attributes
+    ----------
+    periods_ns:
+        ``(n, C)`` array: the clock period driving cycle c of encryption i.
+        Cycles past ``n_cycles[i]`` are padding and must be ignored.
+    is_real_cycle:
+        ``(n, C)`` boolean array: True where the cycle performs genuine AES
+        work (load or round), False for dummy/idle cycles inserted by a
+        countermeasure.
+    n_cycles:
+        ``(n,)`` number of valid cycles per encryption.
+    real_cycle_positions:
+        ``(n, 11)`` index of the cycle that carries datapath edge k
+        (k = 0 load, 1..10 rounds), used to map datapath Hamming distances
+        onto the schedule.
+    """
+
+    periods_ns: np.ndarray
+    is_real_cycle: np.ndarray
+    n_cycles: np.ndarray
+    real_cycle_positions: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.periods_ns = np.asarray(self.periods_ns, dtype=np.float64)
+        self.is_real_cycle = np.asarray(self.is_real_cycle, dtype=bool)
+        self.n_cycles = np.asarray(self.n_cycles, dtype=np.int64)
+        self.real_cycle_positions = np.asarray(
+            self.real_cycle_positions, dtype=np.int64
+        )
+        n, c = self.periods_ns.shape
+        if self.is_real_cycle.shape != (n, c):
+            raise ConfigurationError("is_real_cycle shape mismatch")
+        if self.n_cycles.shape != (n,):
+            raise ConfigurationError("n_cycles shape mismatch")
+        if self.real_cycle_positions.ndim != 2 or self.real_cycle_positions.shape[0] != n:
+            raise ConfigurationError("real_cycle_positions shape mismatch")
+        if (self.n_cycles < self.real_cycle_positions.max(axis=1) + 1).any():
+            raise ConfigurationError(
+                "real cycle positions must lie inside the valid cycle range"
+            )
+        if (self.periods_ns <= 0).any():
+            raise ConfigurationError("all clock periods must be positive")
+
+    @property
+    def n_encryptions(self) -> int:
+        return int(self.periods_ns.shape[0])
+
+    @property
+    def max_cycles(self) -> int:
+        return int(self.periods_ns.shape[1])
+
+    def edge_times_ns(self) -> np.ndarray:
+        """Absolute time of the rising edge that *ends* each cycle.
+
+        Cycle c spans ``[cumsum[c-1], cumsum[c])``; the register latches at
+        the end of the cycle.  Padding cycles still receive monotonically
+        increasing times but carry no power.  Shape ``(n, C)``.
+        """
+        mask = (
+            np.arange(self.max_cycles)[None, :] < self.n_cycles[:, None]
+        )
+        effective = np.where(mask, self.periods_ns, 0.0)
+        return np.cumsum(effective, axis=1)
+
+    def completion_times_ns(self) -> np.ndarray:
+        """Total duration of each encryption in nanoseconds, shape ``(n,)``."""
+        edge_times = self.edge_times_ns()
+        return edge_times[np.arange(self.n_encryptions), self.n_cycles - 1]
+
+    @staticmethod
+    def constant(
+        n: int, freq_mhz: float, cycles: int = 11, metadata: Optional[dict] = None
+    ) -> "ClockSchedule":
+        """Schedule for ``n`` encryptions on one constant clock (unprotected)."""
+        if cycles < 11:
+            raise ConfigurationError("an AES-128 encryption needs at least 11 cycles")
+        period = freq_mhz_to_period_ns(freq_mhz)
+        return ClockSchedule(
+            periods_ns=np.full((n, cycles), period),
+            is_real_cycle=np.ones((n, cycles), dtype=bool),
+            n_cycles=np.full(n, cycles, dtype=np.int64),
+            real_cycle_positions=np.tile(np.arange(11), (n, 1)),
+            metadata=dict(metadata or {}),
+        )
+
+    @staticmethod
+    def from_period_matrix(
+        periods_ns: Sequence[Sequence[float]], metadata: Optional[dict] = None
+    ) -> "ClockSchedule":
+        """Schedule where every cycle is a real datapath cycle (no dummies)."""
+        periods = np.asarray(periods_ns, dtype=np.float64)
+        if periods.ndim != 2 or periods.shape[1] < 11:
+            raise ConfigurationError(
+                "period matrix must be (n, >=11): one column per AES cycle"
+            )
+        n, c = periods.shape
+        return ClockSchedule(
+            periods_ns=periods,
+            is_real_cycle=np.ones((n, c), dtype=bool),
+            n_cycles=np.full(n, c, dtype=np.int64),
+            real_cycle_positions=np.tile(np.arange(11), (n, 1)),
+            metadata=dict(metadata or {}),
+        )

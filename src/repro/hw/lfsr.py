@@ -1,0 +1,198 @@
+"""Linear-feedback shift registers.
+
+The paper selects MMCM configurations with a 128-bit LFSR implemented in
+fabric (Sec. 6).  Both Fibonacci (external XOR) and Galois (internal XOR)
+forms are provided; :class:`Lfsr128` is the ready-made 128-bit generator
+with a maximal-length tap set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Maximal-length tap positions (1-indexed, as in Xilinx XAPP052 convention)
+#: for common register widths.  Taps are the bits XORed to form the feedback.
+MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    32: (32, 22, 2, 1),
+    64: (64, 63, 61, 60),
+    128: (128, 126, 101, 99),
+}
+
+
+def _check_taps(width: int, taps: Sequence[int]) -> Tuple[int, ...]:
+    if width <= 0:
+        raise ConfigurationError("LFSR width must be positive")
+    taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+    if not taps:
+        raise ConfigurationError("LFSR requires at least one tap")
+    if taps[0] != width:
+        raise ConfigurationError(
+            f"highest tap must equal the register width ({width}), got {taps[0]}"
+        )
+    if taps[-1] < 1:
+        raise ConfigurationError("tap positions are 1-indexed and must be >= 1")
+    return taps
+
+
+class FibonacciLfsr:
+    """Fibonacci (many-to-one) LFSR.
+
+    The feedback bit is the XOR of the tap bits and is shifted into bit 1;
+    the output bit is bit ``width``.  State value 0 is illegal (the LFSR
+    would lock up) and is rejected.
+    """
+
+    def __init__(self, width: int, taps: Sequence[int] = (), seed: int = 1):
+        if not taps:
+            if width not in MAXIMAL_TAPS:
+                raise ConfigurationError(
+                    f"no built-in maximal taps for width {width}; pass taps explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        self.width = int(width)
+        self.taps = _check_taps(self.width, taps)
+        self._mask = (1 << self.width) - 1
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        """Load a new state; must be a nonzero ``width``-bit value."""
+        seed = int(seed) & self._mask
+        if seed == 0:
+            raise ConfigurationError("LFSR seed must be nonzero")
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def step(self) -> int:
+        """Advance one cycle; return the output bit (MSB before the shift)."""
+        out = (self._state >> (self.width - 1)) & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & self._mask
+        return out
+
+    def next_bits(self, count: int) -> int:
+        """Return ``count`` output bits packed MSB-first into an int."""
+        if count < 0:
+            raise ConfigurationError("bit count must be >= 0")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.step()
+        return value
+
+    def next_uint(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` by rejection sampling.
+
+        Mirrors how fabric RNGs are used: draw ceil(log2(bound)) bits and
+        retry on overflow, so the distribution stays unbiased even when
+        ``bound`` is not a power of two.
+        """
+        if bound <= 0:
+            raise ConfigurationError("bound must be positive")
+        if bound == 1:
+            return 0
+        nbits = (bound - 1).bit_length()
+        while True:
+            value = self.next_bits(nbits)
+            if value < bound:
+                return value
+
+
+class GaloisLfsr:
+    """Galois (one-to-many) LFSR — the cheap-in-fabric form.
+
+    Equivalent sequence to the Fibonacci form with the same polynomial but
+    shifted taps; one XOR per tap directly inside the register chain.
+    """
+
+    def __init__(self, width: int, taps: Sequence[int] = (), seed: int = 1):
+        if not taps:
+            if width not in MAXIMAL_TAPS:
+                raise ConfigurationError(
+                    f"no built-in maximal taps for width {width}; pass taps explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        self.width = int(width)
+        self.taps = _check_taps(self.width, taps)
+        self._mask = (1 << self.width) - 1
+        # Galois stepping is multiplication by x modulo the characteristic
+        # polynomial: when the x^(width-1) bit shifts out, XOR in the
+        # polynomial's remaining terms — x^t contributes bit t for each tap
+        # t < width, plus the constant term (bit 0).
+        self._tap_mask = 1
+        for tap in self.taps:
+            if tap != self.width:
+                self._tap_mask |= 1 << tap
+        self.reseed(seed)
+
+    def reseed(self, seed: int) -> None:
+        seed = int(seed) & self._mask
+        if seed == 0:
+            raise ConfigurationError("LFSR seed must be nonzero")
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def step(self) -> int:
+        """Advance one cycle; return the bit shifted out (the MSB)."""
+        out = (self._state >> (self.width - 1)) & 1
+        self._state = (self._state << 1) & self._mask
+        if out:
+            self._state ^= self._tap_mask
+        return out
+
+    def next_bits(self, count: int) -> int:
+        if count < 0:
+            raise ConfigurationError("bit count must be >= 0")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.step()
+        return value
+
+    def next_uint(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` by rejection sampling."""
+        if bound <= 0:
+            raise ConfigurationError("bound must be positive")
+        if bound == 1:
+            return 0
+        nbits = (bound - 1).bit_length()
+        while True:
+            value = self.next_bits(nbits)
+            if value < bound:
+                return value
+
+
+class Lfsr128(FibonacciLfsr):
+    """The paper's 128-bit LFSR (Sec. 6) with maximal-length taps.
+
+    Used to pick one of P block-RAM configurations (10 bits for P = 1024)
+    and one of M clock outputs (2 bits for M = 3) per round.
+    """
+
+    def __init__(self, seed: int = 0x1234_5678_9ABC_DEF0_0FED_CBA9_8765_4321):
+        super().__init__(128, MAXIMAL_TAPS[128], seed)
+
+    def sequence_uints(self, bound: int, count: int) -> List[int]:
+        """Convenience batch draw of ``count`` uniform ints in ``[0, bound)``."""
+        return [self.next_uint(bound) for _ in range(count)]
+
+
+def bit_stream_to_array(lfsr: FibonacciLfsr, count: int) -> np.ndarray:
+    """Materialize ``count`` output bits as a uint8 numpy array (testing aid)."""
+    return np.array([lfsr.step() for _ in range(count)], dtype=np.uint8)

@@ -1,0 +1,18 @@
+"""Leakage assessment: TVLA (Welch t-test) and per-sample SNR."""
+
+from repro.leakage_assessment.snr import partition_snr, worst_case_snr
+from repro.leakage_assessment.tvla import (
+    TVLA_THRESHOLD,
+    TvlaResult,
+    IncrementalTvla,
+    tvla_fixed_vs_random,
+)
+
+__all__ = [
+    "partition_snr",
+    "worst_case_snr",
+    "TVLA_THRESHOLD",
+    "TvlaResult",
+    "IncrementalTvla",
+    "tvla_fixed_vs_random",
+]

@@ -1,0 +1,28 @@
+"""Synthetic power-measurement channel.
+
+Replaces the paper's SASEBO-GIII shunt + Agilent DSO-X 2012A: the AES
+datapath model supplies per-cycle register switching (Hamming distances),
+the countermeasure supplies per-cycle clock periods, and this package turns
+them into sampled, band-limited, noisy voltage traces — the exact channel
+CPA/DTW/PCA/FFT/TVLA consume.
+"""
+
+from repro.power.acquisition import AcquisitionCampaign, ProtectedAesDevice, TraceSet
+from repro.power.leakage import (
+    HammingDistanceLeakage,
+    HammingWeightLeakage,
+    LeakageModel,
+)
+from repro.power.scope import Oscilloscope
+from repro.power.synth import TraceSynthesizer
+
+__all__ = [
+    "AcquisitionCampaign",
+    "ProtectedAesDevice",
+    "TraceSet",
+    "HammingDistanceLeakage",
+    "HammingWeightLeakage",
+    "LeakageModel",
+    "Oscilloscope",
+    "TraceSynthesizer",
+]

@@ -1,0 +1,233 @@
+"""Trace-acquisition campaigns: the software stand-in for the lab bench.
+
+``ProtectedAesDevice`` wires a countermeasure (anything with a
+``schedule(n) -> ClockSchedule`` method — the RFTC controller or any of the
+baselines) to the AES datapath, a leakage model, the analog synthesizer and
+the scope.  ``AcquisitionCampaign`` runs it: generate plaintexts, produce
+the clock schedule, render traces, and return everything an attack or a
+TVLA evaluation needs as a :class:`TraceSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Protocol, Union
+
+import numpy as np
+
+from repro.crypto.datapath import AesDatapath
+from repro.errors import AcquisitionError, ConfigurationError
+from repro.hw.clock import ClockSchedule
+from repro.power.leakage import HammingDistanceLeakage, LeakageModel
+from repro.power.scope import Oscilloscope
+from repro.power.synth import TraceSynthesizer
+
+
+class Countermeasure(Protocol):
+    """Anything that can clock the AES core for a batch of encryptions."""
+
+    def schedule(self, n_encryptions: int) -> ClockSchedule:
+        ...
+
+
+@dataclass
+class TraceSet:
+    """One acquisition campaign's output.
+
+    Attributes
+    ----------
+    traces:
+        ``(n, S)`` scope samples.
+    plaintexts / ciphertexts:
+        ``(n, 16)`` uint8.
+    key:
+        The device key (ground truth for evaluating attacks; a real
+        adversary does not get this, the success-rate machinery does).
+    completion_times_ns:
+        Per-encryption durations, for completion-time statistics.
+    sample_period_ns:
+        Scope sample spacing, for time-axis bookkeeping.
+    metadata:
+        Countermeasure-specific extras (set indices, stall times...).
+    """
+
+    traces: np.ndarray
+    plaintexts: np.ndarray
+    ciphertexts: np.ndarray
+    key: bytes
+    completion_times_ns: np.ndarray
+    sample_period_ns: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.traces.shape[0]
+        if self.plaintexts.shape != (n, 16) or self.ciphertexts.shape != (n, 16):
+            raise ConfigurationError("plaintexts/ciphertexts must be (n, 16)")
+        if self.completion_times_ns.shape != (n,):
+            raise ConfigurationError("completion_times_ns must be (n,)")
+        if len(self.key) != 16:
+            raise ConfigurationError("key must be 16 bytes")
+
+    @property
+    def n_traces(self) -> int:
+        return int(self.traces.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.traces.shape[1])
+
+    def subset(self, indices: np.ndarray) -> "TraceSet":
+        """A view-like subset (arrays are fancy-indexed copies)."""
+        indices = np.asarray(indices)
+        return TraceSet(
+            traces=self.traces[indices],
+            plaintexts=self.plaintexts[indices],
+            ciphertexts=self.ciphertexts[indices],
+            key=self.key,
+            completion_times_ns=self.completion_times_ns[indices],
+            sample_period_ns=self.sample_period_ns,
+            metadata=dict(self.metadata),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to an ``.npz`` archive."""
+        np.savez_compressed(
+            Path(path),
+            traces=self.traces,
+            plaintexts=self.plaintexts,
+            ciphertexts=self.ciphertexts,
+            key=np.frombuffer(self.key, dtype=np.uint8),
+            completion_times_ns=self.completion_times_ns,
+            sample_period_ns=np.array(self.sample_period_ns),
+        )
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "TraceSet":
+        """Load a set previously stored with :meth:`save`."""
+        data = np.load(Path(path))
+        return TraceSet(
+            traces=data["traces"],
+            plaintexts=data["plaintexts"],
+            ciphertexts=data["ciphertexts"],
+            key=bytes(data["key"]),
+            completion_times_ns=data["completion_times_ns"],
+            sample_period_ns=float(data["sample_period_ns"]),
+        )
+
+
+class ProtectedAesDevice:
+    """AES core + countermeasure + measurement chain.
+
+    Parameters
+    ----------
+    key:
+        The 16-byte device key.
+    countermeasure:
+        Clock scheduler (RFTC controller or a baseline).
+    leakage / synthesizer / scope:
+        Measurement-chain stages; defaults model the paper's bench with the
+        SNR scaled for laptop-feasible trace counts (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        countermeasure: Countermeasure,
+        leakage: Optional[LeakageModel] = None,
+        synthesizer: Optional[TraceSynthesizer] = None,
+        scope: Optional[Oscilloscope] = None,
+    ):
+        self.datapath = AesDatapath(key)
+        self.countermeasure = countermeasure
+        self.leakage = leakage if leakage is not None else HammingDistanceLeakage()
+        self.synthesizer = (
+            synthesizer if synthesizer is not None else TraceSynthesizer()
+        )
+        self.scope = scope if scope is not None else Oscilloscope()
+        if abs(self.scope.sample_rate_msps - self.synthesizer.sample_rate_msps) > 1e-9:
+            raise ConfigurationError(
+                "scope and synthesizer must agree on the sample rate"
+            )
+
+    @property
+    def key(self) -> bytes:
+        return self.datapath.key
+
+    def run(
+        self, plaintexts: np.ndarray, rng: np.random.Generator
+    ) -> TraceSet:
+        """Encrypt each plaintext once and capture the power trace."""
+        plaintexts = np.ascontiguousarray(plaintexts, dtype=np.uint8)
+        if plaintexts.ndim != 2 or plaintexts.shape[1] != 16:
+            raise AcquisitionError("plaintexts must be (n, 16) uint8")
+        n = plaintexts.shape[0]
+        schedule = self.countermeasure.schedule(n)
+        if schedule.n_encryptions != n:
+            raise AcquisitionError(
+                "countermeasure returned a schedule of the wrong length"
+            )
+        ciphertexts = self.datapath.batch_ciphertexts(plaintexts)
+        # Back-to-back encryptions: the register holds the previous
+        # ciphertext when the next plaintext loads (Fig. 2 timeline).
+        previous = np.vstack([np.zeros((1, 16), dtype=np.uint8), ciphertexts[:-1]])
+        amplitudes = self.leakage.cycle_amplitudes(
+            schedule, self.datapath, plaintexts, previous, rng
+        )
+        analog = self.synthesizer.synthesize(schedule, amplitudes, rng=rng)
+        traces = self.scope.capture(analog, rng)
+        return TraceSet(
+            traces=traces,
+            plaintexts=plaintexts,
+            ciphertexts=ciphertexts,
+            key=self.key,
+            completion_times_ns=schedule.completion_times_ns(),
+            sample_period_ns=self.synthesizer.dt_ns,
+            metadata=dict(schedule.metadata),
+        )
+
+
+class AcquisitionCampaign:
+    """Plaintext generation + device runs, with TVLA-style fixed/random splits."""
+
+    def __init__(self, device: ProtectedAesDevice, seed: Optional[int] = None):
+        self.device = device
+        self._rng = np.random.default_rng(seed)
+
+    def random_plaintexts(self, n: int) -> np.ndarray:
+        """Uniform random 16-byte plaintexts."""
+        if n < 1:
+            raise AcquisitionError("n must be >= 1")
+        return self._rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+
+    def collect(self, n: int) -> TraceSet:
+        """Known-plaintext campaign (the CPA threat model of Sec. 2)."""
+        return self.device.run(self.random_plaintexts(n), self._rng)
+
+    def collect_fixed(self, n: int, plaintext: bytes) -> TraceSet:
+        """Fixed-plaintext campaign (one TVLA population)."""
+        if len(plaintext) != 16:
+            raise AcquisitionError("fixed plaintext must be 16 bytes")
+        fixed = np.tile(np.frombuffer(plaintext, dtype=np.uint8), (n, 1))
+        return self.device.run(fixed, self._rng)
+
+    def collect_fixed_vs_random(
+        self, n_per_group: int, plaintext: bytes
+    ) -> "tuple[TraceSet, TraceSet]":
+        """Interleaved fixed/random populations for TVLA.
+
+        Interleaving (rather than two back-to-back campaigns) is TVLA best
+        practice: it decorrelates environment drift from the populations.
+        Here both groups run through one device schedule stream, so RFTC's
+        reconfiguration pipeline states are shared across groups as on real
+        hardware.
+        """
+        if len(plaintext) != 16:
+            raise AcquisitionError("fixed plaintext must be 16 bytes")
+        total = 2 * n_per_group
+        pts = self.random_plaintexts(total)
+        fixed_rows = np.arange(0, total, 2)
+        pts[fixed_rows] = np.frombuffer(plaintext, dtype=np.uint8)
+        combined = self.device.run(pts, self._rng)
+        random_rows = np.arange(1, total, 2)
+        return combined.subset(fixed_rows), combined.subset(random_rows)

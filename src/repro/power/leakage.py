@@ -1,0 +1,165 @@
+"""Leakage models: how register activity becomes current amplitude.
+
+CMOS dynamic power is dominated by node switching, so the canonical FPGA
+leakage model (Mangard et al., "Power Analysis Attacks") makes the current
+drawn at a clock edge an affine function of the Hamming distance between
+consecutive register states, plus key-independent switching (control logic,
+clock tree) and amplitude noise.  :class:`HammingDistanceLeakage` implements
+that; :class:`HammingWeightLeakage` is the simpler value-based model some
+ASIC targets follow, kept for comparison studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.crypto.datapath import AesDatapath
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule
+from repro.utils.bitops import HW8
+
+#: Register width of the AES-128 datapath; dummy cycles toggle ~half of it.
+REGISTER_BITS = 128
+
+
+class LeakageModel(Protocol):
+    """Maps an encryption batch onto per-cycle current amplitudes."""
+
+    def cycle_amplitudes(
+        self,
+        schedule: ClockSchedule,
+        datapath: AesDatapath,
+        plaintexts: np.ndarray,
+        previous_ciphertexts: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return ``(n, C)`` amplitudes aligned with ``schedule.periods_ns``."""
+        ...
+
+
+class HammingDistanceLeakage:
+    """Hamming-distance leakage of the round register (the FPGA model).
+
+    amplitude = ``alpha * HD + baseline + N(0, amplitude_noise)``
+
+    Dummy cycles (RCDD-style inserted operations) still clock the datapath
+    on unrelated data, so they draw a binomial(``REGISTER_BITS``, 1/2)
+    switching amplitude — indistinguishable in magnitude from real rounds,
+    exactly why dummy-cycle countermeasures misalign rather than hide.
+
+    Parameters
+    ----------
+    alpha:
+        Current per toggled register bit (arbitrary units; the scope model
+        scales to volts).
+    baseline:
+        Key-independent per-edge current (clock tree, control).
+    amplitude_noise:
+        Gaussian sigma of per-edge electronic amplitude noise.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        baseline: float = 20.0,
+        amplitude_noise: float = 4.0,
+    ):
+        if alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if baseline < 0 or amplitude_noise < 0:
+            raise ConfigurationError("baseline and amplitude_noise must be >= 0")
+        self.alpha = float(alpha)
+        self.baseline = float(baseline)
+        self.amplitude_noise = float(amplitude_noise)
+
+    def cycle_amplitudes(
+        self,
+        schedule: ClockSchedule,
+        datapath: AesDatapath,
+        plaintexts: np.ndarray,
+        previous_ciphertexts: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n, c = schedule.periods_ns.shape
+        if plaintexts.shape != (n, 16):
+            raise ConfigurationError(
+                f"plaintexts shape {plaintexts.shape} does not match schedule ({n})"
+            )
+        hd = datapath.batch_hamming_distances(plaintexts, previous_ciphertexts)
+        amplitudes = np.zeros((n, c), dtype=np.float64)
+        # Dummy cycles: unrelated data through the same register.
+        dummy_mask = ~schedule.is_real_cycle
+        valid = np.arange(c)[None, :] < schedule.n_cycles[:, None]
+        dummy_mask &= valid
+        n_dummy = int(dummy_mask.sum())
+        if n_dummy:
+            amplitudes[dummy_mask] = rng.binomial(
+                REGISTER_BITS, 0.5, size=n_dummy
+            ).astype(np.float64)
+        rows = np.arange(n)[:, None]
+        amplitudes[rows, schedule.real_cycle_positions] = hd
+        amplitudes = self.alpha * amplitudes + self.baseline
+        if self.amplitude_noise > 0:
+            amplitudes = amplitudes + rng.normal(0.0, self.amplitude_noise, (n, c))
+        amplitudes[~valid] = 0.0
+        return amplitudes
+
+
+class HammingWeightLeakage:
+    """Hamming-weight leakage of the register *value* after each edge.
+
+    Kept for model-comparison experiments; the paper's FPGA target leaks
+    distance, not weight.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        baseline: float = 20.0,
+        amplitude_noise: float = 4.0,
+    ):
+        if alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if baseline < 0 or amplitude_noise < 0:
+            raise ConfigurationError("baseline and amplitude_noise must be >= 0")
+        self.alpha = float(alpha)
+        self.baseline = float(baseline)
+        self.amplitude_noise = float(amplitude_noise)
+
+    def cycle_amplitudes(
+        self,
+        schedule: ClockSchedule,
+        datapath: AesDatapath,
+        plaintexts: np.ndarray,
+        previous_ciphertexts: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        from repro.crypto.datapath import batch_round_states
+
+        n, c = schedule.periods_ns.shape
+        if plaintexts.shape != (n, 16):
+            raise ConfigurationError(
+                f"plaintexts shape {plaintexts.shape} does not match schedule ({n})"
+            )
+        states = batch_round_states(
+            np.frombuffer(datapath.key, dtype=np.uint8),
+            np.asarray(plaintexts, dtype=np.uint8),
+        )
+        hw = HW8[states].sum(axis=2).astype(np.float64)  # (n, 11)
+        amplitudes = np.zeros((n, c), dtype=np.float64)
+        valid = np.arange(c)[None, :] < schedule.n_cycles[:, None]
+        dummy_mask = (~schedule.is_real_cycle) & valid
+        n_dummy = int(dummy_mask.sum())
+        if n_dummy:
+            amplitudes[dummy_mask] = rng.binomial(
+                REGISTER_BITS, 0.5, size=n_dummy
+            ).astype(np.float64)
+        rows = np.arange(n)[:, None]
+        amplitudes[rows, schedule.real_cycle_positions] = hw
+        amplitudes = self.alpha * amplitudes + self.baseline
+        if self.amplitude_noise > 0:
+            amplitudes = amplitudes + rng.normal(0.0, self.amplitude_noise, (n, c))
+        amplitudes[~valid] = 0.0
+        return amplitudes

@@ -1,0 +1,88 @@
+"""Oscilloscope model: bandwidth limit, additive noise, ADC quantization.
+
+Models the Agilent DSO-X 2012A of the experimental setup: 100 MHz analog
+bandwidth (single-pole low-pass here), Gaussian front-end noise, and an
+8-bit ADC over a fixed full-scale range.  The bandwidth limit matters to
+the attacks — it smears each current pulse over several samples, which is
+what lets CPA work without sample-perfect edge alignment and what limits
+how much information FFT preprocessing can recover at high frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Oscilloscope:
+    """Scope front-end applied to analog traces.
+
+    Attributes
+    ----------
+    sample_rate_msps:
+        Must match the synthesizer's grid (the filter constant depends on it).
+    bandwidth_mhz:
+        -3 dB analog bandwidth; 0 disables the filter.
+    noise_std:
+        Additive Gaussian noise sigma, in the same arbitrary units as the
+        leakage amplitudes (amplitude 1.0 == one register bit toggling).
+    adc_bits:
+        Quantizer resolution; 0 disables quantization.
+    full_scale:
+        ADC full-scale input amplitude; inputs clip beyond it.
+    """
+
+    sample_rate_msps: float = 250.0
+    bandwidth_mhz: float = 100.0
+    noise_std: float = 2.0
+    adc_bits: int = 8
+    full_scale: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_msps <= 0:
+            raise ConfigurationError("sample_rate_msps must be positive")
+        if self.bandwidth_mhz < 0 or self.noise_std < 0:
+            raise ConfigurationError("bandwidth and noise must be >= 0")
+        if self.adc_bits < 0 or self.adc_bits > 16:
+            raise ConfigurationError("adc_bits must be within [0, 16]")
+        if self.full_scale <= 0:
+            raise ConfigurationError("full_scale must be positive")
+
+    def capture(
+        self, analog: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Apply bandwidth, noise and quantization to ``(n, S)`` traces."""
+        traces = np.asarray(analog, dtype=np.float64)
+        if traces.ndim != 2:
+            raise ConfigurationError("analog traces must be a 2-D matrix")
+        if self.bandwidth_mhz > 0:
+            traces = self._lowpass(traces)
+        if self.noise_std > 0:
+            if rng is None:
+                raise ConfigurationError(
+                    "an rng is required when noise_std > 0"
+                )
+            traces = traces + rng.normal(0.0, self.noise_std, traces.shape)
+        if self.adc_bits > 0:
+            traces = self._quantize(traces)
+        return traces
+
+    def _lowpass(self, traces: np.ndarray) -> np.ndarray:
+        """Single-pole IIR low-pass at the -3 dB bandwidth."""
+        dt_s = 1e-6 / self.sample_rate_msps
+        rc = 1.0 / (2.0 * np.pi * self.bandwidth_mhz * 1e6)
+        alpha = dt_s / (rc + dt_s)
+        return lfilter([alpha], [1.0, alpha - 1.0], traces, axis=1)
+
+    def _quantize(self, traces: np.ndarray) -> np.ndarray:
+        """Mid-rise quantization onto ``2**adc_bits`` levels over the range."""
+        levels = 2**self.adc_bits
+        lsb = self.full_scale / levels
+        clipped = np.clip(traces, 0.0, self.full_scale - lsb / 2)
+        return np.round(clipped / lsb) * lsb

@@ -1,0 +1,34 @@
+"""Trace preprocessing used to attack randomization countermeasures.
+
+Each preprocessor is a callable ``(traces) -> transformed_traces`` suitable
+for :func:`repro.attacks.success_rate.success_rate_curve`'s ``preprocess``
+hook: DTW elastic alignment [22], PCA projection [12, 20], FFT magnitude
+[16, 17], and simple static alignment.
+"""
+
+from repro.preprocess.align import normalize_traces, static_align
+from repro.preprocess.dtw import (
+    DtwAligner,
+    batch_dtw_align,
+    dtw_align,
+    dtw_distance,
+    dtw_path,
+)
+from repro.preprocess.fft import FftPreprocessor, fft_magnitude
+from repro.preprocess.pca import PcaPreprocessor
+from repro.preprocess.ram import RapidAligner, select_reference_pattern
+
+__all__ = [
+    "normalize_traces",
+    "static_align",
+    "DtwAligner",
+    "batch_dtw_align",
+    "dtw_align",
+    "dtw_distance",
+    "dtw_path",
+    "FftPreprocessor",
+    "fft_magnitude",
+    "PcaPreprocessor",
+    "RapidAligner",
+    "select_reference_pattern",
+]

@@ -1,0 +1,63 @@
+"""Static (rigid-shift) alignment and normalization utilities.
+
+Rigid cross-correlation alignment is the cheapest realignment attack; it
+cannot help against per-round randomization (the misalignment is not a
+single shift) but serves as a sanity baseline and as a pre-stage for DTW.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AttackError, ConfigurationError
+
+
+def normalize_traces(traces: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance per trace (constant traces stay zero)."""
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise AttackError("traces must be (n, S)")
+    centered = traces - traces.mean(axis=1, keepdims=True)
+    std = centered.std(axis=1, keepdims=True)
+    std[std == 0] = 1.0
+    return centered / std
+
+
+def _best_shift(reference: np.ndarray, trace: np.ndarray, max_shift: int) -> int:
+    """Shift (in samples) maximizing cross-correlation with the reference."""
+    corr = np.correlate(trace, reference, mode="full")
+    center = reference.size - 1
+    lo = center - max_shift
+    hi = center + max_shift + 1
+    window = corr[lo:hi]
+    return int(np.argmax(window)) - max_shift
+
+
+def static_align(
+    traces: np.ndarray,
+    reference: Optional[np.ndarray] = None,
+    max_shift: int = 32,
+) -> np.ndarray:
+    """Rigidly shift every trace to best match a reference.
+
+    Samples shifted in from outside the window are zero-filled.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise AttackError("traces must be (n, S)")
+    if max_shift < 0 or max_shift >= traces.shape[1]:
+        raise ConfigurationError(
+            "max_shift must be within [0, n_samples)"
+        )
+    ref = traces.mean(axis=0) if reference is None else np.asarray(reference)
+    out = np.zeros_like(traces)
+    s = traces.shape[1]
+    for k in range(traces.shape[0]):
+        shift = _best_shift(ref, traces[k], max_shift)
+        if shift >= 0:
+            out[k, : s - shift] = traces[k, shift:]
+        else:
+            out[k, -shift:] = traces[k, : s + shift]
+    return out

@@ -1,0 +1,89 @@
+"""RFTC design parameters and their hardware-imposed validation.
+
+The paper writes an implementation as RFTC(M, P): M clock outputs used per
+MMCM, P stored frequency sets.  N is the number of MMCMs (2 on the
+SASEBO-GIII build: one drives while the other reconfigures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hw.mmcm import KINTEX7_SPEC, MAX_OUTPUTS, MmcmTimingSpec
+
+#: The paper could not route M > 3 on the Kintex-7 (Sec. 7: ISE place and
+#: route failed, attributed to BUFG congestion); the model allows up to the
+#: MMCM's physical 7 outputs but flags the routable limit.
+ROUTABLE_M_LIMIT = 3
+
+
+@dataclass(frozen=True)
+class RFTCParams:
+    """Parameters of one RFTC(M, P) implementation.
+
+    Attributes
+    ----------
+    m_outputs:
+        M — MMCM clock outputs multiplexed per round (paper: 1, 2 or 3).
+    p_configs:
+        P — frequency sets stored in block RAM (paper: 4 .. 1024).
+    n_mmcms:
+        N — MMCMs ping-ponged between driving and reconfiguring.
+    f_in_mhz:
+        Board reference clock (SASEBO-GIII: 24 MHz).
+    f_lo_mhz / f_hi_mhz:
+        Random frequency window (paper: 0.5x .. 2x the reference clock).
+    rounds:
+        R — clock cycles per encryption for the protected circuit
+        (Hodjat AES: 10 round cycles).
+    drp_clk_mhz:
+        DRP state-machine clock (paper: the 24 MHz board clock).
+    enforce_routable:
+        Reject M beyond what the paper could place and route.
+    """
+
+    m_outputs: int = 3
+    p_configs: int = 1024
+    n_mmcms: int = 2
+    f_in_mhz: float = 24.0
+    f_lo_mhz: float = 12.0
+    f_hi_mhz: float = 48.0
+    rounds: int = 10
+    drp_clk_mhz: float = 24.0
+    enforce_routable: bool = True
+    spec: MmcmTimingSpec = field(default=KINTEX7_SPEC, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.m_outputs <= MAX_OUTPUTS:
+            raise ConfigurationError(
+                f"M must be in [1, {MAX_OUTPUTS}], got {self.m_outputs}"
+            )
+        if self.enforce_routable and self.m_outputs > ROUTABLE_M_LIMIT:
+            raise ConfigurationError(
+                f"M = {self.m_outputs} exceeds the routable limit of "
+                f"{ROUTABLE_M_LIMIT} observed in the paper; pass "
+                "enforce_routable=False to model it anyway"
+            )
+        if self.p_configs < 1:
+            raise ConfigurationError(f"P must be >= 1, got {self.p_configs}")
+        if self.n_mmcms < 1:
+            raise ConfigurationError(f"N must be >= 1, got {self.n_mmcms}")
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.f_lo_mhz <= 0 or self.f_hi_mhz <= self.f_lo_mhz:
+            raise ConfigurationError(
+                f"need 0 < f_lo < f_hi, got [{self.f_lo_mhz}, {self.f_hi_mhz}]"
+            )
+        self.spec.validate_input(self.f_in_mhz)
+        if self.drp_clk_mhz <= 0:
+            raise ConfigurationError("drp_clk_mhz must be positive")
+
+    @property
+    def total_frequencies(self) -> int:
+        """Total distinct clock frequencies stored: M x P (paper: 3,072)."""
+        return self.m_outputs * self.p_configs
+
+    def label(self) -> str:
+        """The paper's RFTC(M, P) notation."""
+        return f"RFTC({self.m_outputs}, {self.p_configs})"

@@ -1,0 +1,41 @@
+"""Shared low-level helpers: bit manipulation, validation, statistics."""
+
+from repro.utils.bitops import (
+    HW8,
+    bytes_to_state,
+    hamming_distance,
+    hamming_weight,
+    rotl32,
+    state_to_bytes,
+    xtime,
+)
+from repro.utils.stats import (
+    column_pearson,
+    pearson,
+    running_histogram,
+    welch_t,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "HW8",
+    "bytes_to_state",
+    "hamming_distance",
+    "hamming_weight",
+    "rotl32",
+    "state_to_bytes",
+    "xtime",
+    "column_pearson",
+    "pearson",
+    "running_histogram",
+    "welch_t",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,87 @@
+"""Terminal plotting: histograms and curves without a plotting dependency.
+
+The evaluation environment is headless (no matplotlib), so figure-shaped
+results render as ASCII.  These helpers power the examples and the optional
+graphical modes of :mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 30,
+    width: int = 50,
+    label_format: str = "{:9.2f}",
+) -> str:
+    """Horizontal-bar histogram of ``values``.
+
+    One line per bin: the bin's left edge, then a bar scaled to the modal
+    bin count.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("ascii_histogram requires at least one value")
+    if bins < 1 or width < 1:
+        raise ConfigurationError("bins and width must be >= 1")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(1, counts.max())
+    lines = []
+    for count, lo in zip(counts, edges[:-1]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{label_format.format(lo)} |{bar}")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    y_range: Optional[tuple] = None,
+) -> str:
+    """Scatter/step curve on a character grid (x left-to-right, y upward)."""
+    xs = np.asarray(x, dtype=np.float64).ravel()
+    ys = np.asarray(y, dtype=np.float64).ravel()
+    if xs.size != ys.size or xs.size == 0:
+        raise ConfigurationError("x and y must be equal-length and non-empty")
+    if width < 2 or height < 2:
+        raise ConfigurationError("width and height must be >= 2")
+    y_lo, y_hi = y_range if y_range is not None else (float(ys.min()), float(ys.max()))
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    top = f"{y_hi:g}".rjust(8)
+    bottom = f"{y_lo:g}".rjust(8)
+    framed = [f"{top} +{lines[0]}"]
+    framed += [f"{'':8} |{line}" for line in lines[1:-1]]
+    framed.append(f"{bottom} +{lines[-1]}")
+    framed.append(f"{'':9}{f'{x_lo:g}'.ljust(width // 2)}{f'{x_hi:g}'.rjust(width // 2)}")
+    return "\n".join(framed)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: eight-level block characters."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("sparkline requires at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return blocks[0] * arr.size
+    idx = np.clip(((arr - lo) / (hi - lo) * (len(blocks) - 1)).round(), 0, 7)
+    return "".join(blocks[int(i)] for i in idx)

@@ -1,0 +1,191 @@
+"""Statistics primitives used by the attacks and leakage assessment.
+
+Everything here is vectorized numpy; the CPA engine correlates every key
+hypothesis against every trace sample, so the column-wise Pearson routine is
+the hot path of the whole library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError, ConfigurationError
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient between two 1-D vectors.
+
+    Returns 0.0 (rather than NaN) when either vector is constant, which is
+    the convention the CPA ranking code relies on: a constant prediction
+    carries no information and must not outrank real correlations.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ConfigurationError(
+            f"pearson requires equal-length vectors, got {x.shape} and {y.shape}"
+        )
+    if x.size < 2:
+        raise ConfigurationError("pearson requires at least 2 observations")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((xc * yc).sum() / denom)
+
+
+def column_pearson(predictions: np.ndarray, traces: np.ndarray) -> np.ndarray:
+    """Correlate each prediction column against each trace column.
+
+    Parameters
+    ----------
+    predictions:
+        ``(n_traces, n_hypotheses)`` model outputs (e.g. Hamming distances
+        for each of 256 key guesses).
+    traces:
+        ``(n_traces, n_samples)`` measured power traces.
+
+    Returns
+    -------
+    ``(n_hypotheses, n_samples)`` matrix of Pearson coefficients.  Columns
+    with zero variance on either side produce 0.0 entries.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    traces = np.asarray(traces, dtype=np.float64)
+    if predictions.ndim != 2 or traces.ndim != 2:
+        raise ConfigurationError("column_pearson requires 2-D inputs")
+    if predictions.shape[0] != traces.shape[0]:
+        raise ConfigurationError(
+            "predictions and traces must agree on the number of traces: "
+            f"{predictions.shape[0]} vs {traces.shape[0]}"
+        )
+    n = predictions.shape[0]
+    if n < 2:
+        raise AttackError("column_pearson requires at least 2 traces")
+
+    p_centered = predictions - predictions.mean(axis=0, keepdims=True)
+    t_centered = traces - traces.mean(axis=0, keepdims=True)
+    p_norm = np.sqrt((p_centered * p_centered).sum(axis=0))
+    t_norm = np.sqrt((t_centered * t_centered).sum(axis=0))
+    cov = p_centered.T @ t_centered
+    denom = np.outer(p_norm, t_norm)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.where(denom > 0.0, cov / denom, 0.0)
+    return corr
+
+
+def welch_t(group_a: np.ndarray, group_b: np.ndarray) -> np.ndarray:
+    """Welch's t-statistic per sample between two groups of traces.
+
+    Parameters are ``(n_a, n_samples)`` and ``(n_b, n_samples)`` matrices.
+    Returns a length ``n_samples`` vector.  Zero-variance samples yield 0.0
+    when the means agree and ±inf otherwise, matching scipy's behaviour but
+    without the per-call overhead.
+    """
+    a = np.asarray(group_a, dtype=np.float64)
+    b = np.asarray(group_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ConfigurationError("welch_t requires 2-D trace matrices")
+    if a.shape[1] != b.shape[1]:
+        raise ConfigurationError(
+            f"groups must share the sample axis: {a.shape[1]} vs {b.shape[1]}"
+        )
+    if a.shape[0] < 2 or b.shape[0] < 2:
+        raise AttackError("welch_t requires at least 2 traces per group")
+    mean_a = a.mean(axis=0)
+    mean_b = b.mean(axis=0)
+    var_a = a.var(axis=0, ddof=1)
+    var_b = b.var(axis=0, ddof=1)
+    denom = np.sqrt(var_a / a.shape[0] + var_b / b.shape[0])
+    diff = mean_a - mean_b
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.where(
+            denom > 0.0,
+            diff / denom,
+            np.where(diff == 0.0, 0.0, np.sign(diff) * np.inf),
+        )
+    return t
+
+
+def welch_degrees_of_freedom(group_a: np.ndarray, group_b: np.ndarray) -> np.ndarray:
+    """Welch–Satterthwaite degrees of freedom per sample."""
+    a = np.asarray(group_a, dtype=np.float64)
+    b = np.asarray(group_b, dtype=np.float64)
+    va = a.var(axis=0, ddof=1) / a.shape[0]
+    vb = b.var(axis=0, ddof=1) / b.shape[0]
+    num = (va + vb) ** 2
+    den = va**2 / (a.shape[0] - 1) + vb**2 / (b.shape[0] - 1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(den > 0.0, num / den, np.inf)
+
+
+@dataclass
+class RunningMoments:
+    """Streaming mean/variance accumulator (Welford), per sample point.
+
+    Used by the incremental TVLA engine so million-trace campaigns never
+    hold the full trace matrix in memory.
+    """
+
+    count: int = 0
+    _mean: Optional[np.ndarray] = field(default=None, repr=False)
+    _m2: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def update(self, traces: np.ndarray) -> None:
+        """Fold a ``(n, n_samples)`` batch (or a single trace) into the stats."""
+        batch = np.atleast_2d(np.asarray(traces, dtype=np.float64))
+        if self._mean is None:
+            self._mean = np.zeros(batch.shape[1])
+            self._m2 = np.zeros(batch.shape[1])
+        elif batch.shape[1] != self._mean.shape[0]:
+            raise ConfigurationError(
+                "batch sample count does not match accumulator width"
+            )
+        for row in batch:
+            self.count += 1
+            delta = row - self._mean
+            self._mean += delta / self.count
+            self._m2 += delta * (row - self._mean)
+
+    @property
+    def mean(self) -> np.ndarray:
+        if self._mean is None:
+            raise AttackError("no data accumulated")
+        return self._mean.copy()
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Sample variance (ddof=1)."""
+        if self._m2 is None or self.count < 2:
+            raise AttackError("variance requires at least 2 observations")
+        return self._m2 / (self.count - 1)
+
+
+def running_histogram(
+    values: np.ndarray,
+    bins: int,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram helper returning (counts, bin_edges) like ``np.histogram``.
+
+    Exists so experiment code has one audited place to histogram completion
+    times (Fig. 3) with consistent defaults.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ConfigurationError("running_histogram requires at least one value")
+    if bins <= 0:
+        raise ConfigurationError("bins must be positive")
+    return np.histogram(values, bins=bins, range=value_range)
+
+
+def max_abs(values: np.ndarray) -> float:
+    """Maximum absolute value of an array (0.0 for empty input)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.abs(arr).max())

@@ -1,0 +1,73 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` so that user-facing
+constructors fail with one consistent exception type.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Require ``value`` to be a real number > 0; return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Require ``value`` to be a real number >= 0; return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(name: str, value: Any) -> int:
+    """Require ``value`` to be an integer > 0; return it as int."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(name: str, value: Any) -> int:
+    """Require ``value`` to be an integer >= 0; return it as int."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return int(value)
+
+
+def check_in_range(name: str, value: Any, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; return value as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not (lo <= value <= hi):
+        raise ConfigurationError(
+            f"{name} must be within [{lo}, {hi}], got {value!r}"
+        )
+    return float(value)
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Require ``value`` to be a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_byte(name: str, value: Any) -> int:
+    """Require ``value`` to be an integer in [0, 255]."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= value <= 255:
+        raise ConfigurationError(f"{name} must be a byte in [0, 255], got {value!r}")
+    return int(value)

@@ -1,0 +1,121 @@
+"""CPA engine: recovery on synthetic leakage, ranking, plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import CpaByteResult, cpa_attack, cpa_byte
+from repro.attacks.models import (
+    expand_last_round_key,
+    first_round_hw_predictions,
+    last_round_hd_predictions,
+)
+from repro.errors import AttackError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def synthetic_last_round_traces(rng, n=400, noise=0.5):
+    """Traces whose single sample leaks the true last-round HD byte 0."""
+    from repro.crypto.datapath import AesDatapath
+
+    dp = AesDatapath(KEY)
+    pts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+    cts = dp.batch_ciphertexts(pts)
+    rk10 = expand_last_round_key(KEY)
+    true_preds = last_round_hd_predictions(cts, 0)[:, rk10[0]].astype(float)
+    traces = np.column_stack(
+        [
+            rng.normal(0, 1, n),  # pure-noise sample
+            true_preds + rng.normal(0, noise, n),  # leaking sample
+            rng.normal(0, 1, n),
+        ]
+    )
+    return traces, cts, rk10
+
+
+class TestRecovery:
+    def test_recovers_byte_on_clean_leakage(self, rng):
+        traces, cts, rk10 = synthetic_last_round_traces(rng)
+        result = cpa_byte(traces, cts, 0)
+        assert result.best_guess == rk10[0]
+        assert result.rank_of(rk10[0]) == 0
+
+    def test_peak_at_leaking_sample(self, rng):
+        traces, cts, rk10 = synthetic_last_round_traces(rng)
+        result = cpa_byte(traces, cts, 0, keep_corr_matrix=True)
+        best_sample = np.abs(result.corr_matrix[rk10[0]]).argmax()
+        assert best_sample == 1
+
+    def test_fails_on_pure_noise(self, rng):
+        cts = rng.integers(0, 256, size=(300, 16), dtype=np.uint8)
+        traces = rng.normal(0, 1, size=(300, 4))
+        result = cpa_byte(traces, cts, 0)
+        # No guess should stand out: peak correlations stay at noise level.
+        assert result.peak_corr.max() < 0.35
+
+    def test_first_round_model(self, rng):
+        from repro.crypto.datapath import AesDatapath
+        from repro.crypto.aes_tables import SBOX
+        from repro.utils.bitops import HW8
+
+        pts = rng.integers(0, 256, size=(400, 16), dtype=np.uint8)
+        leak = HW8[SBOX[pts[:, 1] ^ KEY[1]]].astype(float)
+        traces = (leak + rng.normal(0, 0.3, 400)).reshape(-1, 1)
+        result = cpa_byte(
+            traces, pts, 1, model=first_round_hw_predictions
+        )
+        assert result.best_guess == KEY[1]
+
+
+class TestFullAttack:
+    def test_multi_byte(self, rng):
+        traces, cts, rk10 = synthetic_last_round_traces(rng, n=500)
+        result = cpa_attack(traces, cts, byte_indices=(0,))
+        assert result.recovered_bytes == [rk10[0]]
+        assert result.is_correct(rk10) or result.byte_results[0].best_guess == rk10[0]
+
+    def test_recovered_key_order(self, rng):
+        traces, cts, _ = synthetic_last_round_traces(rng, n=100)
+        result = cpa_attack(traces, cts, byte_indices=(1, 0))
+        assert len(result.recovered_key()) == 2
+        assert result.byte_results[0].byte_index == 1
+
+    def test_sample_window(self, rng):
+        traces, cts, rk10 = synthetic_last_round_traces(rng)
+        # Excluding the leaking sample destroys the attack's signal.
+        windowed = cpa_byte(traces, cts, 0, sample_window=slice(2, 3))
+        full = cpa_byte(traces, cts, 0)
+        assert full.peak_corr[rk10[0]] > windowed.peak_corr[rk10[0]]
+
+    def test_empty_byte_list_rejected(self, rng):
+        traces, cts, _ = synthetic_last_round_traces(rng, n=50)
+        with pytest.raises(AttackError):
+            cpa_attack(traces, cts, byte_indices=())
+
+
+class TestValidation:
+    def test_too_few_traces(self, rng):
+        cts = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        with pytest.raises(AttackError):
+            cpa_byte(rng.normal(size=(3, 4)), cts, 0)
+
+    def test_length_mismatch(self, rng):
+        cts = rng.integers(0, 256, size=(10, 16), dtype=np.uint8)
+        with pytest.raises(AttackError):
+            cpa_byte(rng.normal(size=(9, 4)), cts, 0)
+
+    def test_requires_2d_traces(self, rng):
+        cts = rng.integers(0, 256, size=(10, 16), dtype=np.uint8)
+        with pytest.raises(AttackError):
+            cpa_byte(rng.normal(size=10), cts, 0)
+
+    def test_rank_of_validates(self, rng):
+        traces, cts, _ = synthetic_last_round_traces(rng, n=50)
+        result = cpa_byte(traces, cts, 0)
+        with pytest.raises(AttackError):
+            result.rank_of(256)
+
+    def test_ranking_is_permutation(self, rng):
+        traces, cts, _ = synthetic_last_round_traces(rng, n=50)
+        result = cpa_byte(traces, cts, 0)
+        assert sorted(result.ranking().tolist()) == list(range(256))

@@ -1,0 +1,65 @@
+"""Key-rank metrics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import CpaByteResult, CpaResult
+from repro.attacks.guess import (
+    full_key_rank_product_log2,
+    guessing_entropy,
+    key_rank,
+)
+from repro.errors import AttackError
+
+
+def _result(byte_index=0, best=5):
+    peak = np.zeros(256)
+    peak[best] = 1.0
+    peak[(best + 1) % 256] = 0.5
+    return CpaByteResult(byte_index=byte_index, peak_corr=peak, best_guess=best)
+
+
+class TestKeyRank:
+    def test_recovered_is_rank_zero(self):
+        assert key_rank(_result(best=5), 5) == 0
+
+    def test_second_place(self):
+        assert key_rank(_result(best=5), 6) == 1
+
+    def test_worst_case(self):
+        result = CpaByteResult(
+            byte_index=0, peak_corr=np.arange(256, dtype=float), best_guess=255
+        )
+        assert key_rank(result, 0) == 255
+
+
+class TestGuessingEntropy:
+    def test_mean(self):
+        assert guessing_entropy([0, 2, 4]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AttackError):
+            guessing_entropy([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(AttackError):
+            guessing_entropy([-1])
+
+
+class TestFullKeyRank:
+    def test_perfect_attack_is_zero_bits(self):
+        results = CpaResult(byte_results=[_result(i, best=i + 1) for i in range(16)])
+        true_key = bytes(i + 1 for i in range(16))
+        assert full_key_rank_product_log2(results, true_key) == 0.0
+
+    def test_one_wrong_byte_adds_bits(self):
+        results = CpaResult(byte_results=[_result(i, best=i + 1) for i in range(16)])
+        wrong = bytearray(i + 1 for i in range(16))
+        wrong[0] = (wrong[0] + 1) % 256  # true byte ranked second
+        bits = full_key_rank_product_log2(results, bytes(wrong))
+        assert bits == pytest.approx(1.0)
+
+    def test_key_length_checked(self):
+        results = CpaResult(byte_results=[_result(0)])
+        with pytest.raises(AttackError):
+            full_key_rank_product_log2(results, b"short")

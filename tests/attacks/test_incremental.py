@@ -1,0 +1,74 @@
+"""Streaming CPA accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import cpa_byte
+from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.models import expand_last_round_key
+from repro.errors import AttackError
+
+
+class TestEquivalence:
+    def test_matches_batch_engine(self, unprotected_traceset):
+        ts = unprotected_traceset
+        batch = cpa_byte(ts.traces, ts.ciphertexts, 0, keep_corr_matrix=True)
+        inc = IncrementalCpa(byte_index=0)
+        for start in range(0, ts.n_traces, 700):
+            stop = min(start + 700, ts.n_traces)
+            inc.update(ts.traces[start:stop], ts.ciphertexts[start:stop])
+        np.testing.assert_allclose(
+            inc.correlation(), batch.corr_matrix, atol=1e-9
+        )
+        result = inc.result()
+        assert result.best_guess == batch.best_guess
+
+    def test_single_batch_equals_many(self, unprotected_traceset):
+        ts = unprotected_traceset
+        one = IncrementalCpa()
+        one.update(ts.traces, ts.ciphertexts)
+        many = IncrementalCpa()
+        for i in range(0, ts.n_traces, 123):
+            j = min(i + 123, ts.n_traces)
+            many.update(ts.traces[i:j], ts.ciphertexts[i:j])
+        np.testing.assert_allclose(
+            one.correlation(), many.correlation(), atol=1e-9
+        )
+
+    def test_recovers_key(self, unprotected_traceset):
+        ts = unprotected_traceset
+        rk10 = expand_last_round_key(ts.key)
+        inc = IncrementalCpa(byte_index=3)
+        inc.update(ts.traces, ts.ciphertexts)
+        assert inc.result().best_guess == rk10[3]
+
+
+class TestValidation:
+    def test_bad_byte_index(self):
+        with pytest.raises(AttackError):
+            IncrementalCpa(byte_index=16)
+
+    def test_result_needs_data(self):
+        with pytest.raises(AttackError):
+            IncrementalCpa().correlation()
+
+    def test_batch_shape_mismatch(self, rng):
+        inc = IncrementalCpa()
+        cts = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+        inc.update(rng.normal(size=(8, 10)), cts)
+        with pytest.raises(AttackError):
+            inc.update(rng.normal(size=(8, 11)), cts)
+
+    def test_data_length_mismatch(self, rng):
+        inc = IncrementalCpa()
+        with pytest.raises(AttackError):
+            inc.update(
+                rng.normal(size=(8, 10)),
+                rng.integers(0, 256, size=(7, 16), dtype=np.uint8),
+            )
+
+    def test_count_tracked(self, rng):
+        inc = IncrementalCpa()
+        cts = rng.integers(0, 256, size=(5, 16), dtype=np.uint8)
+        inc.update(rng.normal(size=(5, 4)), cts)
+        assert inc.n_traces == 5

@@ -1,0 +1,66 @@
+"""Mutual Information Analysis."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.mia import mia_byte, mutual_information
+from repro.attacks.models import expand_last_round_key
+from repro.errors import AttackError, ConfigurationError
+
+
+class TestMutualInformation:
+    def test_independent_is_near_zero(self, rng):
+        preds = rng.integers(0, 9, size=4000)
+        samples = rng.normal(size=4000)
+        assert mutual_information(preds, samples) < 0.02
+
+    def test_deterministic_relation_is_high(self, rng):
+        preds = rng.integers(0, 9, size=4000)
+        samples = preds + rng.normal(0, 0.01, 4000)
+        assert mutual_information(preds, samples) > 1.0
+
+    def test_nonlinear_relation_detected(self, rng):
+        """The MIA selling point: dependencies Pearson cannot see."""
+        from repro.utils.stats import pearson
+
+        preds = rng.integers(0, 9, size=6000)
+        samples = (preds - 4.0) ** 2 + rng.normal(0, 0.2, 6000)
+        assert abs(pearson(preds.astype(float), samples)) < 0.1
+        assert mutual_information(preds, samples) > 0.5
+
+    def test_validation(self, rng):
+        with pytest.raises(AttackError):
+            mutual_information(np.arange(3), np.arange(4))
+        with pytest.raises(ConfigurationError):
+            mutual_information(np.arange(10), np.arange(10.0), n_bins=1)
+
+
+class TestMiaByte:
+    def test_recovers_key_on_unprotected(self, unprotected_traceset):
+        ts = unprotected_traceset
+        rk10 = expand_last_round_key(ts.key)
+        result = mia_byte(
+            ts.traces, ts.ciphertexts, 0, sample_stride=4
+        )
+        assert result.rank_of(rk10[0]) <= 2
+
+    def test_fails_on_rftc(self, rftc_traceset):
+        ts = rftc_traceset
+        rk10 = expand_last_round_key(ts.key)
+        result = mia_byte(ts.traces, ts.ciphertexts, 0, sample_stride=4)
+        assert result.rank_of(rk10[0]) > 0
+
+    def test_scores_are_mi_values(self, unprotected_traceset):
+        ts = unprotected_traceset
+        result = mia_byte(
+            ts.traces[:500], ts.ciphertexts[:500], 0, sample_stride=8
+        )
+        assert (result.peak_corr >= 0).all()
+
+    def test_validation(self, rng):
+        cts = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+        with pytest.raises(AttackError):
+            mia_byte(rng.normal(size=(4, 8)), cts, 0)
+        cts = rng.integers(0, 256, size=(20, 16), dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            mia_byte(rng.normal(size=(20, 8)), cts, 0, sample_stride=0)

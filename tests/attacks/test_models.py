@@ -1,0 +1,93 @@
+"""Attack hypothesis models and key-schedule inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.models import (
+    expand_last_round_key,
+    first_round_hw_predictions,
+    last_round_hd_predictions,
+    recover_master_key_from_last_round,
+)
+from repro.crypto.aes import AES, expand_key
+from repro.crypto.datapath import AesDatapath
+from repro.errors import AttackError
+from repro.utils.bitops import hamming_distance
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestLastRoundModel:
+    def test_correct_guess_predicts_true_transition(self, rng):
+        """Under the true key byte, the model equals the actual register
+        byte transition of the final round — the ground truth CPA exploits."""
+        cipher = AES(KEY)
+        rk10 = expand_last_round_key(KEY)
+        pts = rng.integers(0, 256, size=(50, 16), dtype=np.uint8)
+        cts = np.array(
+            [np.frombuffer(cipher.encrypt(p.tobytes()), dtype=np.uint8) for p in pts]
+        )
+        from repro.crypto.aes_tables import SHIFT_ROWS_MAP
+
+        for byte_index in (0, 5, 15):
+            preds = last_round_hd_predictions(cts, byte_index)
+            partner = int(SHIFT_ROWS_MAP[byte_index])
+            for i in range(50):
+                states = cipher.round_states(pts[i].tobytes())
+                s9, ct = states[9], states[10]
+                true_hd = hamming_distance(s9[partner], ct[partner])
+                assert preds[i, rk10[byte_index]] == true_hd
+
+    def test_shape(self, rng):
+        cts = rng.integers(0, 256, size=(10, 16), dtype=np.uint8)
+        assert last_round_hd_predictions(cts, 0).shape == (10, 256)
+
+    def test_predictions_bounded(self, rng):
+        cts = rng.integers(0, 256, size=(20, 16), dtype=np.uint8)
+        preds = last_round_hd_predictions(cts, 3)
+        assert preds.min() >= 0 and preds.max() <= 8
+
+    def test_validation(self, rng):
+        with pytest.raises(AttackError):
+            last_round_hd_predictions(rng.integers(0, 256, (5, 15), dtype=np.uint8), 0)
+        with pytest.raises(AttackError):
+            last_round_hd_predictions(rng.integers(0, 256, (5, 16), dtype=np.uint8), 16)
+
+
+class TestFirstRoundModel:
+    def test_correct_guess_is_sbox_weight(self, rng):
+        from repro.crypto.aes_tables import SBOX
+        from repro.utils.bitops import HW8
+
+        pts = rng.integers(0, 256, size=(30, 16), dtype=np.uint8)
+        preds = first_round_hw_predictions(pts, 2)
+        k = KEY[2]
+        expected = HW8[SBOX[pts[:, 2] ^ k]]
+        np.testing.assert_array_equal(preds[:, k], expected)
+
+    def test_validation(self, rng):
+        with pytest.raises(AttackError):
+            first_round_hw_predictions(rng.integers(0, 256, (5, 16), dtype=np.uint8), -1)
+
+
+class TestKeyScheduleInversion:
+    def test_recovers_fips_key(self):
+        rk10 = expand_last_round_key(KEY)
+        assert recover_master_key_from_last_round(rk10) == KEY
+
+    def test_expand_matches_schedule(self):
+        assert expand_last_round_key(KEY) == expand_key(KEY)[10]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=16, max_size=16))
+    def test_inversion_property(self, master):
+        rk10 = expand_key(master)[10]
+        assert recover_master_key_from_last_round(rk10) == master
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            recover_master_key_from_last_round(b"short")
+        with pytest.raises(AttackError):
+            expand_last_round_key(b"short")

@@ -1,0 +1,82 @@
+"""Rank-progression curves."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.progression import (
+    RankProgression,
+    guessing_entropy_progression,
+    rank_progression,
+)
+from repro.errors import AttackError
+
+
+class TestRankProgression:
+    def test_converges_on_unprotected(self, unprotected_traceset):
+        curve = rank_progression(
+            unprotected_traceset, trace_counts=(100, 500, 1000, 2500)
+        )
+        assert curve.ranks[-1] == 0
+        assert curve.first_disclosure() is not None
+        assert curve.first_disclosure() <= 2500
+        assert curve.converging()
+
+    def test_margin_positive_once_won(self, unprotected_traceset):
+        curve = rank_progression(unprotected_traceset, trace_counts=(2500,))
+        assert curve.margins[-1] > 0
+
+    def test_stalls_on_rftc(self, rftc_traceset):
+        curve = rank_progression(
+            rftc_traceset, trace_counts=(300, 600, 1200)
+        )
+        assert curve.ranks[-1] > 0
+
+    def test_counts_sorted(self, unprotected_traceset):
+        curve = rank_progression(
+            unprotected_traceset, trace_counts=(500, 100, 500)
+        )
+        assert curve.trace_counts.tolist() == [100, 500]
+
+    def test_preprocess_applies_per_prefix(self, unprotected_traceset):
+        seen = []
+
+        def spy(traces):
+            seen.append(traces.shape[0])
+            return traces
+
+        rank_progression(
+            unprotected_traceset, trace_counts=(100, 200), preprocess=spy
+        )
+        assert seen == [100, 200]
+
+    def test_validation(self, unprotected_traceset):
+        with pytest.raises(AttackError):
+            rank_progression(unprotected_traceset, trace_counts=(2,))
+        with pytest.raises(AttackError):
+            rank_progression(unprotected_traceset, trace_counts=(10**7,))
+        curve = RankProgression(
+            trace_counts=np.array([10, 20]),
+            ranks=np.array([5, 0]),
+            margins=np.array([-0.1, 0.2]),
+            byte_index=0,
+        )
+        with pytest.raises(AttackError):
+            curve.converging()
+
+
+class TestGuessingEntropyProgression:
+    def test_decreases_on_unprotected(self, unprotected_traceset):
+        ge = guessing_entropy_progression(
+            unprotected_traceset,
+            trace_counts=(200, 2500),
+            byte_indices=(0, 1),
+        )
+        assert ge.shape == (2,)
+        assert ge[-1] < ge[0]
+        assert ge[-1] == 0.0
+
+    def test_requires_bytes(self, unprotected_traceset):
+        with pytest.raises(AttackError):
+            guessing_entropy_progression(
+                unprotected_traceset, trace_counts=(100,), byte_indices=()
+            )

@@ -1,0 +1,106 @@
+"""Sliding-window CPA."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.models import expand_last_round_key
+from repro.attacks.sliding_window import (
+    SlidingWindowPreprocessor,
+    best_window_width,
+    sliding_window_cpa,
+    sliding_window_sums,
+)
+from repro.errors import AttackError, ConfigurationError
+
+
+class TestWindowSums:
+    def test_values(self):
+        traces = np.arange(6.0).reshape(1, -1)
+        out = sliding_window_sums(traces, width=3, step=1)
+        np.testing.assert_allclose(out, [[3.0, 6.0, 9.0, 12.0]])
+
+    def test_step(self):
+        traces = np.arange(8.0).reshape(1, -1)
+        out = sliding_window_sums(traces, width=2, step=3)
+        np.testing.assert_allclose(out, [[1.0, 7.0, 13.0]])
+
+    def test_width_one_is_identity(self, rng):
+        traces = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(
+            sliding_window_sums(traces, 1, 1), traces
+        )
+
+    def test_full_width(self, rng):
+        traces = rng.normal(size=(4, 10))
+        out = sliding_window_sums(traces, 10, 1)
+        np.testing.assert_allclose(out[:, 0], traces.sum(axis=1))
+
+    def test_validation(self, rng):
+        traces = rng.normal(size=(2, 8))
+        with pytest.raises(ConfigurationError):
+            sliding_window_sums(traces, 0)
+        with pytest.raises(ConfigurationError):
+            sliding_window_sums(traces, 9)
+        with pytest.raises(ConfigurationError):
+            sliding_window_sums(traces, 2, step=0)
+        with pytest.raises(AttackError):
+            sliding_window_sums(rng.normal(size=8), 2)
+
+
+class TestPreprocessor:
+    def test_callable(self, rng):
+        traces = rng.normal(size=(6, 64))
+        out = SlidingWindowPreprocessor(width=8, step=4)(traces)
+        assert out.shape == (6, (64 - 8) // 4 + 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowPreprocessor(width=0)
+        with pytest.raises(ConfigurationError):
+            SlidingWindowPreprocessor(step=0)
+
+
+class TestJitterTolerance:
+    def _jittered_traces(self, rng, n=800, s=64, jitter=10, noise=1.0):
+        """Single-sample leak whose position jitters per trace.
+
+        The jitter spreads the leak over 2*jitter+1 positions while the
+        noise floor is high enough that no single position accumulates a
+        workable correlation at this trace count — the unstable-clock
+        regime sliding windows are built for.
+        """
+        from repro.crypto.datapath import AesDatapath
+        from repro.attacks.models import last_round_hd_predictions
+
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        dp = AesDatapath(key)
+        pts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+        cts = dp.batch_ciphertexts(pts)
+        rk10 = expand_last_round_key(key)
+        leak = last_round_hd_predictions(cts, 0)[:, rk10[0]].astype(float)
+        traces = rng.normal(0, noise, size=(n, s))
+        positions = 30 + rng.integers(-jitter, jitter + 1, size=n)
+        traces[np.arange(n), positions] += leak
+        return traces, cts, rk10
+
+    def test_windows_beat_samples_under_jitter(self, rng):
+        traces, cts, rk10 = self._jittered_traces(rng)
+        per_sample = sliding_window_cpa(traces, cts, width=1, step=1)
+        windowed = sliding_window_cpa(traces, cts, width=24, step=2)
+        rank_sample = per_sample.byte_results[0].rank_of(rk10[0])
+        rank_window = windowed.byte_results[0].rank_of(rk10[0])
+        assert rank_window < rank_sample
+        assert rank_window == 0
+
+    def test_width_sweep_reports_all(self, rng):
+        traces, cts, rk10 = self._jittered_traces(rng, n=300)
+        ranks = best_window_width(
+            traces, cts, rk10[0], widths=(1, 8, 16)
+        )
+        assert set(ranks) == {1, 8, 16}
+        assert all(0 <= r <= 255 for r in ranks.values())
+
+    def test_bad_key_byte(self, rng):
+        traces, cts, _ = self._jittered_traces(rng, n=50)
+        with pytest.raises(AttackError):
+            best_window_width(traces, cts, 256)

@@ -1,0 +1,131 @@
+"""Success-rate machinery against the shared campaign fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.success_rate import success_rate_curve, traces_to_disclosure
+from repro.errors import AttackError
+
+
+class TestCurveOnUnprotected:
+    def test_sr_reaches_one(self, unprotected_traceset):
+        curve = success_rate_curve(
+            unprotected_traceset,
+            trace_counts=(2500,),
+            n_repeats=3,
+            byte_indices=(0,),
+            rng=np.random.default_rng(0),
+        )
+        assert curve.success_rates[-1] == 1.0
+
+    def test_sr_grows_with_traces(self, unprotected_traceset):
+        curve = success_rate_curve(
+            unprotected_traceset,
+            trace_counts=(50, 2500),
+            n_repeats=4,
+            byte_indices=(0,),
+            rng=np.random.default_rng(1),
+        )
+        assert curve.success_rates[-1] >= curve.success_rates[0]
+        assert curve.mean_ranks[-1] <= curve.mean_ranks[0]
+
+    def test_disclosure_threshold(self, unprotected_traceset):
+        curve = success_rate_curve(
+            unprotected_traceset,
+            trace_counts=(50, 2500),
+            n_repeats=4,
+            byte_indices=(0,),
+            rng=np.random.default_rng(2),
+        )
+        assert curve.traces_to_disclosure(0.8) == 2500
+        assert traces_to_disclosure(curve, 0.8) == 2500
+
+    def test_never_disclosed_returns_none(self, rftc_traceset):
+        curve = success_rate_curve(
+            rftc_traceset,
+            trace_counts=(100,),
+            n_repeats=3,
+            byte_indices=(0,),
+            rng=np.random.default_rng(3),
+        )
+        if curve.success_rates[0] < 0.8:
+            assert curve.traces_to_disclosure(0.8) is None
+
+    def test_preprocessor_hook_called(self, unprotected_traceset):
+        calls = []
+
+        def spy(traces):
+            calls.append(traces.shape)
+            return traces
+
+        success_rate_curve(
+            unprotected_traceset,
+            trace_counts=(100,),
+            n_repeats=2,
+            byte_indices=(0,),
+            preprocess=spy,
+            rng=np.random.default_rng(4),
+        )
+        assert calls == [(100, 256), (100, 256)]
+
+
+class TestValidation:
+    def test_subset_larger_than_campaign(self, unprotected_traceset):
+        with pytest.raises(AttackError):
+            success_rate_curve(
+                unprotected_traceset,
+                trace_counts=(10**6,),
+                n_repeats=1,
+            )
+
+    def test_tiny_counts_rejected(self, unprotected_traceset):
+        with pytest.raises(AttackError):
+            success_rate_curve(unprotected_traceset, trace_counts=(2,), n_repeats=1)
+
+    def test_zero_repeats_rejected(self, unprotected_traceset):
+        with pytest.raises(AttackError):
+            success_rate_curve(
+                unprotected_traceset, trace_counts=(100,), n_repeats=0
+            )
+
+    def test_counts_sorted_and_deduped(self, unprotected_traceset):
+        curve = success_rate_curve(
+            unprotected_traceset,
+            trace_counts=(500, 100, 500),
+            n_repeats=1,
+            byte_indices=(0,),
+            rng=np.random.default_rng(5),
+        )
+        assert curve.trace_counts.tolist() == [100, 500]
+
+
+class TestConfidenceIntervals:
+    def _curve(self, rates, repeats=10):
+        from repro.attacks.success_rate import SuccessRateCurve
+
+        rates = np.asarray(rates, dtype=float)
+        return SuccessRateCurve(
+            trace_counts=np.arange(1, rates.size + 1) * 100,
+            success_rates=rates,
+            n_repeats=repeats,
+            byte_indices=(0,),
+        )
+
+    def test_intervals_contain_estimate(self):
+        curve = self._curve([0.0, 0.3, 0.5, 1.0])
+        ci = curve.confidence_intervals()
+        assert ci.shape == (4, 2)
+        assert (ci[:, 0] <= curve.success_rates + 1e-12).all()
+        assert (ci[:, 1] >= curve.success_rates - 1e-12).all()
+        assert (ci >= 0).all() and (ci <= 1).all()
+
+    def test_more_repeats_tighter(self):
+        wide = self._curve([0.5], repeats=10).confidence_intervals()[0]
+        tight = self._curve([0.5], repeats=100).confidence_intervals()[0]
+        assert (tight[1] - tight[0]) < (wide[1] - wide[0])
+
+    def test_extremes_not_degenerate(self):
+        """Wilson intervals stay informative at SR = 0 and 1 (unlike Wald)."""
+        ci = self._curve([0.0, 1.0], repeats=10).confidence_intervals()
+        assert ci[0, 1] > 0.0  # SR=0 still admits some true probability
+        assert ci[1, 0] < 1.0

@@ -1,0 +1,109 @@
+"""Template attacks (profiled adversary)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.models import expand_last_round_key
+from repro.attacks.template import (
+    build_templates,
+    select_points_of_interest,
+    template_attack,
+    template_rank,
+)
+from repro.errors import AttackError
+
+
+@pytest.fixture(scope="module")
+def profile_and_attack(unprotected_traceset):
+    ts = unprotected_traceset
+    half = ts.n_traces // 2
+    return ts.subset(np.arange(half)), ts.subset(np.arange(half, ts.n_traces))
+
+
+class TestPoiSelection:
+    def test_finds_leaking_sample(self, rng):
+        n = 400
+        labels = rng.integers(0, 5, size=n)
+        traces = rng.normal(size=(n, 20))
+        traces[:, 13] += labels * 2.0
+        poi = select_points_of_interest(traces, labels, 3)
+        assert 13 in poi
+
+    def test_needs_classes(self, rng):
+        with pytest.raises(AttackError):
+            select_points_of_interest(
+                rng.normal(size=(20, 5)), np.zeros(20, dtype=int), 2
+            )
+
+
+class TestProfiledAttack:
+    def test_recovers_key_byte(self, profile_and_attack):
+        profiling, attacking = profile_and_attack
+        rk10 = expand_last_round_key(profiling.key)
+        model = build_templates(
+            profiling.traces, profiling.ciphertexts, rk10[0], byte_index=0
+        )
+        rank = template_rank(
+            model, attacking.traces, attacking.ciphertexts, rk10[0]
+        )
+        assert rank == 0
+
+    def test_profiled_beats_handful_of_traces(self, profile_and_attack):
+        """The profiled adversary needs far fewer attack traces than CPA."""
+        profiling, attacking = profile_and_attack
+        rk10 = expand_last_round_key(profiling.key)
+        model = build_templates(
+            profiling.traces, profiling.ciphertexts, rk10[0]
+        )
+        few = attacking.subset(np.arange(250))
+        rank = template_rank(model, few.traces, few.ciphertexts, rk10[0])
+        # CPA needs ~2,000 traces on this channel; templates close in with
+        # an order of magnitude fewer.
+        assert rank <= 8
+
+    def test_scores_shape(self, profile_and_attack):
+        profiling, attacking = profile_and_attack
+        rk10 = expand_last_round_key(profiling.key)
+        model = build_templates(
+            profiling.traces, profiling.ciphertexts, rk10[0]
+        )
+        scores = template_attack(model, attacking.traces, attacking.ciphertexts)
+        assert scores.shape == (256,)
+        assert np.isfinite(scores).all()
+
+    def test_pooled_templates_fail_on_rftc(self, rftc_traceset):
+        """Misalignment dilutes the profiled adversary like CPA: profiling
+        and attacking on the same RFTC campaign leaves the true byte deep
+        in the ranking."""
+        ts = rftc_traceset
+        rk10 = expand_last_round_key(ts.key)
+        half = ts.n_traces // 2
+        model = build_templates(
+            ts.traces[:half], ts.ciphertexts[:half], rk10[0]
+        )
+        rank = template_rank(
+            model, ts.traces[half:], ts.ciphertexts[half:], rk10[0]
+        )
+        assert rank > 3
+
+
+class TestValidation:
+    def test_too_few_traces(self, rng):
+        with pytest.raises(AttackError):
+            build_templates(
+                rng.normal(size=(10, 8)),
+                rng.integers(0, 256, size=(10, 16), dtype=np.uint8),
+                0,
+            )
+
+    def test_bad_key_byte(self, unprotected_traceset):
+        ts = unprotected_traceset
+        with pytest.raises(AttackError):
+            build_templates(ts.traces, ts.ciphertexts, 256)
+
+    def test_rank_validates_byte(self, profile_and_attack):
+        profiling, attacking = profile_and_attack
+        rk10 = expand_last_round_key(profiling.key)
+        model = build_templates(profiling.traces, profiling.ciphertexts, rk10[0])
+        with pytest.raises(AttackError):
+            template_rank(model, attacking.traces, attacking.ciphertexts, 300)

@@ -1,0 +1,45 @@
+"""Shared fixtures: deterministic keys, RNGs, and cached expensive builds."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import DEFAULT_KEY, build_rftc, build_unprotected
+from repro.power.acquisition import AcquisitionCampaign
+from repro.rftc import RFTCParams
+from repro.rftc.planner import plan_overlap_free
+
+
+@pytest.fixture
+def key() -> bytes:
+    return DEFAULT_KEY
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_plan():
+    """Overlap-free plan for RFTC(2, 8) — fast, reused across tests."""
+    params = RFTCParams(m_outputs=2, p_configs=8)
+    return plan_overlap_free(params, rng=np.random.default_rng(99))
+
+
+@pytest.fixture(scope="session")
+def small_plan_params():
+    return RFTCParams(m_outputs=2, p_configs=8)
+
+
+@pytest.fixture(scope="session")
+def unprotected_traceset():
+    """2,500-trace unprotected campaign — enough for CPA to succeed."""
+    scenario = build_unprotected()
+    return AcquisitionCampaign(scenario.device, seed=1).collect(2500)
+
+
+@pytest.fixture(scope="session")
+def rftc_traceset():
+    """A small RFTC(2, 8) campaign for attack/TVLA plumbing tests."""
+    scenario = build_rftc(2, 8, seed=5)
+    return AcquisitionCampaign(scenario.device, seed=2).collect(1200)

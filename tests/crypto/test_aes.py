@@ -1,0 +1,156 @@
+"""AES cipher: FIPS-197 vectors, structure, and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    AES,
+    add_round_key,
+    aes128_decrypt,
+    aes128_encrypt,
+    expand_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+from repro.errors import ConfigurationError
+
+FIPS_B_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_B_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_B_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+FIPS_C1_KEY = bytes(range(16))
+FIPS_C1_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_C1_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+FIPS_C2_KEY = bytes(range(24))
+FIPS_C2_CT = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+
+FIPS_C3_KEY = bytes(range(32))
+FIPS_C3_CT = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+block_bytes = st.binary(min_size=16, max_size=16)
+
+
+class TestKnownVectors:
+    def test_fips_appendix_b(self):
+        assert aes128_encrypt(FIPS_B_KEY, FIPS_B_PT) == FIPS_B_CT
+
+    def test_fips_appendix_c1(self):
+        assert aes128_encrypt(FIPS_C1_KEY, FIPS_C1_PT) == FIPS_C1_CT
+
+    def test_fips_appendix_c2_aes192(self):
+        assert AES(FIPS_C2_KEY).encrypt(FIPS_C1_PT) == FIPS_C2_CT
+
+    def test_fips_appendix_c3_aes256(self):
+        assert AES(FIPS_C3_KEY).encrypt(FIPS_C1_PT) == FIPS_C3_CT
+
+    def test_decrypt_vectors(self):
+        assert aes128_decrypt(FIPS_C1_KEY, FIPS_C1_CT) == FIPS_C1_PT
+        assert AES(FIPS_C3_KEY).decrypt(FIPS_C3_CT) == FIPS_C1_PT
+
+
+class TestKeyExpansion:
+    def test_round_key_count(self):
+        assert len(expand_key(FIPS_B_KEY)) == 11
+        assert len(expand_key(FIPS_C2_KEY)) == 13
+        assert len(expand_key(FIPS_C3_KEY)) == 15
+
+    def test_first_round_key_is_master(self):
+        assert expand_key(FIPS_B_KEY)[0] == FIPS_B_KEY
+
+    def test_fips_a1_last_round_key(self):
+        # FIPS-197 A.1 expansion of the Appendix B key: w[40..43].
+        expected = bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+        assert expand_key(FIPS_B_KEY)[10] == expected
+
+    def test_bad_key_length(self):
+        with pytest.raises(ConfigurationError):
+            expand_key(b"\x00" * 15)
+
+
+class TestRoundPrimitives:
+    def test_sub_bytes_inverse(self):
+        block = bytes(range(16))
+        assert inv_sub_bytes(sub_bytes(block)) == block
+
+    def test_shift_rows_inverse(self):
+        block = bytes(range(16))
+        assert inv_shift_rows(shift_rows(block)) == block
+
+    def test_shift_rows_moves_rows(self):
+        block = bytes(range(16))
+        shifted = shift_rows(block)
+        assert shifted[0] == block[0]  # row 0 fixed
+        assert shifted[1] == block[5]  # row 1 shifts one column
+
+    def test_mix_columns_inverse(self):
+        block = bytes(range(16))
+        assert inv_mix_columns(mix_columns(block)) == block
+
+    def test_mix_columns_fips_example(self):
+        # FIPS-197 Sec 5.1.3 column example: db 13 53 45 -> 8e 4d a1 bc
+        column = bytes.fromhex("db135345") + bytes(12)
+        assert mix_columns(column)[:4] == bytes.fromhex("8e4da1bc")
+
+    def test_add_round_key_self_inverse(self):
+        block = bytes(range(16))
+        rk = bytes(reversed(range(16)))
+        assert add_round_key(add_round_key(block, rk), rk) == block
+
+
+class TestRoundStates:
+    def test_count_and_endpoints(self):
+        cipher = AES(FIPS_B_KEY)
+        states = cipher.round_states(FIPS_B_PT)
+        assert len(states) == 11
+        assert states[0] == add_round_key(FIPS_B_PT, FIPS_B_KEY)
+        assert states[-1] == FIPS_B_CT
+
+    def test_fips_b_round1_state(self):
+        # FIPS-197 Appendix B round 1 "Start of Round" for round 2 equals
+        # the state after round 1.
+        cipher = AES(FIPS_B_KEY)
+        states = cipher.round_states(FIPS_B_PT)
+        assert states[1] == bytes.fromhex("a49c7ff2689f352b6b5bea43026a5049")
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(key=block_bytes, pt=block_bytes)
+    def test_roundtrip(self, key, pt):
+        cipher = AES(key)
+        assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+    @settings(max_examples=20, deadline=None)
+    @given(key=block_bytes, pt=block_bytes)
+    def test_encryption_is_permutation_like(self, key, pt):
+        # Flipping one plaintext bit changes the ciphertext.
+        ct1 = aes128_encrypt(key, pt)
+        flipped = bytes([pt[0] ^ 1]) + pt[1:]
+        assert aes128_encrypt(key, flipped) != ct1
+
+
+class TestValidation:
+    def test_bad_block_length(self):
+        with pytest.raises(ConfigurationError):
+            AES(FIPS_B_KEY).encrypt(b"\x00" * 15)
+
+    def test_bad_key_length(self):
+        with pytest.raises(ConfigurationError):
+            AES(b"\x00" * 17)
+
+    def test_one_shot_helpers_require_aes128(self):
+        with pytest.raises(ConfigurationError):
+            aes128_encrypt(bytes(24), bytes(16))
+        with pytest.raises(ConfigurationError):
+            aes128_decrypt(bytes(32), bytes(16))
+
+    def test_round_keys_property_immutable_view(self):
+        cipher = AES(FIPS_B_KEY)
+        assert isinstance(cipher.round_keys, tuple)
+        assert cipher.key == FIPS_B_KEY

@@ -1,0 +1,140 @@
+"""Cycle-accurate datapath model: transitions, batch consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.datapath import (
+    CYCLES_PER_ENCRYPTION,
+    AesDatapath,
+    RoundTransition,
+    batch_round_states,
+)
+from repro.errors import ConfigurationError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+
+
+class TestTransitions:
+    def test_cycle_count(self):
+        dp = AesDatapath(KEY)
+        transitions = dp.transitions(PT)
+        assert len(transitions) == CYCLES_PER_ENCRYPTION == 11
+
+    def test_load_edge_from_idle(self):
+        dp = AesDatapath(KEY)
+        t0 = dp.transitions(PT)[0]
+        assert t0.cycle == 0
+        assert t0.before == bytes(16)
+        assert t0.after == AES(KEY).round_states(PT)[0]
+
+    def test_chained_states(self):
+        dp = AesDatapath(KEY)
+        transitions = dp.transitions(PT)
+        for a, b in zip(transitions, transitions[1:]):
+            assert a.after == b.before
+
+    def test_final_state_is_ciphertext(self):
+        dp = AesDatapath(KEY)
+        assert dp.transitions(PT)[-1].after == AES(KEY).encrypt(PT)
+
+    def test_previous_ciphertext_override(self):
+        dp = AesDatapath(KEY)
+        prev = bytes(range(16))
+        t0 = dp.transitions(PT, previous_ciphertext=prev)[0]
+        assert t0.before == prev
+
+    def test_hamming_distance_matches_manual(self):
+        t = RoundTransition(cycle=1, before=bytes(16), after=b"\xff" * 16)
+        assert t.hamming_distance == 128
+
+    def test_idle_value_used(self):
+        dp = AesDatapath(KEY, idle_value=b"\xff" * 16)
+        assert dp.transitions(PT)[0].before == b"\xff" * 16
+
+    def test_key_must_be_aes128(self):
+        with pytest.raises(ConfigurationError):
+            AesDatapath(bytes(24))
+
+
+class TestBatchRoundStates:
+    def test_matches_scalar(self):
+        pts = np.frombuffer(PT, dtype=np.uint8).reshape(1, 16)
+        batch = batch_round_states(np.frombuffer(KEY, dtype=np.uint8), pts)
+        scalar = AES(KEY).round_states(PT)
+        for r in range(11):
+            assert bytes(batch[0, r]) == scalar[r]
+
+    def test_many_plaintexts(self, rng):
+        pts = rng.integers(0, 256, size=(20, 16), dtype=np.uint8)
+        batch = batch_round_states(np.frombuffer(KEY, dtype=np.uint8), pts)
+        cipher = AES(KEY)
+        for i in range(20):
+            assert bytes(batch[i, 10]) == cipher.encrypt(pts[i].tobytes())
+
+    def test_per_trace_keys(self, rng):
+        keys = rng.integers(0, 256, size=(6, 16), dtype=np.uint8)
+        pts = rng.integers(0, 256, size=(6, 16), dtype=np.uint8)
+        batch = batch_round_states(keys, pts)
+        for i in range(6):
+            assert bytes(batch[i, 10]) == AES(keys[i].tobytes()).encrypt(
+                pts[i].tobytes()
+            )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            batch_round_states(
+                np.zeros(16, dtype=np.uint8),
+                rng.integers(0, 256, size=(4, 15), dtype=np.uint8),
+            )
+        with pytest.raises(ConfigurationError):
+            batch_round_states(
+                np.zeros(15, dtype=np.uint8),
+                rng.integers(0, 256, size=(4, 16), dtype=np.uint8),
+            )
+
+
+class TestBatchHammingDistances:
+    def test_matches_scalar(self, rng):
+        dp = AesDatapath(KEY)
+        pts = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+        batch = dp.batch_hamming_distances(pts)
+        for i in range(8):
+            scalar = dp.hamming_distances(pts[i].tobytes())
+            assert list(batch[i].astype(int)) == scalar
+
+    def test_previous_ciphertexts_threading(self, rng):
+        dp = AesDatapath(KEY)
+        pts = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        prev = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        batch = dp.batch_hamming_distances(pts, previous_ciphertexts=prev)
+        for i in range(3):
+            scalar = dp.hamming_distances(
+                pts[i].tobytes(), previous_ciphertext=prev[i].tobytes()
+            )
+            assert list(batch[i].astype(int)) == scalar
+
+    def test_shape_mismatch_rejected(self, rng):
+        dp = AesDatapath(KEY)
+        pts = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            dp.batch_hamming_distances(
+                pts, previous_ciphertexts=np.zeros((2, 16), dtype=np.uint8)
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=16, max_size=16))
+    def test_distances_bounded(self, pt):
+        dp = AesDatapath(KEY)
+        hd = dp.hamming_distances(pt)
+        assert all(0 <= d <= 128 for d in hd)
+
+    def test_batch_ciphertexts(self, rng):
+        dp = AesDatapath(KEY)
+        pts = rng.integers(0, 256, size=(5, 16), dtype=np.uint8)
+        cts = dp.batch_ciphertexts(pts)
+        for i in range(5):
+            assert bytes(cts[i]) == dp.encrypt(pts[i].tobytes())

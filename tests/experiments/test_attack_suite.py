@@ -1,0 +1,64 @@
+"""Attack-suite orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.attack_suite import (
+    ATTACK_NAMES,
+    make_preprocessor,
+    run_attack_suite,
+)
+
+
+class TestPreprocessorFactory:
+    def test_cpa_has_none(self):
+        assert make_preprocessor("cpa") is None
+
+    @pytest.mark.parametrize("name", [a for a in ATTACK_NAMES if a != "cpa"])
+    def test_others_are_callables(self, name, rng):
+        pre = make_preprocessor(name)
+        out = pre(rng.normal(size=(8, 64)))
+        assert out.shape[0] == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_preprocessor("mystery-cpa")
+
+
+class TestSuite:
+    def test_runs_all_attacks(self, unprotected_traceset):
+        result = run_attack_suite(
+            unprotected_traceset,
+            "unprotected",
+            trace_counts=(200,),
+            n_repeats=2,
+            rng=np.random.default_rng(0),
+        )
+        assert set(result.curves) == set(ATTACK_NAMES)
+        for curve in result.curves.values():
+            assert curve.trace_counts.tolist() == [200]
+
+    def test_cpa_breaks_unprotected_in_suite(self, unprotected_traceset):
+        result = run_attack_suite(
+            unprotected_traceset,
+            "unprotected",
+            attacks=("cpa",),
+            trace_counts=(2400,),
+            n_repeats=2,
+            rng=np.random.default_rng(1),
+        )
+        assert result.curves["cpa"].success_rates[-1] == 1.0
+        summary = result.disclosure_summary()
+        assert summary["cpa"] == 2400
+
+    def test_subset_of_attacks(self, unprotected_traceset):
+        result = run_attack_suite(
+            unprotected_traceset,
+            "unprotected",
+            attacks=("cpa", "fft-cpa"),
+            trace_counts=(100,),
+            n_repeats=1,
+            rng=np.random.default_rng(2),
+        )
+        assert set(result.curves) == {"cpa", "fft-cpa"}

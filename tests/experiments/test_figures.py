@@ -1,0 +1,105 @@
+"""Figure-data generators at miniature budgets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    CompletionHistogram,
+    figure3_data,
+    figure6_data,
+    tvla_unprotected,
+    unprotected_baseline_data,
+)
+
+
+class TestFigure3:
+    N = 200_000
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        # The paper's full configuration, at 1/5 of its million encryptions.
+        return figure3_data(
+            m_outputs=3, p_configs=1024, n_encryptions=self.N, seed=3
+        )
+
+    def test_three_panels(self, data):
+        assert set(data) == {"a_unprotected", "b_naive", "c_careful"}
+
+    def test_unprotected_single_spike(self, data):
+        panel = data["a_unprotected"]
+        assert panel.occupied_buckets == 1
+        assert panel.max_identical == self.N
+
+    def test_careful_spreads_times(self, data):
+        """Fig. 3-b vs 3-c: the overlap-free plan occupies far more
+        distinct completion times, has fewer identical repeats, and avoids
+        the naive grid's histogram peaks."""
+        from repro.rftc.completion import collision_statistics
+
+        naive = data["b_naive"]
+        careful = data["c_careful"]
+        assert careful.occupied_buckets > 2 * naive.occupied_buckets
+        assert careful.max_identical < naive.max_identical
+        naive_peak = collision_statistics(naive.times_ns, 0.5)[0]
+        careful_peak = collision_statistics(careful.times_ns, 0.5)[0]
+        assert careful_peak < naive_peak
+
+    def test_paper_identical_count(self, data):
+        """Paper: <130 identical completion times per million for (c);
+        scaled to 200k encryptions that bound is ~26 with headroom for the
+        multinomial concentration the model resolves exactly."""
+        scaled_bound = 130 * (self.N / 1_000_000) * 2
+        assert data["c_careful"].max_identical < scaled_bound * 1.5
+
+    def test_histogram_accessor(self, data):
+        counts, edges = data["c_careful"].histogram(bins=50)
+        assert counts.sum() == self.N
+        assert edges.size == 51
+
+
+class TestAttackFigureData:
+    def test_smoke_single_cell(self):
+        """Plumbing of the Fig. 4/5 generator at a miniature budget."""
+        from repro.experiments.figures import attack_figure_data
+
+        results = attack_figure_data(
+            m_outputs=1,
+            p_values=(4,),
+            attacks=("cpa", "fft-cpa"),
+            n_traces=600,
+            trace_counts=(300, 600),
+            n_repeats=2,
+            seed=97,
+        )
+        assert set(results) == {4}
+        suite = results[4]
+        assert set(suite.curves) == {"cpa", "fft-cpa"}
+        for curve in suite.curves.values():
+            assert curve.trace_counts.tolist() == [300, 600]
+            assert ((0 <= curve.success_rates) & (curve.success_rates <= 1)).all()
+
+
+class TestUnprotectedBaseline:
+    def test_cpa_discloses(self):
+        result = unprotected_baseline_data(
+            n_traces=2500,
+            trace_counts=(400, 2400),
+            n_repeats=3,
+            seed=13,
+        )
+        assert result.curves["cpa"].success_rates[-1] >= 0.5
+
+
+class TestFigure6:
+    def test_m1_leaks_m3_does_not(self):
+        panels = figure6_data(
+            m_values=(1, 3), p_values=(8,), n_per_group=4000, seed=21
+        )
+        m1 = panels["RFTC(1, 8)"]
+        m3 = panels["RFTC(3, 8)"]
+        assert m1.result.max_abs_t > m3.result.max_abs_t
+
+    def test_unprotected_leaks_heavily(self):
+        panel = tvla_unprotected(n_per_group=3000, seed=22)
+        assert panel.result.max_abs_t > 10
+        assert not panel.result.passes

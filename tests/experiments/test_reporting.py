@@ -1,0 +1,95 @@
+"""Text rendering of experiment outputs."""
+
+import numpy as np
+
+from repro.attacks.success_rate import SuccessRateCurve
+from repro.experiments.attack_suite import AttackSuiteResult
+from repro.experiments.reporting import (
+    format_table,
+    render_attack_suite,
+    render_success_curve,
+    render_table1,
+    render_tvla_summary,
+)
+from repro.experiments.tables import Table1Row
+from repro.leakage_assessment.tvla import TvlaResult
+
+
+def _curve(label="cpa on x"):
+    return SuccessRateCurve(
+        trace_counts=np.array([100, 200]),
+        success_rates=np.array([0.1, 0.9]),
+        n_repeats=10,
+        byte_indices=(0,),
+        label=label,
+        mean_ranks=np.array([80.0, 2.0]),
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long-header"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_cells_stringified(self):
+        out = format_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestCurveRendering:
+    def test_contains_counts_and_rates(self):
+        out = render_success_curve(_curve())
+        assert "100" in out and "0.90" in out
+        assert "cpa on x" in out
+
+
+class TestSuiteRendering:
+    def test_summary_included(self):
+        result = AttackSuiteResult("RFTC(1, 4)", curves={"cpa": _curve()})
+        out = render_attack_suite(result)
+        assert "RFTC(1, 4)" in out
+        assert "traces to SR>=0.8" in out
+        assert "200" in out
+
+    def test_not_disclosed_label(self):
+        curve = _curve()
+        curve.success_rates = np.array([0.0, 0.1])
+        result = AttackSuiteResult("x", curves={"cpa": curve})
+        assert "not disclosed" in render_attack_suite(result)
+
+
+class TestTable1Rendering:
+    def test_renders_na_and_values(self):
+        rows = [
+            Table1Row(
+                name="X",
+                delays=None,
+                time_overhead=1.5,
+                power_overhead=2.0,
+                area_overhead=1.1,
+                paper={"delays": 15, "time": None},
+            )
+        ]
+        out = render_table1(rows)
+        assert "NA" in out
+        assert "1.50" in out
+        assert "15" in out
+
+
+class TestTvlaRendering:
+    def test_pass_fail_labels(self, rng):
+        class Panel:
+            def __init__(self, t):
+                self.result = TvlaResult(
+                    t_values=t, n_fixed=10, n_random=10, exclude_prefix_samples=0
+                )
+
+        panels = {
+            "clean": Panel(rng.normal(0, 1, 50)),
+            "leaky": Panel(np.full(50, 30.0)),
+        }
+        out = render_tvla_summary(panels)
+        assert "PASS" in out
+        assert "LEAK" in out

@@ -1,0 +1,71 @@
+"""Scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    DEFAULT_KEY,
+    baseline_names,
+    build_baseline,
+    build_rftc,
+    build_unprotected,
+    cached_plan,
+)
+
+
+class TestUnprotectedScenario:
+    def test_build(self):
+        scenario = build_unprotected()
+        assert scenario.device.key == DEFAULT_KEY
+        assert "unprotected" in scenario.name
+
+    def test_custom_frequency(self):
+        scenario = build_unprotected(freq_mhz=24.0)
+        assert "24" in scenario.name
+
+
+class TestRftcScenario:
+    def test_build_small(self):
+        scenario = build_rftc(2, 8, seed=41)
+        assert scenario.name == "RFTC(2, 8)"
+        assert scenario.rftc_params.m_outputs == 2
+        assert scenario.plan.n_sets == 8
+
+    def test_plan_cache_reused(self):
+        a = cached_plan(2, 8, seed=41)
+        b = cached_plan(2, 8, seed=41)
+        assert a is b
+
+    def test_different_seeds_different_plans(self):
+        a = cached_plan(2, 8, seed=41)
+        b = cached_plan(2, 8, seed=42)
+        assert a is not b
+
+    def test_device_measures(self):
+        from repro.power.acquisition import AcquisitionCampaign
+
+        scenario = build_rftc(2, 8, seed=41)
+        ts = AcquisitionCampaign(scenario.device, seed=0).collect(20)
+        assert ts.traces.shape == (20, 256)
+
+
+class TestBaselineScenario:
+    @pytest.mark.parametrize("name", baseline_names())
+    def test_all_buildable(self, name):
+        scenario = build_baseline(name)
+        sched = scenario.countermeasure.schedule(5)
+        assert sched.n_encryptions == 5
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_baseline("nope")
+
+    def test_rcdd_needs_wider_window(self):
+        """RCDD's dummy cycles push past the default 256-sample window; the
+        builder's n_samples knob accommodates it."""
+        from repro.power.acquisition import AcquisitionCampaign
+
+        scenario = build_baseline("rcdd", n_samples=320)
+        ts = AcquisitionCampaign(scenario.device, seed=0).collect(10)
+        assert ts.n_samples == 320

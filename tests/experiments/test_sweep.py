@@ -1,0 +1,52 @@
+"""Design-space sweep."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import design_space_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return design_space_sweep(
+        m_values=(1, 3),
+        p_values=(4, 8),
+        n_traces=2500,
+        attacks=("cpa", "fft-cpa"),
+        seed=77,
+    )
+
+
+class TestSweep:
+    def test_grid_complete(self, sweep):
+        assert set(sweep.cells) == {(1, 4), (1, 8), (3, 4), (3, 8)}
+
+    def test_cells_carry_all_attacks(self, sweep):
+        for cell in sweep.cells.values():
+            assert set(cell.attack_ranks) == {"cpa", "fft-cpa"}
+            assert cell.tvla_max_t >= 0
+
+    def test_weakest_cell_most_attacked(self, sweep):
+        """The design gradient: the best attack makes far more progress on
+        (M=1, P=4) than on (M=3, P=8).  (TVLA separation needs bigger
+        budgets than a unit test; bench_fig6_tvla covers it.)"""
+        weak = sweep.cell(1, 4).attack_ranks["fft-cpa"]
+        strong = sweep.cell(3, 8).attack_ranks["fft-cpa"]
+        assert weak < strong
+
+    def test_render_contains_cells(self, sweep):
+        out = sweep.render()
+        assert "M=1" in out and "M=3" in out
+        assert "|t|=" in out
+
+    def test_minimum_secure_p(self, sweep):
+        result = sweep.minimum_secure_p(3)
+        assert result in (4, 8, None)
+
+    def test_missing_cell_rejected(self, sweep):
+        with pytest.raises(ConfigurationError):
+            sweep.cell(2, 4)
+
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            design_space_sweep(n_traces=10)

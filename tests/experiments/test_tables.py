@@ -1,0 +1,70 @@
+"""Table 1 regeneration."""
+
+import pytest
+
+from repro.experiments.tables import PAPER_TABLE1, Table1Row, table1_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows(seed=23)
+
+
+class TestTable1:
+    def test_all_countermeasures_present(self, rows):
+        names = [r.name for r in rows]
+        for paper_name in PAPER_TABLE1:
+            assert paper_name in names
+
+    def test_rftc_delay_count_dominates(self, rows):
+        by_name = {r.name: r for r in rows}
+        rftc = by_name["RFTC(3, 1024)"]
+        others = [r for r in rows if r is not rftc and r.delays is not None]
+        assert all(rftc.delays > 100 * r.delays for r in others)
+        # The paper's headline: ~814x more completion times than [9].
+        clock_rand = by_name["Clock randomization [9]"]
+        assert rftc.delays / clock_rand.delays > 400
+
+    def test_rftc_delays_near_67584(self, rows):
+        rftc = next(r for r in rows if r.name == "RFTC(3, 1024)")
+        assert 60000 < rftc.delays <= 67584
+
+    def test_rftc_overheads_near_paper(self, rows):
+        rftc = next(r for r in rows if r.name == "RFTC(3, 1024)")
+        assert rftc.time_overhead == pytest.approx(1.72, abs=0.4)
+        assert rftc.power_overhead == pytest.approx(1.48, abs=0.15)
+        assert rftc.area_overhead == pytest.approx(1.30, abs=0.15)
+
+    def test_clock_rand_near_83(self, rows):
+        row = next(r for r in rows if r.name == "Clock randomization [9]")
+        assert 75 <= row.delays <= 95
+
+    def test_paper_values_attached(self, rows):
+        for row in rows:
+            assert row.paper is not None
+
+    def test_energy_overhead_column(self, rows):
+        """Energy = time x power; RFTC's energy cost stays far below the
+        dummy-work countermeasures'."""
+        by_name = {r.name: r for r in rows}
+        rftc = by_name["RFTC(3, 1024)"]
+        assert rftc.energy_overhead == pytest.approx(
+            rftc.time_overhead * rftc.power_overhead
+        )
+        assert by_name["RDI [14]"].energy_overhead > 1.5 * rftc.energy_overhead
+        assert by_name["RCDD [3]"].energy_overhead > 1.5 * rftc.energy_overhead
+
+    def test_rcdd_power_worst(self, rows):
+        """RCDD's dummy data makes it the most power-hungry approach after
+        RDI — both far beyond RFTC (the paper's efficiency argument)."""
+        by_name = {r.name: r for r in rows}
+        rftc = by_name["RFTC(3, 1024)"]
+        assert by_name["RCDD [3]"].power_overhead > 2 * rftc.power_overhead
+        assert by_name["RDI [14]"].power_overhead > 2 * rftc.power_overhead
+
+
+class TestBlockRamCount:
+    def test_paper_figure(self):
+        from repro.experiments.tables import block_ram_count
+
+        assert block_ram_count(3, 1024, seed=23) == pytest.approx(20, abs=2)

@@ -1,0 +1,90 @@
+"""Block RAM configuration store."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.block_ram import (
+    BITS_PER_DRP_WORD,
+    RAMB36E1_BITS,
+    BlockRam,
+    bram_count_for_bits,
+)
+from repro.hw.drp import encode_config
+from repro.hw.mmcm import MmcmConfig, OutputDivider
+
+
+def _configs(count, n_outputs=3):
+    return [
+        MmcmConfig(
+            f_in_mhz=24.0,
+            mult=40.0 + 0.125 * i,
+            divclk=1,
+            outputs=tuple(OutputDivider(20.0 + j) for j in range(n_outputs)),
+        )
+        for i in range(count)
+    ]
+
+
+class TestBramCount:
+    def test_zero_bits(self):
+        assert bram_count_for_bits(0) == 0
+
+    def test_one_bit(self):
+        assert bram_count_for_bits(1) == 1
+
+    def test_exact_boundary(self):
+        assert bram_count_for_bits(RAMB36E1_BITS) == 1
+        assert bram_count_for_bits(RAMB36E1_BITS + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bram_count_for_bits(-1)
+
+    def test_data_only_capacity(self):
+        assert bram_count_for_bits(
+            RAMB36E1_BITS, use_parity_bits=False
+        ) == 2  # 36 Kb does not fit in 32 Kb data-only
+
+
+class TestBlockRam:
+    def test_depth(self):
+        ram = BlockRam(_configs(5))
+        assert ram.depth == len(ram) == 5
+
+    def test_burst_matches_encoding(self):
+        configs = _configs(2)
+        ram = BlockRam(configs)
+        assert ram.read_burst(1) == encode_config(configs[1])
+        assert ram.read_count == 1
+
+    def test_config_accessor(self):
+        configs = _configs(3)
+        ram = BlockRam(configs)
+        assert ram.config(2) is configs[2]
+
+    def test_index_bounds(self):
+        ram = BlockRam(_configs(2))
+        with pytest.raises(ConfigurationError):
+            ram.read_burst(2)
+        with pytest.raises(ConfigurationError):
+            ram.config(-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockRam([])
+
+    def test_storage_bits(self):
+        configs = _configs(4)
+        ram = BlockRam(configs)
+        expected = sum(
+            len(encode_config(c)) * BITS_PER_DRP_WORD for c in configs
+        )
+        assert ram.storage_bits() == expected
+
+    def test_paper_resource_figure(self):
+        """RFTC(3, 1024) with two MMCMs occupies ~20 RAMB36E1 (Table 1 text)."""
+        # 1024 configs x 15 writes x 23 bits x 2 MMCMs = 706,560 bits -> 20.
+        ram = BlockRam(_configs(64))  # scale by 16 to avoid building 1024
+        per_config_bits = ram.storage_bits() // 64
+        total = per_config_bits * 1024 * 2
+        assert bram_count_for_bits(total) == 20

@@ -1,0 +1,67 @@
+"""BUFG clock-mux model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.bufg import ClockMux, SwitchEvent, bufg_count_for_inputs
+
+
+class TestMuxCount:
+    def test_tree_sizes(self):
+        assert bufg_count_for_inputs(1) == 0
+        assert bufg_count_for_inputs(2) == 1
+        assert bufg_count_for_inputs(3) == 2
+        assert bufg_count_for_inputs(6) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            bufg_count_for_inputs(0)
+
+
+class TestSwitching:
+    def test_same_select_is_free(self):
+        mux = ClockMux(3)
+        event = mux.switch(0, 20.0, 20.0)
+        assert event.dead_time_ns == 0.0
+        assert mux.switch_count == 0
+
+    def test_switch_charges_dead_time(self):
+        mux = ClockMux(3)
+        event = mux.switch(1, 20.0, 40.0)
+        assert event.dead_time_ns > 0
+        assert mux.selected == 1
+        assert mux.switch_count == 1
+
+    def test_worst_case_doubles_expected(self):
+        expected = ClockMux(2).switch(1, 20.0, 40.0).dead_time_ns
+        worst = ClockMux(2, worst_case=True).switch(1, 20.0, 40.0).dead_time_ns
+        assert worst == pytest.approx(2 * expected)
+        assert worst == pytest.approx(20.0 + 0.5 * 40.0)
+
+    def test_select_out_of_range(self):
+        mux = ClockMux(2)
+        with pytest.raises(ConfigurationError):
+            mux.switch(2, 20.0, 20.0)
+
+    def test_bad_periods(self):
+        mux = ClockMux(2)
+        with pytest.raises(ConfigurationError):
+            mux.switch(1, 0.0, 20.0)
+
+
+class TestScheduleDeadTimes:
+    def test_counts_only_changes(self):
+        mux = ClockMux(3)
+        total, switches = mux.schedule_dead_times(
+            [0, 0, 1, 1, 2], [20.0, 25.0, 40.0]
+        )
+        assert switches == 2
+        assert total > 0
+
+    def test_period_list_must_match(self):
+        mux = ClockMux(3)
+        with pytest.raises(ConfigurationError):
+            mux.schedule_dead_times([0], [20.0, 25.0])
+
+    def test_mux_primitive_count(self):
+        assert ClockMux(3).mux_primitives == 2

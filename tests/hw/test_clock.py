@@ -1,0 +1,123 @@
+"""Clock primitives and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.clock import (
+    ClockSchedule,
+    ClockSource,
+    freq_mhz_to_period_ns,
+    period_ns_to_freq_mhz,
+)
+
+
+class TestConversions:
+    def test_freq_to_period(self):
+        assert freq_mhz_to_period_ns(48.0) == pytest.approx(20.8333, abs=1e-3)
+        assert freq_mhz_to_period_ns(1000.0) == 1.0
+
+    def test_roundtrip(self):
+        assert period_ns_to_freq_mhz(freq_mhz_to_period_ns(24.0)) == pytest.approx(24.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            freq_mhz_to_period_ns(0)
+        with pytest.raises(ConfigurationError):
+            period_ns_to_freq_mhz(-1)
+
+
+class TestClockSource:
+    def test_period(self):
+        assert ClockSource(48.0).period_ns == pytest.approx(20.8333, abs=1e-3)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockSource(48.0, jitter_ps_rms=-1)
+
+    def test_frequency_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClockSource(0.0)
+
+
+class TestConstantSchedule:
+    def test_shape_and_times(self):
+        sched = ClockSchedule.constant(5, 48.0)
+        assert sched.n_encryptions == 5
+        assert sched.max_cycles == 11
+        period = freq_mhz_to_period_ns(48.0)
+        np.testing.assert_allclose(sched.completion_times_ns(), 11 * period)
+
+    def test_edge_times_monotone(self):
+        sched = ClockSchedule.constant(3, 24.0)
+        edges = sched.edge_times_ns()
+        assert (np.diff(edges, axis=1) > 0).all()
+
+    def test_too_few_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockSchedule.constant(2, 48.0, cycles=10)
+
+    def test_real_positions(self):
+        sched = ClockSchedule.constant(2, 48.0)
+        np.testing.assert_array_equal(
+            sched.real_cycle_positions, np.tile(np.arange(11), (2, 1))
+        )
+
+
+class TestPeriodMatrixSchedule:
+    def test_completion_is_row_sum(self, rng):
+        periods = rng.uniform(20, 80, size=(4, 11))
+        sched = ClockSchedule.from_period_matrix(periods)
+        np.testing.assert_allclose(
+            sched.completion_times_ns(), periods.sum(axis=1)
+        )
+
+    def test_metadata_carried(self):
+        sched = ClockSchedule.from_period_matrix(
+            np.full((2, 11), 20.0), metadata={"countermeasure": "x"}
+        )
+        assert sched.metadata["countermeasure"] == "x"
+
+    def test_rejects_narrow_matrix(self, rng):
+        with pytest.raises(ConfigurationError):
+            ClockSchedule.from_period_matrix(rng.uniform(1, 2, size=(3, 10)))
+
+
+class TestScheduleValidation:
+    def _base_kwargs(self):
+        return dict(
+            periods_ns=np.full((2, 12), 20.0),
+            is_real_cycle=np.ones((2, 12), dtype=bool),
+            n_cycles=np.full(2, 12),
+            real_cycle_positions=np.tile(np.arange(11), (2, 1)),
+        )
+
+    def test_valid_construction(self):
+        ClockSchedule(**self._base_kwargs())
+
+    def test_negative_period_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs["periods_ns"][0, 0] = -1.0
+        with pytest.raises(ConfigurationError):
+            ClockSchedule(**kwargs)
+
+    def test_real_position_outside_valid_range(self):
+        kwargs = self._base_kwargs()
+        kwargs["n_cycles"] = np.full(2, 5)
+        with pytest.raises(ConfigurationError):
+            ClockSchedule(**kwargs)
+
+    def test_mask_shape_mismatch(self):
+        kwargs = self._base_kwargs()
+        kwargs["is_real_cycle"] = np.ones((2, 11), dtype=bool)
+        with pytest.raises(ConfigurationError):
+            ClockSchedule(**kwargs)
+
+    def test_padding_ignored_in_completion(self):
+        kwargs = self._base_kwargs()
+        kwargs["periods_ns"] = np.full((2, 12), 10.0)
+        kwargs["periods_ns"][:, 11] = 999.0  # padding column
+        kwargs["n_cycles"] = np.full(2, 11)
+        kwargs["is_real_cycle"][:, 11] = False
+        sched = ClockSchedule(**kwargs)
+        np.testing.assert_allclose(sched.completion_times_ns(), 110.0)

@@ -1,0 +1,189 @@
+"""DRP register encode/decode and reconfiguration timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ReconfigurationError
+from repro.hw.drp import (
+    CYCLES_PER_WRITE,
+    DrpInterface,
+    DrpTransaction,
+    MmcmDrpController,
+    _decode_counter,
+    _decode_divclk,
+    _encode_counter,
+    _encode_divclk,
+    decode_transactions,
+    encode_config,
+)
+from repro.hw.mmcm import Mmcm, MmcmConfig, OutputDivider
+
+
+def _config(mult=40.0, divclk=1, divides=(20.0, 24.0, 31.0)):
+    return MmcmConfig(
+        f_in_mhz=24.0,
+        mult=mult,
+        divclk=divclk,
+        outputs=tuple(OutputDivider(divide=d) for d in divides),
+    )
+
+
+class TestCounterEncoding:
+    @pytest.mark.parametrize("divide", [1, 2, 3, 17, 64, 125, 126])
+    def test_integer_roundtrip(self, divide):
+        reg1, reg2 = _encode_counter(float(divide), fractional=False)
+        assert _decode_counter(reg1, reg2) == divide
+
+    def test_divide_above_counter_range_rejected(self):
+        # HIGH/LOW are 6-bit fields: 126 is the largest encodeable divider.
+        with pytest.raises(ConfigurationError):
+            _encode_counter(127.0, fractional=False)
+
+    @pytest.mark.parametrize("divide", [2.125, 20.875, 97.125, 1.5])
+    def test_fractional_roundtrip(self, divide):
+        reg1, reg2 = _encode_counter(divide, fractional=True)
+        assert _decode_counter(reg1, reg2) == pytest.approx(divide)
+
+    def test_fractional_rejected_when_integer_only(self):
+        with pytest.raises(ConfigurationError):
+            _encode_counter(20.5, fractional=False)
+
+    def test_unrepresentable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _encode_counter(20.05, fractional=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=126))
+    def test_integer_roundtrip_property(self, divide):
+        reg1, reg2 = _encode_counter(float(divide), fractional=False)
+        assert _decode_counter(reg1, reg2) == divide
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=8, max_value=1008))
+    def test_eighths_roundtrip_property(self, eighths):
+        divide = eighths / 8.0
+        reg1, reg2 = _encode_counter(divide, fractional=True)
+        assert _decode_counter(reg1, reg2) == pytest.approx(divide)
+
+
+class TestDivclkEncoding:
+    @pytest.mark.parametrize("divclk", [1, 2, 3, 50, 106])
+    def test_roundtrip(self, divclk):
+        assert _decode_divclk(_encode_divclk(divclk)) == divclk
+
+
+class TestConfigEncoding:
+    def test_roundtrip_three_outputs(self):
+        cfg = _config()
+        writes = encode_config(cfg)
+        back = decode_transactions(writes, 24.0, 3)
+        assert back.mult == cfg.mult
+        assert back.divclk == cfg.divclk
+        assert [o.divide for o in back.outputs] == [o.divide for o in cfg.outputs]
+
+    def test_roundtrip_fractional_clkout0(self):
+        cfg = _config(divides=(20.875, 24.0, 31.0))
+        back = decode_transactions(encode_config(cfg), 24.0, 3)
+        assert back.outputs[0].divide == pytest.approx(20.875)
+
+    def test_write_count_full_mmcm(self):
+        # 7 outputs x 2 + FB x 2 + DIVCLK + power + 3 lock + 2 filter = 23.
+        cfg = _config(divides=(20.0,) * 7)
+        assert len(encode_config(cfg)) == 23
+
+    def test_missing_registers_detected(self):
+        writes = encode_config(_config())
+        with pytest.raises(ReconfigurationError):
+            decode_transactions(writes[:3], 24.0, 3)
+
+    def test_transaction_validation(self):
+        with pytest.raises(ConfigurationError):
+            DrpTransaction(addr=0x80, data=0)
+        with pytest.raises(ConfigurationError):
+            DrpTransaction(addr=0x08, data=0x10000)
+
+
+class TestLockAndFilterRoms:
+    def test_lock_count_field_matches_timing_model(self):
+        from repro.hw.drp import _lock_register_values
+        from repro.hw.mmcm import lock_time_cycles
+
+        for mult in (2.0, 10.0, 40.0, 64.0):
+            reg1, reg2, reg3 = _lock_register_values(mult)
+            assert (reg3 & 0x3FF) == (lock_time_cycles(mult) & 0x3FF)
+            assert 0 <= reg1 <= 0xFFFF
+            assert 0 <= reg2 <= 0xFFFF
+
+    def test_lock_delay_grows_with_mult(self):
+        from repro.hw.drp import _lock_register_values
+
+        low = (_lock_register_values(4.0)[0] >> 10) & 0x1F
+        high = (_lock_register_values(60.0)[0] >> 10) & 0x1F
+        assert high >= low
+
+    def test_filter_values_are_16bit_and_vary(self):
+        from repro.hw.drp import _filter_register_values
+
+        seen = set()
+        for mult in (2.0, 16.0, 40.0, 64.0):
+            reg1, reg2 = _filter_register_values(mult)
+            assert 0 <= reg1 <= 0xFFFF and 0 <= reg2 <= 0xFFFF
+            seen.add((reg1, reg2))
+        assert len(seen) > 1  # the ROM is not constant across multipliers
+
+
+class TestDrpInterface:
+    def test_masked_write(self):
+        iface = DrpInterface()
+        iface.write(DrpTransaction(0x08, 0xFFFF))
+        iface.write(DrpTransaction(0x08, 0x0000, mask=0x00FF))
+        assert iface.read(0x08) == 0xFF00
+        assert iface.write_count == 2
+
+    def test_unwritten_reads_zero(self):
+        assert DrpInterface().read(0x10) == 0
+
+
+class TestDrpController:
+    def test_reconfiguration_time_near_paper(self):
+        """The paper measures 34 us at a 24 MHz DRP clock (Sec. 4)."""
+        cfg = _config(divides=(20.0,) * 6)
+        ctrl = MmcmDrpController(Mmcm(cfg), dclk_freq_mhz=24.0)
+        t = ctrl.reconfiguration_seconds(cfg)
+        assert 25e-6 < t < 45e-6
+
+    def test_start_applies_and_reports_lock(self):
+        cfg = _config()
+        mmcm = Mmcm(cfg)
+        ctrl = MmcmDrpController(mmcm, dclk_freq_mhz=24.0)
+        new_cfg = _config(mult=44.0)
+        done = ctrl.start(new_cfg, at_time_s=0.0)
+        assert done == pytest.approx(ctrl.reconfiguration_seconds(new_cfg), rel=1e-9)
+        assert mmcm.config.mult == 44.0
+        assert ctrl.interface.write_count == len(encode_config(new_cfg))
+
+    def test_busy_rejected(self):
+        cfg = _config()
+        ctrl = MmcmDrpController(Mmcm(cfg), dclk_freq_mhz=24.0)
+        ctrl.start(cfg, at_time_s=0.0)
+        with pytest.raises(ReconfigurationError):
+            ctrl.start(cfg, at_time_s=1e-6)
+
+    def test_sequential_starts_allowed(self):
+        cfg = _config()
+        ctrl = MmcmDrpController(Mmcm(cfg), dclk_freq_mhz=24.0)
+        done = ctrl.start(cfg, at_time_s=0.0)
+        ctrl.start(cfg, at_time_s=done)  # exactly at completion is legal
+
+    def test_write_burst_scales_with_dclk(self):
+        cfg = _config()
+        slow = MmcmDrpController(Mmcm(cfg), dclk_freq_mhz=12.0)
+        fast = MmcmDrpController(Mmcm(cfg), dclk_freq_mhz=24.0)
+        assert slow.write_burst_seconds(10) == pytest.approx(
+            2 * fast.write_burst_seconds(10)
+        )
+
+    def test_bad_dclk(self):
+        with pytest.raises(ConfigurationError):
+            MmcmDrpController(Mmcm(_config()), dclk_freq_mhz=0.0)

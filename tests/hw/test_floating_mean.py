@@ -1,0 +1,56 @@
+"""Coron–Kizhvatov floating-mean generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.floating_mean import FloatingMeanGenerator
+
+
+class TestConstruction:
+    def test_b_must_not_exceed_a(self):
+        with pytest.raises(ConfigurationError):
+            FloatingMeanGenerator(a=4, b=5)
+
+    def test_positive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FloatingMeanGenerator(a=0, b=1)
+        with pytest.raises(ConfigurationError):
+            FloatingMeanGenerator(a=4, b=0)
+
+    def test_negative_count_rejected(self):
+        gen = FloatingMeanGenerator(4, 2, rng=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            gen.draw(-1)
+
+
+class TestDistribution:
+    def test_outputs_bounded(self):
+        gen = FloatingMeanGenerator(a=10, b=3, rng=np.random.default_rng(1))
+        values = gen.draw(2000)
+        assert values.min() >= 0
+        assert values.max() <= 10 + 3  # mean in [0, a-b], offset in [0, b]
+        # Strict upper bound: mean <= a - b, offset <= b, so max <= a.
+        assert values.max() <= 10
+
+    def test_block_concentration(self):
+        """Within a block the spread is at most b; across blocks it is ~a."""
+        gen = FloatingMeanGenerator(a=16, b=2, block_len=32, rng=np.random.default_rng(2))
+        blocks = gen.draw_blocks(40)
+        within = max(b.max() - b.min() for b in blocks)
+        assert within <= 2
+        block_means = np.array([b.mean() for b in blocks])
+        assert block_means.max() - block_means.min() > 4
+
+    def test_sum_variance_exceeds_plain_uniform(self):
+        """The floating mean's purpose: cumulative-delay variance grows
+        faster than independent uniform draws over the same range."""
+        rng = np.random.default_rng(3)
+        gen = FloatingMeanGenerator(a=15, b=3, block_len=10, rng=rng)
+        sums_fm = np.array([gen.draw(10).sum() for _ in range(600)])
+        plain = rng.integers(0, 16, size=(600, 10)).sum(axis=1)
+        assert sums_fm.var() > plain.var() * 2
+
+    def test_draw_zero(self):
+        gen = FloatingMeanGenerator(4, 2, rng=np.random.default_rng(0))
+        assert gen.draw(0).size == 0

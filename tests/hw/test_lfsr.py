@@ -1,0 +1,135 @@
+"""LFSR models: maximal periods, uniformity, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.lfsr import (
+    MAXIMAL_TAPS,
+    FibonacciLfsr,
+    GaloisLfsr,
+    Lfsr128,
+    bit_stream_to_array,
+)
+
+
+class TestFibonacci:
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8])
+    def test_maximal_period(self, width):
+        lfsr = FibonacciLfsr(width, seed=1)
+        seen = {lfsr.state}
+        for _ in range(2**width):
+            lfsr.step()
+            if lfsr.state in seen:
+                break
+            seen.add(lfsr.state)
+        assert len(seen) == 2**width - 1
+
+    def test_zero_state_never_reached(self):
+        lfsr = FibonacciLfsr(8, seed=0xAB)
+        for _ in range(2**8):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, seed=0)
+
+    def test_seed_masked_to_width(self):
+        lfsr = FibonacciLfsr(8, seed=0x1FF)
+        assert lfsr.state == 0xFF
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(9)
+        FibonacciLfsr(9, taps=(9, 5))  # explicit taps accepted
+
+    def test_tap_validation(self):
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, taps=(7, 3))  # top tap must equal width
+        with pytest.raises(ConfigurationError):
+            FibonacciLfsr(8, taps=(8, 0))
+
+    def test_next_bits_packs_msb_first(self):
+        lfsr = FibonacciLfsr(4, seed=0b1000)
+        bits = [lfsr.step() for _ in range(4)]
+        lfsr.reseed(0b1000)
+        packed = lfsr.next_bits(4)
+        expected = int("".join(map(str, bits)), 2)
+        assert packed == expected
+
+    def test_deterministic_given_seed(self):
+        a = FibonacciLfsr(16, seed=0x1234)
+        b = FibonacciLfsr(16, seed=0x1234)
+        assert [a.step() for _ in range(64)] == [b.step() for _ in range(64)]
+
+
+class TestGalois:
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8])
+    def test_maximal_period(self, width):
+        lfsr = GaloisLfsr(width, seed=1)
+        seen = {lfsr.state}
+        for _ in range(2**width):
+            lfsr.step()
+            if lfsr.state in seen:
+                break
+            seen.add(lfsr.state)
+        assert len(seen) == 2**width - 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLfsr(8, seed=0)
+
+    def test_bit_output_binary(self):
+        lfsr = GaloisLfsr(8, seed=0x5A)
+        assert set(bit_stream_to_array(FibonacciLfsr(8, seed=0x5A), 32).tolist()) <= {0, 1}
+        assert all(lfsr.step() in (0, 1) for _ in range(32))
+
+
+class TestRejectionSampling:
+    def test_bounds_respected(self):
+        lfsr = FibonacciLfsr(16, seed=0xBEEF)
+        values = [lfsr.next_uint(10) for _ in range(500)]
+        assert min(values) >= 0
+        assert max(values) < 10
+
+    def test_power_of_two_bound(self):
+        lfsr = FibonacciLfsr(16, seed=0xBEEF)
+        values = [lfsr.next_uint(8) for _ in range(200)]
+        assert set(values) <= set(range(8))
+
+    def test_bound_one(self):
+        lfsr = FibonacciLfsr(16, seed=1)
+        assert lfsr.next_uint(1) == 0
+
+    def test_bad_bound(self):
+        lfsr = FibonacciLfsr(16, seed=1)
+        with pytest.raises(ConfigurationError):
+            lfsr.next_uint(0)
+
+    def test_roughly_uniform(self):
+        lfsr = Lfsr128()
+        counts = np.bincount(lfsr.sequence_uints(4, 4000), minlength=4)
+        # Each bucket should hold ~1000; allow generous slack.
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+
+class TestLfsr128:
+    def test_width_and_taps(self):
+        lfsr = Lfsr128()
+        assert lfsr.width == 128
+        assert lfsr.taps == MAXIMAL_TAPS[128]
+
+    def test_ten_bit_draws_cover_range(self):
+        lfsr = Lfsr128(seed=0xACE1)
+        values = lfsr.sequence_uints(1024, 2000)
+        assert min(values) >= 0 and max(values) < 1024
+        # With 2000 draws from 1024 buckets, a healthy generator hits many.
+        assert len(set(values)) > 700
+
+    def test_state_advances(self):
+        lfsr = Lfsr128()
+        s0 = lfsr.state
+        lfsr.step()
+        assert lfsr.state != s0

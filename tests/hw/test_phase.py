@@ -1,0 +1,70 @@
+"""MMCM output phase shifting (PHASE_MUX + DELAY_TIME encoding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.drp import (
+    _decode_phase_eighths,
+    _encode_counter,
+    decode_transactions,
+    encode_config,
+)
+from repro.hw.mmcm import MmcmConfig, OutputDivider
+
+
+def _config_with_phases(phases, divide=20.0):
+    return MmcmConfig(
+        f_in_mhz=24.0,
+        mult=40.0,
+        divclk=1,
+        outputs=tuple(
+            OutputDivider(divide=divide, phase_degrees=p) for p in phases
+        ),
+    )
+
+
+class TestOutputDividerPhase:
+    def test_phase_resolution(self):
+        # divide 20 -> 45/20 = 2.25 degree steps.
+        OutputDivider(divide=20.0, phase_degrees=2.25)
+        with pytest.raises(ConfigurationError):
+            OutputDivider(divide=20.0, phase_degrees=2.0)
+
+    def test_phase_range(self):
+        with pytest.raises(ConfigurationError):
+            OutputDivider(divide=20.0, phase_degrees=360.0)
+        with pytest.raises(ConfigurationError):
+            OutputDivider(divide=20.0, phase_degrees=-45.0)
+
+    def test_vco_eighths(self):
+        # 45 degrees at divide 20 = 20 VCO eighths.
+        out = OutputDivider(divide=20.0, phase_degrees=45.0)
+        assert out.phase_vco_eighths == 20
+
+    def test_zero_phase_default(self):
+        assert OutputDivider(divide=20.0).phase_vco_eighths == 0
+
+
+class TestDrpPhaseEncoding:
+    @pytest.mark.parametrize("eighths", [0, 1, 7, 8, 20, 100, 511])
+    def test_phase_roundtrip(self, eighths):
+        reg1, reg2 = _encode_counter(20.0, fractional=False, phase_eighths=eighths)
+        assert _decode_phase_eighths(reg1, reg2) == eighths
+
+    def test_phase_too_large(self):
+        with pytest.raises(ConfigurationError):
+            _encode_counter(20.0, fractional=False, phase_eighths=8 * 64)
+
+    def test_fractional_plus_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _encode_counter(20.5, fractional=True, phase_eighths=4)
+
+    def test_config_roundtrip(self):
+        phases = [0.0, 45.0, 90.0, 180.0, 315.0]
+        cfg = _config_with_phases(phases)
+        back = decode_transactions(encode_config(cfg), 24.0, len(phases))
+        assert [o.phase_degrees for o in back.outputs] == phases
+
+    def test_phase_does_not_affect_frequency(self):
+        cfg = _config_with_phases([0.0, 90.0])
+        assert cfg.output_freq_mhz(0) == cfg.output_freq_mhz(1)

@@ -1,0 +1,126 @@
+"""The related work falls where RFTC stands — Table 1's security narrative.
+
+Each baseline's weakness is specific: few completion times (phase
+shifting), rigid insertions (RDI, RCDD — DTW's home turf), or a handful of
+harmonic clocks ([9], broken by streamed CPA in
+``bench_security_parameter``).  These integration tests break each with
+the attack matched to its weakness, at a budget where RFTC(3, .) resists
+the same battery — the end-to-end content of the paper's comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import cpa_byte
+from repro.attacks.models import expand_last_round_key
+from repro.attacks.sliding_window import sliding_window_cpa
+from repro.experiments.scenarios import build_baseline
+from repro.power.acquisition import AcquisitionCampaign
+from repro.preprocess import DtwAligner
+
+BUDGET = 10_000
+
+
+def _collect(name, **kwargs):
+    scenario = build_baseline(name, seed=300, **kwargs)
+    ts = AcquisitionCampaign(scenario.device, seed=301).collect(BUDGET)
+    return ts, expand_last_round_key(ts.key)
+
+
+def _grouped_rank(ts, rk10):
+    """CPA inside the most-populated completion-time class."""
+    times = np.round(ts.completion_times_ns, 3)
+    values, counts = np.unique(times, return_counts=True)
+    mask = times == values[np.argmax(counts)]
+    result = cpa_byte(ts.traces[mask], ts.ciphertexts[mask], 0)
+    return int(mask.sum()), result.rank_of(rk10[0])
+
+
+class TestPhaseShiftFalls:
+    def test_completion_grouping_breaks_it(self):
+        """~22 distinct delays: the biggest timing class holds ~10% of all
+        traces, internally aligned — a free unprotected-grade attack."""
+        ts, rk10 = _collect("phase-shift")
+        group_size, rank = _grouped_rank(ts, rk10)
+        assert group_size > 500
+        assert rank == 0
+
+
+class TestRdiFalls:
+    def test_dtw_breaks_it(self):
+        """Buffer-chain delays are pure time warps — DTW's exact model."""
+        ts, rk10 = _collect("rdi")
+        aligner = DtwAligner(band=48, decimate=2)
+        result = cpa_byte(aligner(ts.traces), ts.ciphertexts, 0)
+        assert result.rank_of(rk10[0]) == 0
+
+    def test_sliding_windows_nearly_break_it(self):
+        ts, rk10 = _collect("rdi")
+        result = sliding_window_cpa(ts.traces, ts.ciphertexts, width=64, step=4)
+        assert result.byte_results[0].rank_of(rk10[0]) <= 4
+
+
+class TestRcddFalls:
+    def test_dtw_breaks_it(self):
+        """Dummy cycles on a constant clock are pure insertions — again
+        DTW's warping model (the paper's Sec. 2 criticism of RCDD)."""
+        ts, rk10 = _collect("rcdd", n_samples=320)
+        aligner = DtwAligner(band=48, decimate=2)
+        result = cpa_byte(aligner(ts.traces), ts.ciphertexts, 0)
+        assert result.rank_of(rk10[0]) == 0
+
+
+class TestClockRandWeakens:
+    def test_wide_windows_make_progress(self):
+        """[9]'s four harmonic clocks: integration windows spanning the
+        modest completion spread push the true byte into the top ranks at
+        this budget (the full streamed break is bench_security_parameter's)."""
+        ts, rk10 = _collect("clock-rand")
+        result = sliding_window_cpa(ts.traces, ts.ciphertexts, width=64, step=4)
+        assert result.byte_results[0].rank_of(rk10[0]) <= 32
+
+
+class TestRftcResistsSameBattery:
+    def test_paper_battery_fails(self):
+        """The attacks that felled the baselines — with the literature's
+        mean-reference DTW, as in the paper — all fail against RFTC(3, 64)
+        at the same budget."""
+        from repro.experiments.scenarios import build_rftc
+
+        scenario = build_rftc(3, 64, seed=241)
+        ts = AcquisitionCampaign(scenario.device, seed=242).collect(BUDGET)
+        rk10 = expand_last_round_key(ts.key)
+        ranks = []
+        ranks.append(
+            sliding_window_cpa(ts.traces, ts.ciphertexts, width=64, step=4)
+            .byte_results[0]
+            .rank_of(rk10[0])
+        )
+        aligner = DtwAligner(band=48, decimate=2, reference="mean")
+        ranks.append(
+            cpa_byte(aligner(ts.traces), ts.ciphertexts, 0).rank_of(rk10[0])
+        )
+        times = np.round(ts.completion_times_ns, 3)
+        values, counts = np.unique(times, return_counts=True)
+        mask = times == values[np.argmax(counts)]
+        if mask.sum() >= 64:
+            ranks.append(
+                cpa_byte(ts.traces[mask], ts.ciphertexts[mask], 0).rank_of(
+                    rk10[0]
+                )
+            )
+        assert min(ranks) > 0
+
+    def test_sharp_reference_dtw_finding(self):
+        """Beyond the paper: aligning to a *single concrete trace* instead
+        of the mean inverts per-round randomization on this clean channel
+        and recovers the key byte — see bench_sharp_dtw_finding and
+        EXPERIMENTS.md for the analysis and its noise boundary."""
+        from repro.experiments.scenarios import build_rftc
+
+        scenario = build_rftc(3, 64, seed=241)
+        ts = AcquisitionCampaign(scenario.device, seed=242).collect(BUDGET)
+        rk10 = expand_last_round_key(ts.key)
+        aligner = DtwAligner(band=48, decimate=2, reference="first")
+        rank = cpa_byte(aligner(ts.traces), ts.ciphertexts, 0).rank_of(rk10[0])
+        assert rank <= 2

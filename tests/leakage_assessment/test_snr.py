@@ -1,0 +1,47 @@
+"""Per-sample SNR of labelled partitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError
+from repro.leakage_assessment.snr import partition_snr, worst_case_snr
+
+
+class TestPartitionSnr:
+    def test_strong_signal_sample(self, rng):
+        n = 600
+        labels = rng.integers(0, 4, size=n)
+        traces = rng.normal(0, 1, size=(n, 10))
+        traces[:, 5] += labels * 3.0
+        snr = partition_snr(traces, labels)
+        assert snr[5] > 5.0
+        assert snr[[0, 1, 2]].max() < 0.5
+
+    def test_no_signal_is_small(self, rng):
+        labels = rng.integers(0, 4, size=500)
+        traces = rng.normal(size=(500, 6))
+        assert partition_snr(traces, labels).max() < 0.5
+
+    def test_sparse_labels_ignored(self, rng):
+        labels = np.zeros(100, dtype=int)
+        labels[:50] = 1
+        labels[99] = 2  # only one trace with label 2 -> ignored
+        traces = rng.normal(size=(100, 4))
+        partition_snr(traces, labels)  # should not raise
+
+    def test_needs_two_labels(self, rng):
+        with pytest.raises(AttackError):
+            partition_snr(rng.normal(size=(50, 4)), np.zeros(50, dtype=int))
+
+    def test_label_shape_checked(self, rng):
+        with pytest.raises(AttackError):
+            partition_snr(rng.normal(size=(50, 4)), np.zeros(49, dtype=int))
+
+
+class TestWorstCase:
+    def test_scalar_peak(self, rng):
+        labels = rng.integers(0, 2, size=400)
+        traces = rng.normal(size=(400, 8))
+        traces[:, 3] += labels * 2.0
+        peak = worst_case_snr(traces, labels)
+        assert peak == partition_snr(traces, labels).max()

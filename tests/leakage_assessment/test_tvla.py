@@ -1,0 +1,96 @@
+"""TVLA: t statistics, thresholds, incremental accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.leakage_assessment.tvla import (
+    TVLA_THRESHOLD,
+    IncrementalTvla,
+    TvlaResult,
+    load_stage_samples,
+    tvla_fixed_vs_random,
+)
+
+
+class TestOneShot:
+    def test_same_distribution_passes(self, rng):
+        a = rng.normal(0, 1, size=(400, 30))
+        b = rng.normal(0, 1, size=(400, 30))
+        result = tvla_fixed_vs_random(a, b)
+        assert result.passes
+        assert result.max_abs_t < TVLA_THRESHOLD
+
+    def test_mean_shift_fails(self, rng):
+        a = rng.normal(0, 1, size=(400, 30))
+        b = rng.normal(0, 1, size=(400, 30))
+        b[:, 10] += 1.0
+        result = tvla_fixed_vs_random(a, b)
+        assert not result.passes
+        assert 10 in result.leaky_samples()
+
+    def test_prefix_exclusion(self, rng):
+        a = rng.normal(0, 1, size=(300, 20))
+        b = rng.normal(0, 1, size=(300, 20))
+        a[:, 2] += 2.0  # leak inside the load prefix
+        result = tvla_fixed_vs_random(a, b, exclude_prefix_samples=5)
+        assert not result.max_abs_t < TVLA_THRESHOLD  # raw peak still leaky
+        assert result.passes  # but the post-load body is clean
+        assert result.max_abs_t_after_load() < TVLA_THRESHOLD
+
+    def test_population_sizes_recorded(self, rng):
+        a = rng.normal(size=(50, 4))
+        b = rng.normal(size=(60, 4))
+        result = tvla_fixed_vs_random(a, b)
+        assert result.n_fixed == 50
+        assert result.n_random == 60
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            tvla_fixed_vs_random(rng.normal(size=8), rng.normal(size=(4, 8)))
+
+    def test_full_exclusion_rejected(self, rng):
+        a = rng.normal(size=(10, 4))
+        result = tvla_fixed_vs_random(a, a, exclude_prefix_samples=4)
+        with pytest.raises(AttackError):
+            result.max_abs_t_after_load()
+
+
+class TestIncremental:
+    def test_matches_one_shot(self, rng):
+        fixed = rng.normal(0, 1, size=(150, 12))
+        random_ = rng.normal(0.2, 1.5, size=(170, 12))
+        inc = IncrementalTvla()
+        inc.update_fixed(fixed[:70])
+        inc.update_fixed(fixed[70:])
+        inc.update_random(random_[:50])
+        inc.update_random(random_[50:])
+        batch = tvla_fixed_vs_random(fixed, random_)
+        np.testing.assert_allclose(
+            inc.result().t_values, batch.t_values, rtol=1e-9
+        )
+
+    def test_requires_data(self):
+        inc = IncrementalTvla()
+        with pytest.raises(AttackError):
+            inc.result()
+
+    def test_prefix_carried(self, rng):
+        inc = IncrementalTvla(exclude_prefix_samples=3)
+        inc.update_fixed(rng.normal(size=(10, 8)))
+        inc.update_random(rng.normal(size=(10, 8)))
+        assert inc.result().exclude_prefix_samples == 3
+
+    def test_negative_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalTvla(exclude_prefix_samples=-1)
+
+
+class TestLoadStageSamples:
+    def test_covers_slowest_first_cycle(self):
+        # 83.3 ns slowest period at 4 ns samples -> 21 samples + 1 slack.
+        assert load_stage_samples(4.0, 1000.0 / 12.0) == 22
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            load_stage_samples(0.0, 10.0)

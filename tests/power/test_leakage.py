@@ -1,0 +1,130 @@
+"""Leakage models: HD/HW amplitude generation."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.datapath import AesDatapath
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule
+from repro.power.leakage import HammingDistanceLeakage, HammingWeightLeakage
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def _schedule(n=4, cycles=11):
+    return ClockSchedule.constant(n, 48.0, cycles=cycles)
+
+
+def _plaintexts(rng, n=4):
+    return rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+
+
+class TestHammingDistanceLeakage:
+    def test_noiseless_matches_datapath(self, rng):
+        model = HammingDistanceLeakage(alpha=1.0, baseline=0.0, amplitude_noise=0.0)
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        amps = model.cycle_amplitudes(_schedule(), dp, pts, None, rng)
+        hd = dp.batch_hamming_distances(pts)
+        np.testing.assert_allclose(amps, hd)
+
+    def test_baseline_added(self, rng):
+        model = HammingDistanceLeakage(alpha=1.0, baseline=50.0, amplitude_noise=0.0)
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        amps = model.cycle_amplitudes(_schedule(), dp, pts, None, rng)
+        assert (amps >= 50.0).all()
+
+    def test_alpha_scales(self, rng):
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        one = HammingDistanceLeakage(1.0, 0.0, 0.0).cycle_amplitudes(
+            _schedule(), dp, pts, None, rng
+        )
+        two = HammingDistanceLeakage(2.0, 0.0, 0.0).cycle_amplitudes(
+            _schedule(), dp, pts, None, rng
+        )
+        np.testing.assert_allclose(two, 2 * one)
+
+    def test_noise_changes_output(self, rng):
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        model = HammingDistanceLeakage(amplitude_noise=3.0)
+        a = model.cycle_amplitudes(_schedule(), dp, pts, None, np.random.default_rng(1))
+        b = model.cycle_amplitudes(_schedule(), dp, pts, None, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_previous_ciphertext_affects_load_edge_only(self, rng):
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        model = HammingDistanceLeakage(1.0, 0.0, 0.0)
+        prev = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+        without = model.cycle_amplitudes(_schedule(), dp, pts, None, rng)
+        with_prev = model.cycle_amplitudes(_schedule(), dp, pts, prev, rng)
+        assert not np.allclose(without[:, 0], with_prev[:, 0])
+        np.testing.assert_allclose(without[:, 1:], with_prev[:, 1:])
+
+    def test_dummy_cycles_get_random_amplitudes(self, rng):
+        """Dummy cycles draw full-datapath switching, like real rounds."""
+        n, c = 50, 15
+        sched = ClockSchedule(
+            periods_ns=np.full((n, c), 20.0),
+            is_real_cycle=np.hstack(
+                [np.ones((n, 11), dtype=bool), np.zeros((n, 4), dtype=bool)]
+            ),
+            n_cycles=np.full(n, c),
+            real_cycle_positions=np.tile(np.arange(11), (n, 1)),
+        )
+        model = HammingDistanceLeakage(1.0, 0.0, 0.0)
+        dp = AesDatapath(KEY)
+        amps = model.cycle_amplitudes(
+            sched, dp, _plaintexts(rng, n), None, rng
+        )
+        dummy = amps[:, 11:]
+        # Binomial(128, 0.5): mean 64, essentially never zero.
+        assert 55 < dummy.mean() < 73
+        assert dummy.std() > 2
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = HammingDistanceLeakage()
+        with pytest.raises(ConfigurationError):
+            model.cycle_amplitudes(
+                _schedule(n=4), AesDatapath(KEY), _plaintexts(rng, 5), None, rng
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HammingDistanceLeakage(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HammingDistanceLeakage(baseline=-1.0)
+        with pytest.raises(ConfigurationError):
+            HammingDistanceLeakage(amplitude_noise=-1.0)
+
+
+class TestHammingWeightLeakage:
+    def test_noiseless_matches_state_weights(self, rng):
+        from repro.crypto.datapath import batch_round_states
+        from repro.utils.bitops import HW8
+
+        model = HammingWeightLeakage(1.0, 0.0, 0.0)
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        amps = model.cycle_amplitudes(_schedule(), dp, pts, None, rng)
+        states = batch_round_states(np.frombuffer(KEY, dtype=np.uint8), pts)
+        hw = HW8[states].sum(axis=2)
+        np.testing.assert_allclose(amps, hw)
+
+    def test_differs_from_hd_model(self, rng):
+        dp = AesDatapath(KEY)
+        pts = _plaintexts(rng)
+        hd = HammingDistanceLeakage(1.0, 0.0, 0.0).cycle_amplitudes(
+            _schedule(), dp, pts, None, rng
+        )
+        hw = HammingWeightLeakage(1.0, 0.0, 0.0).cycle_amplitudes(
+            _schedule(), dp, pts, None, rng
+        )
+        assert not np.allclose(hd, hw)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HammingWeightLeakage(alpha=-1.0)

@@ -1,0 +1,90 @@
+"""Oscilloscope model: filter, noise, ADC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.scope import Oscilloscope
+
+
+class TestLowpass:
+    def test_dc_gain_unity(self):
+        scope = Oscilloscope(noise_std=0.0, adc_bits=0)
+        step = np.full((1, 400), 10.0)
+        out = scope.capture(step)
+        assert out[0, -1] == pytest.approx(10.0, rel=1e-3)
+
+    def test_smooths_impulse(self):
+        scope = Oscilloscope(noise_std=0.0, adc_bits=0)
+        impulse = np.zeros((1, 64))
+        impulse[0, 10] = 100.0
+        out = scope.capture(impulse)[0]
+        assert out[10] < 100.0  # energy spread forward
+        assert out[11] > 0.0
+
+    def test_narrow_band_smooths_more(self):
+        impulse = np.zeros((1, 64))
+        impulse[0, 10] = 100.0
+        wide = Oscilloscope(bandwidth_mhz=100.0, noise_std=0, adc_bits=0).capture(impulse)[0]
+        narrow = Oscilloscope(bandwidth_mhz=10.0, noise_std=0, adc_bits=0).capture(impulse)[0]
+        assert narrow[10] < wide[10]
+
+    def test_zero_bandwidth_disables_filter(self):
+        impulse = np.zeros((1, 16))
+        impulse[0, 3] = 5.0
+        out = Oscilloscope(bandwidth_mhz=0.0, noise_std=0, adc_bits=0).capture(impulse)
+        np.testing.assert_allclose(out, impulse)
+
+
+class TestNoise:
+    def test_noise_requires_rng(self):
+        scope = Oscilloscope(noise_std=1.0)
+        with pytest.raises(ConfigurationError):
+            scope.capture(np.zeros((1, 8)))
+
+    def test_noise_statistics(self, rng):
+        scope = Oscilloscope(noise_std=2.0, bandwidth_mhz=0.0, adc_bits=0)
+        out = scope.capture(np.zeros((200, 100)), rng)
+        assert out.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        scope = Oscilloscope(noise_std=1.0)
+        a = scope.capture(np.zeros((2, 16)), np.random.default_rng(5))
+        b = scope.capture(np.zeros((2, 16)), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestQuantization:
+    def test_levels(self):
+        scope = Oscilloscope(noise_std=0.0, bandwidth_mhz=0.0, adc_bits=4, full_scale=16.0)
+        values = np.linspace(0, 15, 50).reshape(1, -1)
+        out = scope.capture(values)
+        lsb = 1.0
+        np.testing.assert_allclose(out % lsb, 0.0, atol=1e-12)
+
+    def test_clipping(self):
+        scope = Oscilloscope(noise_std=0.0, bandwidth_mhz=0.0, adc_bits=8, full_scale=100.0)
+        out = scope.capture(np.array([[150.0, -20.0]]))
+        assert out[0, 0] <= 100.0
+        assert out[0, 1] == 0.0
+
+    def test_disabled(self):
+        scope = Oscilloscope(noise_std=0.0, bandwidth_mhz=0.0, adc_bits=0)
+        data = np.array([[1.23456]])
+        np.testing.assert_allclose(scope.capture(data), data)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(sample_rate_msps=0)
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(bandwidth_mhz=-1)
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(adc_bits=17)
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(full_scale=0)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ConfigurationError):
+            Oscilloscope(noise_std=0, adc_bits=0).capture(np.zeros(8))

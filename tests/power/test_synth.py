@@ -1,0 +1,176 @@
+"""Analog trace synthesis: pulse placement and linearity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.clock import ClockSchedule
+from repro.power.synth import TraceSynthesizer
+
+
+def _schedule(periods):
+    return ClockSchedule.from_period_matrix(np.asarray(periods, dtype=float))
+
+
+class TestGeometry:
+    def test_time_axis(self):
+        synth = TraceSynthesizer(sample_rate_msps=250.0, n_samples=8)
+        np.testing.assert_allclose(synth.time_axis_ns(), np.arange(8) * 4.0)
+        assert synth.dt_ns == 4.0
+        assert synth.window_ns == 32.0
+
+    def test_window_overflow_rejected(self):
+        synth = TraceSynthesizer(n_samples=16)  # 64 ns window
+        sched = _schedule([[20.0] * 11])  # ends at 220 ns
+        with pytest.raises(ConfigurationError, match="window"):
+            synth.synthesize(sched, np.ones((1, 11)))
+
+    def test_amplitude_shape_checked(self):
+        synth = TraceSynthesizer()
+        sched = _schedule([[20.0] * 11])
+        with pytest.raises(ConfigurationError):
+            synth.synthesize(sched, np.ones((1, 10)))
+
+
+class TestPulseModel:
+    def test_pulse_starts_at_edge(self):
+        synth = TraceSynthesizer(sample_rate_msps=1000.0, n_samples=64, tau_ns=3.0)
+        sched = _schedule([[4.0] * 11])  # edges at 4, 8, ... 44 ns
+        amps = np.zeros((1, 11))
+        amps[0, 0] = 10.0  # only the load edge pulses
+        trace = synth.synthesize(sched, amps)[0]
+        assert trace[:4].max() == 0.0  # nothing before the first edge
+        assert trace[4] == pytest.approx(10.0)  # sample exactly at the edge
+        assert trace[5] == pytest.approx(10.0 * np.exp(-1 / 3.0))
+
+    def test_linearity_in_amplitude(self, rng):
+        synth = TraceSynthesizer(n_samples=128)
+        sched = _schedule([[25.0] * 11])
+        amps = rng.uniform(1, 10, size=(1, 11))
+        t1 = synth.synthesize(sched, amps)
+        t2 = synth.synthesize(sched, 3 * amps)
+        np.testing.assert_allclose(t2, 3 * t1)
+
+    def test_superposition_of_edges(self):
+        synth = TraceSynthesizer(n_samples=128)
+        sched = _schedule([[25.0] * 11])
+        a = np.zeros((1, 11)); a[0, 2] = 5.0
+        b = np.zeros((1, 11)); b[0, 7] = 7.0
+        sum_apart = synth.synthesize(sched, a) + synth.synthesize(sched, b)
+        together = synth.synthesize(sched, a + b)
+        np.testing.assert_allclose(together, sum_apart)
+
+    def test_later_clock_means_later_energy(self):
+        """Slower clocks push the trace's energy centroid later — the
+        fundamental misalignment mechanism."""
+        synth = TraceSynthesizer(n_samples=256)
+        fast = synth.synthesize(_schedule([[21.0] * 11]), np.ones((1, 11)))[0]
+        slow = synth.synthesize(_schedule([[80.0] * 11]), np.ones((1, 11)))[0]
+        t = synth.time_axis_ns()
+        centroid_fast = (fast * t).sum() / fast.sum()
+        centroid_slow = (slow * t).sum() / slow.sum()
+        assert centroid_slow > centroid_fast * 2
+
+    def test_chunking_invariant(self, rng):
+        sched = _schedule(rng.uniform(20, 40, size=(10, 11)))
+        amps = rng.uniform(0, 5, size=(10, 11))
+        small = TraceSynthesizer(n_samples=160, chunk_traces=3)
+        large = TraceSynthesizer(n_samples=160, chunk_traces=1000)
+        np.testing.assert_allclose(
+            small.synthesize(sched, amps), large.synthesize(sched, amps)
+        )
+
+
+class TestJitter:
+    def test_jitter_perturbs_edges(self, rng):
+        sched = _schedule([[25.0] * 11] * 8)
+        amps = np.ones((8, 11)) * 10
+        clean = TraceSynthesizer(n_samples=128).synthesize(sched, amps)
+        jittery = TraceSynthesizer(n_samples=128, jitter_ps_rms=2000.0).synthesize(
+            sched, amps, rng=rng
+        )
+        assert not np.allclose(clean, jittery)
+        # Identical inputs give identical rows without jitter...
+        assert np.allclose(clean[0], clean[1])
+        # ...but jitter decorrelates them.
+        assert not np.allclose(jittery[0], jittery[1])
+
+    def test_jitter_requires_rng(self):
+        sched = _schedule([[25.0] * 11])
+        synth = TraceSynthesizer(n_samples=128, jitter_ps_rms=100.0)
+        with pytest.raises(ConfigurationError):
+            synth.synthesize(sched, np.ones((1, 11)))
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(jitter_ps_rms=-1.0)
+
+    def test_small_jitter_barely_moves_energy(self, rng):
+        # Off-grid period: no edge sits exactly on a sample, where the
+        # causal cutoff makes even tiny jitter drop/gain a full sample.
+        sched = _schedule([[26.1] * 11])
+        amps = np.ones((1, 11)) * 10
+        clean = TraceSynthesizer(n_samples=128).synthesize(sched, amps)
+        tiny = TraceSynthesizer(n_samples=128, jitter_ps_rms=100.0).synthesize(
+            sched, amps, rng=rng
+        )
+        # 100 ps rms against 4 ns samples: percent-level energy change.
+        assert abs(tiny.sum() - clean.sum()) / clean.sum() < 0.05
+
+
+class TestPulseTaps:
+    def test_single_tap_default_unchanged(self, rng):
+        sched = _schedule(rng.uniform(20, 40, size=(3, 11)))
+        amps = rng.uniform(1, 5, size=(3, 11))
+        default = TraceSynthesizer(n_samples=160).synthesize(sched, amps)
+        explicit = TraceSynthesizer(
+            n_samples=160, taps=((0.0, 1.0),)
+        ).synthesize(sched, amps)
+        np.testing.assert_allclose(default, explicit)
+
+    def test_two_taps_superpose(self, rng):
+        """A two-tap kernel equals the weighted sum of shifted single-taps."""
+        sched = _schedule(rng.uniform(20, 40, size=(2, 11)))
+        amps = rng.uniform(1, 5, size=(2, 11))
+        combined = TraceSynthesizer(
+            n_samples=160, taps=((0.0, 0.6), (8.0, 0.4))
+        ).synthesize(sched, amps)
+        a = TraceSynthesizer(n_samples=160, taps=((0.0, 1.0),)).synthesize(
+            sched, amps
+        )
+        b = TraceSynthesizer(n_samples=160, taps=((8.0, 1.0),)).synthesize(
+            sched, amps
+        )
+        np.testing.assert_allclose(combined, 0.6 * a + 0.4 * b, rtol=1e-12)
+
+    def test_delayed_tap_moves_energy_later(self, rng):
+        sched = _schedule([[30.0] * 11])
+        amps = np.ones((1, 11)) * 10
+        synth_now = TraceSynthesizer(n_samples=160)
+        synth_later = TraceSynthesizer(n_samples=160, taps=((12.0, 1.0),))
+        t = synth_now.time_axis_ns()
+        early = synth_now.synthesize(sched, amps)[0]
+        late = synth_later.synthesize(sched, amps)[0]
+        c_early = (early * t).sum() / early.sum()
+        c_late = (late * t).sum() / late.sum()
+        assert c_late > c_early + 5.0
+
+    def test_tap_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(taps=())
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(taps=((-1.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(taps=((0.0, 0.0),))
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(sample_rate_msps=0)
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(n_samples=0)
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(tau_ns=0)
+        with pytest.raises(ConfigurationError):
+            TraceSynthesizer(chunk_traces=0)

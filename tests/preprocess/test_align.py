@@ -1,0 +1,71 @@
+"""Static alignment and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.preprocess.align import normalize_traces, static_align
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        traces = rng.normal(3, 7, size=(10, 50))
+        out = normalize_traces(traces)
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, rtol=1e-9)
+
+    def test_constant_trace_stays_zero(self):
+        out = normalize_traces(np.full((2, 8), 5.0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_needs_2d(self, rng):
+        with pytest.raises(AttackError):
+            normalize_traces(rng.normal(size=8))
+
+
+class TestStaticAlign:
+    def _pulse_traces(self, rng, n=20, s=100, shift_range=10):
+        base = np.zeros(s)
+        base[40:45] = [3.0, 7.0, 10.0, 7.0, 3.0]  # peaked, not flat-topped
+        traces = np.empty((n, s))
+        shifts = rng.integers(-shift_range, shift_range + 1, size=n)
+        for i, sh in enumerate(shifts):
+            traces[i] = np.roll(base, sh) + rng.normal(0, 0.1, s)
+        return traces, shifts
+
+    def test_recovers_shifts(self, rng):
+        traces, _ = self._pulse_traces(rng)
+        # A sharp reference (one trace) realigns exactly; the mean-trace
+        # reference is a blur and only coarsely centers the pulses.
+        aligned = static_align(traces, reference=traces[0], max_shift=16)
+        peaks = aligned.argmax(axis=1)
+        assert peaks.max() - peaks.min() <= 1
+
+    def test_mean_reference_centers_coarsely(self, rng):
+        traces, shifts = self._pulse_traces(rng)
+        aligned = static_align(traces, max_shift=16)
+        before = traces.argmax(axis=1)
+        after = aligned.argmax(axis=1)
+        assert after.max() - after.min() <= before.max() - before.min()
+
+    def test_explicit_reference(self, rng):
+        traces, _ = self._pulse_traces(rng)
+        ref = traces[0]
+        aligned = static_align(traces, reference=ref, max_shift=16)
+        assert abs(int(aligned[3].argmax()) - int(ref.argmax())) <= 1
+
+    def test_zero_fill(self, rng):
+        traces, _ = self._pulse_traces(rng)
+        aligned = static_align(traces, max_shift=16)
+        assert aligned.shape == traces.shape
+
+    def test_max_shift_validation(self, rng):
+        traces = rng.normal(size=(3, 10))
+        with pytest.raises(ConfigurationError):
+            static_align(traces, max_shift=10)
+        with pytest.raises(ConfigurationError):
+            static_align(traces, max_shift=-1)
+
+    def test_needs_2d(self, rng):
+        with pytest.raises(AttackError):
+            static_align(rng.normal(size=10))

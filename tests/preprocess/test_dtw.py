@@ -1,0 +1,160 @@
+"""DTW: path properties, alignment recovery, batch == scalar."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import AttackError, ConfigurationError
+from repro.preprocess.dtw import (
+    DtwAligner,
+    batch_dtw_align,
+    dtw_align,
+    dtw_distance,
+    dtw_path,
+    warp_to_reference,
+)
+
+
+class TestPath:
+    def test_identity_alignment(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        ref_idx, trc_idx, cost = dtw_path(x, x)
+        assert cost == 0.0
+        np.testing.assert_array_equal(ref_idx, trc_idx)
+
+    def test_endpoints(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=25)
+        ref_idx, trc_idx, _ = dtw_path(a, b)
+        assert (ref_idx[0], trc_idx[0]) == (0, 0)
+        assert (ref_idx[-1], trc_idx[-1]) == (19, 24)
+
+    def test_monotone_steps(self, rng):
+        a = rng.normal(size=15)
+        b = rng.normal(size=15)
+        ref_idx, trc_idx, _ = dtw_path(a, b)
+        assert (np.diff(ref_idx) >= 0).all()
+        assert (np.diff(trc_idx) >= 0).all()
+        steps = np.diff(ref_idx) + np.diff(trc_idx)
+        assert (steps >= 1).all()
+        assert (np.diff(ref_idx) <= 1).all()
+        assert (np.diff(trc_idx) <= 1).all()
+
+    def test_shifted_signal_low_cost(self):
+        t = np.linspace(0, 4 * np.pi, 60)
+        ref = np.sin(t)
+        shifted = np.roll(ref, 5)
+        assert dtw_distance(ref, shifted) < dtw_distance(ref, -ref)
+
+    def test_banded_equals_full_when_band_wide(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        assert dtw_distance(a, b, band=None) == pytest.approx(
+            dtw_distance(a, b, band=20)
+        )
+
+    def test_narrow_band_raises_when_no_path(self):
+        # Very different lengths with a tiny band leave no complete path
+        # only when band < |n - m|; the implementation widens the band to
+        # cover the length gap, so any call must succeed.
+        a = np.arange(30.0)
+        b = np.arange(5.0)
+        assert np.isfinite(dtw_distance(a, b, band=1))
+
+    def test_short_input_rejected(self):
+        with pytest.raises(AttackError):
+            dtw_path(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestWarping:
+    def test_warp_preserves_length(self, rng):
+        ref = rng.normal(size=30)
+        trace = rng.normal(size=30)
+        warped = warp_to_reference(ref, trace)
+        assert warped.shape == ref.shape
+
+    def test_warp_identity(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        np.testing.assert_allclose(warp_to_reference(x, x), x)
+
+    def test_warp_undoes_time_stretch(self):
+        t = np.linspace(0, 2 * np.pi, 80)
+        ref = np.sin(t) * 10
+        stretched = np.sin(t * 1.15) * 10
+        warped = warp_to_reference(ref, stretched)
+        before = np.abs(stretched - ref).sum()
+        after = np.abs(warped - ref).sum()
+        assert after < before * 0.5
+
+
+class TestBatchAlignment:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 8), st.integers(8, 24)),
+            elements=st.floats(-100, 100),
+        ),
+        st.integers(2, 10),
+    )
+    def test_batch_equals_scalar(self, traces, band):
+        ref = traces.mean(axis=0)
+        scalar = dtw_align(traces, reference=ref, band=band)
+        batch = batch_dtw_align(traces, ref, band=band)
+        np.testing.assert_allclose(scalar, batch, atol=1e-9)
+
+    def test_chunking_invariant(self, rng):
+        traces = rng.normal(size=(17, 32)).cumsum(axis=1)
+        ref = traces.mean(axis=0)
+        a = batch_dtw_align(traces, ref, band=6, chunk=4)
+        b = batch_dtw_align(traces, ref, band=6, chunk=100)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self, rng):
+        traces = rng.normal(size=(3, 16))
+        with pytest.raises(AttackError):
+            batch_dtw_align(traces, np.zeros(8), band=4)
+        with pytest.raises(ConfigurationError):
+            batch_dtw_align(traces, traces.mean(axis=0), band=0)
+        with pytest.raises(ConfigurationError):
+            batch_dtw_align(traces, traces.mean(axis=0), band=4, chunk=0)
+
+
+class TestAligner:
+    def test_output_shape_with_decimation(self, rng):
+        traces = rng.normal(size=(6, 64))
+        aligned = DtwAligner(band=8, decimate=2)(traces)
+        assert aligned.shape == (6, 32)
+
+    def test_reference_modes(self, rng):
+        traces = rng.normal(size=(5, 32)).cumsum(axis=1)
+        first = DtwAligner(band=8, decimate=1, reference="first")(traces)
+        mean = DtwAligner(band=8, decimate=1, reference="mean")(traces)
+        assert first.shape == mean.shape
+        # Aligning to the first trace reproduces it exactly at row 0.
+        np.testing.assert_allclose(first[0], traces[0])
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DtwAligner(decimate=0)
+        with pytest.raises(ConfigurationError):
+            DtwAligner(reference="median")
+
+    def test_exact_mode(self, rng):
+        traces = rng.normal(size=(3, 12))
+        aligned = DtwAligner(band=None, decimate=1)(traces)
+        assert aligned.shape == traces.shape
+
+    def test_aligns_misaligned_pulses(self, rng):
+        """The attack-relevant property: a pulse wandering in time is pulled
+        onto the reference position."""
+        n, s = 40, 64
+        traces = rng.normal(0, 0.05, size=(n, s))
+        positions = rng.integers(20, 40, size=n)
+        for i, p in enumerate(positions):
+            traces[i, p] += 10.0
+        aligned = DtwAligner(band=32, decimate=1, reference="first")(traces)
+        peak_positions = aligned.argmax(axis=1)
+        assert np.unique(peak_positions).size <= 3

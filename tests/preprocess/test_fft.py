@@ -1,0 +1,58 @@
+"""FFT-magnitude preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.preprocess.fft import FftPreprocessor, fft_magnitude
+
+
+class TestMagnitude:
+    def test_shape(self, rng):
+        traces = rng.normal(size=(10, 64))
+        spec = fft_magnitude(traces, window=None)
+        assert spec.shape == (10, 33)  # rfft bins
+
+    def test_circular_shift_invariance(self, rng):
+        """The property the attack exploits: time shifts vanish in |FFT|."""
+        trace = rng.normal(size=128)
+        shifted = np.roll(trace, 17)
+        a = fft_magnitude(trace.reshape(1, -1), window=None)
+        b = fft_magnitude(shifted.reshape(1, -1), window=None)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_n_bins_truncates(self, rng):
+        traces = rng.normal(size=(5, 64))
+        spec = fft_magnitude(traces, n_bins=10, window=None)
+        assert spec.shape == (5, 10)
+
+    def test_hann_window_reduces_leakage(self):
+        t = np.arange(128)
+        tone = np.sin(2 * np.pi * t * 10.3 / 128).reshape(1, -1)
+        raw = fft_magnitude(tone, window=None)[0]
+        windowed = fft_magnitude(tone, window="hann")[0]
+        # Energy far from the tone bin is lower with the window.
+        assert windowed[40:].max() < raw[40:].max()
+
+    def test_log_scale(self, rng):
+        traces = rng.normal(size=(4, 32))
+        spec = fft_magnitude(traces, log_scale=True)
+        assert (spec >= 0).all()
+        assert spec.max() < fft_magnitude(traces).max()
+
+    def test_validation(self, rng):
+        with pytest.raises(AttackError):
+            fft_magnitude(rng.normal(size=16))
+        with pytest.raises(ConfigurationError):
+            fft_magnitude(rng.normal(size=(4, 16)), n_bins=0)
+        with pytest.raises(ConfigurationError):
+            fft_magnitude(rng.normal(size=(4, 16)), window="hamming")
+
+
+class TestPreprocessor:
+    def test_callable_matches_function(self, rng):
+        traces = rng.normal(size=(6, 32))
+        pre = FftPreprocessor(n_bins=12)
+        np.testing.assert_allclose(
+            pre(traces), fft_magnitude(traces, n_bins=12)
+        )

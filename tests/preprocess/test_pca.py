@@ -1,0 +1,70 @@
+"""PCA preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.preprocess.pca import PcaPreprocessor
+
+
+class TestFit:
+    def test_components_orthonormal(self, rng):
+        traces = rng.normal(size=(50, 20))
+        pca = PcaPreprocessor(n_components=5).fit(traces)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_explained_variance_decreasing(self, rng):
+        traces = rng.normal(size=(60, 15))
+        pca = PcaPreprocessor(n_components=6).fit(traces)
+        assert (np.diff(pca.explained_variance_) <= 1e-12).all()
+
+    def test_recovers_dominant_direction(self, rng):
+        """A strong 1-D signal dominates the first component."""
+        direction = np.zeros(30)
+        direction[7] = 1.0
+        scores = rng.normal(0, 10, size=(100, 1))
+        traces = scores * direction[None, :] + rng.normal(0, 0.1, (100, 30))
+        pca = PcaPreprocessor(n_components=2).fit(traces)
+        assert abs(pca.components_[0][7]) > 0.99
+
+    def test_components_capped_by_data(self, rng):
+        traces = rng.normal(size=(4, 10))
+        pca = PcaPreprocessor(n_components=100).fit(traces)
+        assert pca.components_.shape[0] <= 4
+
+
+class TestTransform:
+    def test_scores_shape(self, rng):
+        traces = rng.normal(size=(40, 25))
+        scores = PcaPreprocessor(n_components=3)(traces)
+        assert scores.shape == (40, 3)
+
+    def test_projection_preserves_variance_order(self, rng):
+        traces = rng.normal(size=(80, 12))
+        scores = PcaPreprocessor(n_components=4)(traces)
+        variances = scores.var(axis=0)
+        assert (np.diff(variances) <= 1e-9).all()
+
+    def test_whiten_unit_variance(self, rng):
+        traces = rng.normal(size=(200, 10))
+        scores = PcaPreprocessor(n_components=3, whiten=True)(traces)
+        np.testing.assert_allclose(scores.std(axis=0, ddof=1), 1.0, rtol=0.05)
+
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(AttackError):
+            PcaPreprocessor().transform(rng.normal(size=(5, 5)))
+
+
+class TestValidation:
+    def test_bad_component_count(self):
+        with pytest.raises(ConfigurationError):
+            PcaPreprocessor(n_components=0)
+
+    def test_needs_2d(self, rng):
+        with pytest.raises(AttackError):
+            PcaPreprocessor().fit(rng.normal(size=10))
+
+    def test_needs_2_traces(self, rng):
+        with pytest.raises(AttackError):
+            PcaPreprocessor().fit(rng.normal(size=(1, 10)))

@@ -1,0 +1,109 @@
+"""Rapid Alignment Method."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError, ConfigurationError
+from repro.preprocess.ram import (
+    RapidAligner,
+    _normalized_xcorr,
+    select_reference_pattern,
+)
+
+
+def _shifted_pulse_traces(rng, n=30, s=128, shift_range=20):
+    base = np.zeros(s)
+    base[50:56] = [2.0, 6.0, 10.0, 9.0, 5.0, 2.0]
+    traces = np.empty((n, s))
+    shifts = rng.integers(-shift_range, shift_range + 1, size=n)
+    shifts[0] = 0  # the reference trace stays put
+    for i, sh in enumerate(shifts):
+        traces[i] = np.roll(base, sh) + rng.normal(0, 0.05, s)
+    return traces, shifts
+
+
+class TestPatternSelection:
+    def test_picks_energetic_window(self):
+        ref = np.zeros(64)
+        ref[30:36] = 5.0
+        pattern, start = select_reference_pattern(ref, 8)
+        assert 24 <= start <= 34
+        assert pattern.max() == 5.0
+
+    def test_explicit_start(self):
+        ref = np.arange(32.0)
+        pattern, start = select_reference_pattern(ref, 4, start=10)
+        assert start == 10
+        np.testing.assert_array_equal(pattern, ref[10:14])
+
+    def test_validation(self):
+        ref = np.arange(16.0)
+        with pytest.raises(ConfigurationError):
+            select_reference_pattern(ref, 1)
+        with pytest.raises(ConfigurationError):
+            select_reference_pattern(ref, 4, start=14)
+
+
+class TestNormalizedXcorr:
+    def test_perfect_match_scores_one(self, rng):
+        trace = rng.normal(size=64)
+        pattern = trace[20:30].copy()
+        scores = _normalized_xcorr(trace.reshape(1, -1), pattern)
+        assert scores[0].argmax() == 20
+        assert scores[0, 20] == pytest.approx(1.0, abs=1e-9)
+
+    def test_bounded(self, rng):
+        traces = rng.normal(size=(5, 80))
+        scores = _normalized_xcorr(traces, rng.normal(size=12))
+        assert (np.abs(scores) <= 1.0 + 1e-9).all()
+
+    def test_flat_pattern_rejected(self, rng):
+        with pytest.raises(AttackError):
+            _normalized_xcorr(rng.normal(size=(2, 32)), np.ones(8))
+
+
+class TestAligner:
+    def test_realigns_shifted_pulses(self, rng):
+        traces, _ = _shifted_pulse_traces(rng)
+        aligned = RapidAligner(pattern_width=12, max_shift=24)(traces)
+        peaks = aligned.argmax(axis=1)
+        assert peaks.max() - peaks.min() <= 1
+
+    def test_preserves_shape(self, rng):
+        traces, _ = _shifted_pulse_traces(rng)
+        aligned = RapidAligner()(traces)
+        assert aligned.shape == traces.shape
+
+    def test_max_shift_limits_movement(self, rng):
+        traces, shifts = _shifted_pulse_traces(rng, shift_range=20)
+        aligned = RapidAligner(pattern_width=12, max_shift=2)(traces)
+        peaks = aligned.argmax(axis=1)
+        # Far-shifted traces cannot be pulled in with a tiny search range.
+        assert peaks.max() - peaks.min() > 4
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            RapidAligner(pattern_width=1)
+        with pytest.raises(ConfigurationError):
+            RapidAligner(max_shift=-1)
+        with pytest.raises(ConfigurationError):
+            RapidAligner(min_match=1.5)
+        with pytest.raises(AttackError):
+            RapidAligner(pattern_width=40)(rng.normal(size=(3, 32)))
+        with pytest.raises(AttackError):
+            RapidAligner()(rng.normal(size=32))
+
+    def test_cannot_fix_per_round_misalignment(self, rng):
+        """The reason RFTC survives RAM: rigid shifts cannot realign
+        rounds whose *relative* spacing varies."""
+        n, s = 40, 128
+        traces = rng.normal(0, 0.05, size=(n, s))
+        for i in range(n):
+            p1 = 30 + rng.integers(-10, 11)
+            p2 = p1 + 30 + rng.integers(-15, 16)  # varying round gap
+            traces[i, p1] += 10
+            traces[i, min(p2, s - 1)] += 10
+        aligned = RapidAligner(pattern_width=8, max_shift=30)(traces)
+        # First pulse aligns; the second stays dispersed.
+        second_peaks = aligned[:, 50:].argmax(axis=1)
+        assert np.unique(second_peaks).size > 5

@@ -1,0 +1,202 @@
+"""Completion-time combinatorics (Sec. 4 and Fig. 3 maths)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rftc.completion import (
+    collision_statistics,
+    completion_time_count,
+    completion_times_ns,
+    distinct_completion_time_count,
+    enumerate_compositions,
+    simulate_completion_times,
+)
+
+
+class TestClosedForms:
+    def test_paper_66(self):
+        """C(12, 10) = 66 completion times per set for RFTC(3, .) (Sec. 4)."""
+        assert completion_time_count(3, 10) == 66
+
+    def test_paper_67584(self):
+        """1024 x 66 = 67,584 for RFTC(3, 1024) (Sec. 4)."""
+        assert distinct_completion_time_count(3, 1024, 10) == 67584
+
+    def test_m1_trivial(self):
+        assert completion_time_count(1, 10) == 1
+        assert distinct_completion_time_count(1, 1024, 10) == 1024
+
+    def test_m2(self):
+        assert completion_time_count(2, 10) == 11
+
+    @given(st.integers(1, 5), st.integers(1, 12))
+    def test_matches_comb(self, m, r):
+        assert completion_time_count(m, r) == math.comb(r + m - 1, r)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            completion_time_count(0, 10)
+        with pytest.raises(ConfigurationError):
+            distinct_completion_time_count(3, 0, 10)
+
+
+class TestCompositions:
+    def test_count_matches_closed_form(self):
+        comps = enumerate_compositions(3, 10)
+        assert comps.shape == (66, 3)
+
+    def test_rows_sum_to_rounds(self):
+        comps = enumerate_compositions(4, 7)
+        assert (comps.sum(axis=1) == 7).all()
+
+    def test_rows_unique(self):
+        comps = enumerate_compositions(3, 10)
+        assert np.unique(comps, axis=0).shape[0] == comps.shape[0]
+
+    def test_single_output(self):
+        comps = enumerate_compositions(1, 10)
+        assert comps.tolist() == [[10]]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 8))
+    def test_property_count(self, m, r):
+        comps = enumerate_compositions(m, r)
+        assert comps.shape[0] == completion_time_count(m, r)
+        assert (comps >= 0).all()
+
+
+class TestCompletionTimes:
+    def test_paper_worked_example(self):
+        """Sec. 5's 396.1 ns overlap: both sets realize the same time."""
+        set_a = [12.012, 40.240, 30.744]
+        set_b = [24.024, 20.120, 30.744]
+        t_a = 1000 * (2 / 12.012 + 4 / 40.240 + 4 / 30.744)
+        t_b = 1000 * (4 / 24.024 + 2 / 20.120 + 4 / 30.744)
+        # The paper rounds the common value to 396.1 ns; exact is 396.01.
+        assert t_a == pytest.approx(396.0, abs=0.1)
+        assert t_a == pytest.approx(t_b, abs=1e-9)
+        times_a = completion_times_ns(set_a, 10)
+        times_b = completion_times_ns(set_b, 10)
+        # The overlap is present in the enumerated tables of both sets.
+        assert np.isclose(times_a, t_a, atol=1e-6).any()
+        assert np.isclose(times_b, t_b, atol=1e-6).any()
+
+    def test_single_frequency(self):
+        times = completion_times_ns([48.0], 10)
+        assert times.shape == (1,)
+        assert times[0] == pytest.approx(10 * 1000.0 / 48.0)
+
+    def test_bounds(self):
+        times = completion_times_ns([12.0, 48.0], 10)
+        assert times.min() == pytest.approx(10 * 1000.0 / 48.0)
+        assert times.max() == pytest.approx(10 * 1000.0 / 12.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            completion_times_ns([0.0], 10)
+        with pytest.raises(ConfigurationError):
+            completion_times_ns([[1.0]], 10)
+
+
+class TestSimulation:
+    def test_unprotected_is_constant(self, rng):
+        times = simulate_completion_times(np.array([[48.0]]), 10, 1000, rng)
+        assert np.unique(times).size == 1
+        assert times[0] == pytest.approx(208.333, abs=1e-3)
+
+    def test_range_bounds(self, rng):
+        sets = np.array([[12.0, 24.0, 48.0]])
+        times = simulate_completion_times(sets, 10, 5000, rng)
+        assert times.min() >= 10 * 1000.0 / 48.0 - 1e-9
+        assert times.max() <= 10 * 1000.0 / 12.0 + 1e-9
+
+    def test_load_cycle_extends(self, rng):
+        sets = np.array([[48.0]])
+        without = simulate_completion_times(sets, 10, 10, rng, load_cycle=False)
+        with_load = simulate_completion_times(sets, 10, 10, rng, load_cycle=True)
+        assert with_load[0] == pytest.approx(without[0] * 11 / 10)
+
+    def test_only_achievable_times(self, rng):
+        sets = np.array([[20.0, 40.0]])
+        times = simulate_completion_times(sets, 10, 2000, rng)
+        expected = completion_times_ns([20.0, 40.0], 10)
+        for t in np.unique(np.round(times, 6)):
+            assert np.isclose(expected, t, atol=1e-6).any()
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_completion_times(np.array([48.0]), 10, 10, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_completion_times(np.array([[48.0]]), 10, 0, rng)
+
+
+class TestCompletionTimeEntropy:
+    def test_m1_is_set_choice_entropy(self):
+        """With one clock per encryption the only randomness is the set
+        choice: exactly log2(P) bits."""
+        from repro.rftc.completion import completion_time_entropy_bits
+
+        sets = np.array([[12.0], [20.0], [30.0], [48.0]])
+        assert completion_time_entropy_bits(sets, 10) == pytest.approx(2.0)
+
+    def test_composition_entropy_added(self):
+        """M = 3 adds the multinomial composition entropy (~4.9 bits for
+        R = 10) on top of the set choice."""
+        from repro.rftc.completion import completion_time_entropy_bits
+
+        rng = np.random.default_rng(0)
+        sets = np.sort(rng.uniform(12, 48, size=(8, 3)), axis=1)
+        h = completion_time_entropy_bits(sets, 10)
+        assert 3.0 + 4.0 < h < 3.0 + 5.2  # log2(8) + H(composition)
+
+    def test_entropy_below_log_count(self):
+        """The paper's 67,584-count overstates effective randomness: the
+        distribution is multinomial-weighted, so entropy < log2(count)."""
+        from repro.rftc.completion import completion_time_entropy_bits
+        from repro.rftc.planner import plan_overlap_free
+        from repro.rftc.config import RFTCParams
+
+        params = RFTCParams(m_outputs=3, p_configs=32)
+        plan = plan_overlap_free(params, rng=np.random.default_rng(2))
+        h = completion_time_entropy_bits(plan.sets_mhz, 10)
+        count = 32 * 66
+        assert h < np.log2(count)
+        assert h > np.log2(32)  # but at least the set-choice bits
+
+    def test_coarse_resolution_lowers_entropy(self):
+        from repro.rftc.completion import completion_time_entropy_bits
+
+        rng = np.random.default_rng(1)
+        sets = np.sort(rng.uniform(12, 48, size=(16, 3)), axis=1)
+        fine = completion_time_entropy_bits(sets, 10, resolution_ns=1e-3)
+        coarse = completion_time_entropy_bits(sets, 10, resolution_ns=10.0)
+        assert coarse < fine
+
+    def test_validation(self):
+        from repro.rftc.completion import completion_time_entropy_bits
+
+        with pytest.raises(ConfigurationError):
+            completion_time_entropy_bits(np.array([12.0]), 10)
+
+
+class TestCollisionStatistics:
+    def test_identical_times(self):
+        maxi, occupied = collision_statistics(np.full(100, 208.33))
+        assert maxi == 100
+        assert occupied == 1
+
+    def test_distinct_times(self):
+        maxi, occupied = collision_statistics(np.array([1.0, 2.0, 3.0]), 0.1)
+        assert maxi == 1
+        assert occupied == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            collision_statistics(np.array([]))
+        with pytest.raises(ConfigurationError):
+            collision_statistics(np.array([1.0]), resolution_ns=0)

@@ -1,0 +1,64 @@
+"""RFTC parameter validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rftc.config import ROUTABLE_M_LIMIT, RFTCParams
+
+
+class TestDefaults:
+    def test_paper_flagship(self):
+        params = RFTCParams()
+        assert params.m_outputs == 3
+        assert params.p_configs == 1024
+        assert params.n_mmcms == 2
+        assert params.f_lo_mhz == 12.0
+        assert params.f_hi_mhz == 48.0
+        assert params.rounds == 10
+
+    def test_total_frequencies(self):
+        assert RFTCParams().total_frequencies == 3072
+        assert RFTCParams(m_outputs=2, p_configs=16).total_frequencies == 32
+
+    def test_label(self):
+        assert RFTCParams().label() == "RFTC(3, 1024)"
+
+
+class TestValidation:
+    def test_m_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(m_outputs=0)
+        with pytest.raises(ConfigurationError):
+            RFTCParams(m_outputs=8, enforce_routable=False)
+
+    def test_routable_limit(self):
+        with pytest.raises(ConfigurationError, match="routable"):
+            RFTCParams(m_outputs=ROUTABLE_M_LIMIT + 1)
+        # Explicit opt-out models what the paper could not route.
+        RFTCParams(m_outputs=ROUTABLE_M_LIMIT + 1, enforce_routable=False)
+
+    def test_p_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(p_configs=0)
+
+    def test_n_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(n_mmcms=0)
+
+    def test_frequency_window(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(f_lo_mhz=48.0, f_hi_mhz=12.0)
+        with pytest.raises(ConfigurationError):
+            RFTCParams(f_lo_mhz=0.0)
+
+    def test_rounds_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(rounds=0)
+
+    def test_input_clock_validated_against_spec(self):
+        with pytest.raises(Exception):
+            RFTCParams(f_in_mhz=5.0)  # below MMCM input minimum
+
+    def test_drp_clock_positive(self):
+        with pytest.raises(ConfigurationError):
+            RFTCParams(drp_clk_mhz=0.0)

@@ -1,0 +1,109 @@
+"""Design-artifact export: COE ROM files, Verilog headers, plan persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.drp import encode_config
+from repro.rftc.config import RFTCParams
+from repro.rftc.export import (
+    WORD_BITS,
+    load_plan,
+    parse_coe,
+    plan_to_rom_words,
+    save_plan,
+    write_coe,
+    write_verilog_header,
+)
+from repro.rftc.planner import plan_overlap_free
+
+
+@pytest.fixture(scope="module")
+def plan():
+    params = RFTCParams(m_outputs=2, p_configs=8)
+    return plan_overlap_free(params, rng=np.random.default_rng(5))
+
+
+class TestRomWords:
+    def test_word_count(self, plan):
+        words = plan_to_rom_words(plan)
+        burst = encode_config(plan.to_mmcm_configs()[0])
+        assert words.size == plan.n_sets * len(burst)
+
+    def test_words_fit_width(self, plan):
+        words = plan_to_rom_words(plan)
+        assert (words < (1 << WORD_BITS)).all()
+
+    def test_packing_invertible(self, plan):
+        """addr/data unpack to the original DRP burst."""
+        words = plan_to_rom_words(plan)
+        burst = encode_config(plan.to_mmcm_configs()[0])
+        for word, write in zip(words[: len(burst)], burst):
+            assert int(word) >> 16 == write.addr
+            assert int(word) & 0xFFFF == write.data
+
+
+class TestCoe:
+    def test_roundtrip(self, plan, tmp_path):
+        path = tmp_path / "rftc_rom.coe"
+        count = write_coe(plan, path)
+        words = parse_coe(path)
+        assert words.size == count
+        np.testing.assert_array_equal(words, plan_to_rom_words(plan))
+
+    def test_format_headers(self, plan, tmp_path):
+        path = tmp_path / "rom.coe"
+        write_coe(plan, path)
+        text = path.read_text()
+        assert "memory_initialization_radix=16;" in text
+        assert text.rstrip().endswith(";")
+
+    def test_parse_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "x.coe"
+        path.write_text("not a coe")
+        with pytest.raises(ConfigurationError):
+            parse_coe(path)
+
+
+class TestVerilogHeader:
+    def test_parameters_present(self, plan, tmp_path):
+        path = tmp_path / "rftc_params.vh"
+        write_verilog_header(plan, path)
+        text = path.read_text()
+        assert "localparam RFTC_M_OUTPUTS   = 2;" in text
+        assert "localparam RFTC_P_CONFIGS   = 8;" in text
+        assert "localparam ROM_WORD_BITS    = 23;" in text
+        assert "SET_SEL_BITS" in text
+
+    def test_addr_bits_cover_rom(self, plan, tmp_path):
+        path = tmp_path / "p.vh"
+        write_verilog_header(plan, path)
+        text = path.read_text()
+        words = plan_to_rom_words(plan).size
+        addr_bits = int(
+            next(l for l in text.splitlines() if "ROM_ADDR_BITS" in l)
+            .split("=")[1]
+            .strip(" ;")
+        )
+        assert 2**addr_bits >= words
+
+
+class TestPlanPersistence:
+    def test_roundtrip(self, plan, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(plan, path)
+        loaded = load_plan(path)
+        np.testing.assert_allclose(loaded.sets_mhz, plan.sets_mhz)
+        assert loaded.method == plan.method
+        assert loaded.params.label() == plan.params.label()
+        assert len(loaded.hardware_settings) == len(plan.hardware_settings)
+        # The reloaded plan produces the identical ROM.
+        np.testing.assert_array_equal(
+            plan_to_rom_words(loaded), plan_to_rom_words(plan)
+        )
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            load_plan(path)

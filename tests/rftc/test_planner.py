@@ -1,0 +1,152 @@
+"""Frequency planner: naive grid vs overlap-free selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlanningError
+from repro.rftc.completion import completion_times_ns
+from repro.rftc.config import RFTCParams
+from repro.rftc.planner import (
+    DEFAULT_TOLERANCE_NS,
+    FrequencyPlan,
+    plan_frequencies,
+    plan_naive_grid,
+    plan_overlap_free,
+)
+
+
+@pytest.fixture
+def small_params():
+    return RFTCParams(m_outputs=3, p_configs=16)
+
+
+class TestNaiveGrid:
+    def test_shape_and_window(self, small_params):
+        plan = plan_naive_grid(small_params)
+        assert plan.sets_mhz.shape == (16, 3)
+        assert plan.sets_mhz.min() >= small_params.f_lo_mhz - 1e-9
+        assert plan.sets_mhz.max() <= small_params.f_hi_mhz + 1e-9
+        assert plan.method == "naive-grid"
+
+    def test_consecutive_chunks(self, small_params):
+        """Each naive set holds adjacent grid frequencies — the Fig. 3-b flaw."""
+        plan = plan_naive_grid(small_params)
+        spreads = plan.sets_mhz.max(axis=1) - plan.sets_mhz.min(axis=1)
+        window = small_params.f_hi_mhz - small_params.f_lo_mhz
+        assert (spreads < window / 10).all()
+
+    def test_full_paper_grid(self):
+        params = RFTCParams(m_outputs=3, p_configs=1024)
+        plan = plan_naive_grid(params)
+        assert plan.sets_mhz.shape == (1024, 3)
+        # The paper's ~0.012 MHz increment.
+        step = np.diff(np.sort(plan.sets_mhz.ravel())).mean()
+        assert step == pytest.approx(36.0 / 3071, rel=1e-6)
+
+    def test_explicit_step(self, small_params):
+        plan = plan_naive_grid(small_params, grid_step_mhz=0.5)
+        assert plan.sets_mhz.shape == (16, 3)
+
+    def test_bad_step(self, small_params):
+        with pytest.raises(ConfigurationError):
+            plan_naive_grid(small_params, grid_step_mhz=-1.0)
+
+
+class TestOverlapFree:
+    def test_no_duplicates_small(self, small_params):
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(0))
+        assert plan.duplicate_count() == 0
+        assert plan.method == "overlap-free"
+
+    def test_sets_span_window(self, small_params):
+        """Stratification spreads every set across the window (unlike naive)."""
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(0))
+        spreads = plan.sets_mhz.max(axis=1) - plan.sets_mhz.min(axis=1)
+        window = small_params.f_hi_mhz - small_params.f_lo_mhz
+        assert (spreads > window / 4).all()
+
+    def test_unique_frequencies_within_set(self, small_params):
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(1))
+        for row in plan.sets_mhz:
+            assert np.unique(row).size == row.size
+
+    def test_hardware_settings_realize_planned_freqs(self, small_params):
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(2))
+        assert len(plan.hardware_settings) == plan.n_sets
+        configs = plan.to_mmcm_configs()
+        for row, cfg in zip(plan.sets_mhz, configs):
+            np.testing.assert_allclose(cfg.output_freqs_mhz(), row, rtol=1e-12)
+
+    def test_grid_mode_has_no_hardware_settings(self, small_params):
+        plan = plan_overlap_free(
+            small_params, rng=np.random.default_rng(3), hardware=False
+        )
+        assert plan.hardware_settings == []
+        # Snapping through the synthesizer still works, within tolerance.
+        configs = plan.to_mmcm_configs()
+        for row, cfg in zip(plan.sets_mhz[:3], configs[:3]):
+            np.testing.assert_allclose(cfg.output_freqs_mhz(), row, rtol=0.02)
+
+    def test_completion_table_shape(self, small_params):
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(4))
+        table = plan.completion_table_ns()
+        assert table.shape == (16, 66)
+        row0 = completion_times_ns(plan.sets_mhz[0], 10)
+        np.testing.assert_allclose(np.sort(table[0]), np.sort(row0))
+
+    def test_strict_mode_can_fail(self):
+        """With residual duplicates forbidden and a tiny attempt budget the
+        planner must raise rather than silently accept overlaps."""
+        params = RFTCParams(m_outputs=3, p_configs=64)
+        with pytest.raises(PlanningError):
+            plan_overlap_free(
+                params,
+                rng=np.random.default_rng(5),
+                max_attempts_per_set=1,
+                allow_residual_duplicates=False,
+            )
+
+    def test_bad_tolerance(self, small_params):
+        with pytest.raises(ConfigurationError):
+            plan_overlap_free(small_params, tolerance_ns=0.0)
+
+    def test_deterministic_given_rng(self, small_params):
+        a = plan_overlap_free(small_params, rng=np.random.default_rng(7))
+        b = plan_overlap_free(small_params, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.sets_mhz, b.sets_mhz)
+
+
+class TestDispatch:
+    def test_dispatch_overlap_free(self, small_params):
+        plan = plan_frequencies(small_params, rng=np.random.default_rng(0))
+        assert plan.method == "overlap-free"
+
+    def test_dispatch_naive(self, small_params):
+        plan = plan_frequencies(small_params, method="naive-grid")
+        assert plan.method == "naive-grid"
+
+    def test_unknown_method(self, small_params):
+        with pytest.raises(ConfigurationError):
+            plan_frequencies(small_params, method="magic")
+
+
+class TestFrequencyPlanValidation:
+    def test_shape_mismatch(self, small_params):
+        with pytest.raises(ConfigurationError):
+            FrequencyPlan(
+                params=small_params,
+                sets_mhz=np.ones((4, 3)),
+                method="naive-grid",
+            )
+
+    def test_non_positive_rejected(self, small_params):
+        with pytest.raises(ConfigurationError):
+            FrequencyPlan(
+                params=small_params,
+                sets_mhz=np.zeros((16, 3)),
+                method="naive-grid",
+            )
+
+    def test_duplicate_count_uses_default_tolerance(self, small_params):
+        plan = plan_overlap_free(small_params, rng=np.random.default_rng(9))
+        assert plan.duplicate_count() == plan.duplicate_count(DEFAULT_TOLERANCE_NS)

@@ -1,0 +1,77 @@
+"""Property-based tests of the frequency planner's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rftc.completion import completion_times_ns, enumerate_compositions
+from repro.rftc.config import RFTCParams
+from repro.rftc.planner import plan_overlap_free
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 3),
+    p=st.integers(1, 12),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_plan_invariants(m, p, seed):
+    """Any overlap-free plan satisfies the design rules of Secs. 4-5."""
+    params = RFTCParams(m_outputs=m, p_configs=p)
+    plan = plan_overlap_free(params, rng=np.random.default_rng(seed))
+
+    # (1) correct shape, frequencies inside the window.
+    assert plan.sets_mhz.shape == (p, m)
+    assert plan.sets_mhz.min() >= params.f_lo_mhz - 1e-9
+    assert plan.sets_mhz.max() <= params.f_hi_mhz + 1e-9
+
+    # (2) unique frequencies within each set (Sec. 4 requirement).
+    for row in plan.sets_mhz:
+        assert np.unique(row).size == m
+
+    # (3) small plans are exactly duplicate-free.
+    assert plan.duplicate_count() == 0
+
+    # (4) every set is realizable by its recorded MMCM counters.
+    configs = plan.to_mmcm_configs()
+    for row, cfg in zip(plan.sets_mhz, configs):
+        np.testing.assert_allclose(cfg.output_freqs_mhz(), row, rtol=1e-12)
+        # VCO constraints hold by construction (validated in MmcmConfig).
+        assert 600.0 <= cfg.f_vco_mhz <= 1200.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 4),
+    rounds=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+def test_completion_times_bounds_property(m, rounds, seed):
+    """Completion times are bracketed by the all-fastest/all-slowest runs."""
+    rng = np.random.default_rng(seed)
+    freqs = rng.uniform(12.0, 48.0, size=m)
+    times = completion_times_ns(freqs, rounds)
+    assert times.min() == pytest.approx(rounds * 1000.0 / freqs.max())
+    assert times.max() == pytest.approx(rounds * 1000.0 / freqs.min())
+    comps = enumerate_compositions(m, rounds)
+    assert times.size == comps.shape[0]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(1, 400))
+def test_controller_schedule_property(seed, n):
+    """Every schedule row uses periods from exactly one planned set."""
+    from repro.rftc.controller import RFTCController
+
+    params = RFTCParams(m_outputs=2, p_configs=4)
+    plan = plan_overlap_free(params, rng=np.random.default_rng(3))
+    ctrl = RFTCController(params, plan, rng=np.random.default_rng(seed))
+    sched = ctrl.schedule(n)
+    periods = 1000.0 / plan.sets_mhz
+    sets = sched.metadata["set_indices"]
+    for i in range(0, n, max(1, n // 7)):
+        row_periods = np.unique(sched.periods_ns[i])
+        allowed = np.unique(periods[sets[i]])
+        for value in row_periods:
+            assert np.isclose(allowed, value, rtol=1e-12).any()

@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("info", "plan", "attack", "tvla", "table1", "fig3"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "RFTC(3, 1024)" in out
+        assert "67584" in out
+
+    def test_info_custom_config(self, capsys):
+        assert main(["info", "--m", "2", "--p", "16"]) == 0
+        assert "RFTC(2, 16)" in capsys.readouterr().out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "--m", "2", "--p", "8", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap-free" in out
+        assert "MMCM-exact" in out
+
+    def test_plan_naive(self, capsys):
+        assert main(["plan", "--m", "2", "--p", "8", "--naive"]) == 0
+        assert "naive-grid" in capsys.readouterr().out
+
+    def test_plan_export(self, capsys, tmp_path):
+        stem = str(tmp_path / "design")
+        assert main(["plan", "--m", "2", "--p", "4", "--out", stem]) == 0
+        assert "exported" in capsys.readouterr().out
+        from repro.rftc.export import load_plan, parse_coe
+
+        plan = load_plan(f"{stem}.json")
+        assert plan.n_sets == 4
+        assert parse_coe(f"{stem}.coe").size > 0
+        assert "localparam" in open(f"{stem}.vh").read()
+
+    def test_attack_rejects_unknown_attack(self, capsys):
+        rc = main(
+            ["attack", "--attacks", "laser-cpa", "--traces", "100"]
+        )
+        assert rc == 2
+        assert "unknown attacks" in capsys.readouterr().err
+
+    def test_attack_small_run(self, capsys):
+        rc = main(
+            [
+                "attack",
+                "--target", "unprotected",
+                "--attacks", "cpa",
+                "--traces", "1200",
+                "--repeats", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traces to SR>=0.8" in out
+
+    def test_tvla_small_run(self, capsys):
+        rc = main(["tvla", "--m", "1", "--p", "4", "--traces", "1500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max |t|" in out
+
+    def test_fig3_small_run(self, capsys):
+        rc = main(["fig3", "--encryptions", "20000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unprotected 48 MHz" in out
+        assert "overlap-free" in out

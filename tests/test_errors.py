@@ -1,0 +1,58 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AcquisitionError,
+    AttackError,
+    ConfigurationError,
+    FrequencyRangeError,
+    LockError,
+    PlanningError,
+    ReconfigurationError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AcquisitionError,
+            AttackError,
+            ConfigurationError,
+            FrequencyRangeError,
+            LockError,
+            PlanningError,
+            ReconfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_is_value_error(self):
+        """Callers using stdlib idioms still catch config mistakes."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(FrequencyRangeError, ConfigurationError)
+
+    def test_runtime_errors(self):
+        assert issubclass(LockError, RuntimeError)
+        assert issubclass(ReconfigurationError, RuntimeError)
+        assert issubclass(PlanningError, RuntimeError)
+
+    def test_one_except_clause_suffices(self):
+        with pytest.raises(ReproError):
+            raise FrequencyRangeError("out of range")
+
+    def test_library_raises_only_repro_errors(self):
+        """Spot-check: bad inputs surface as the library's own types."""
+        from repro.crypto.aes import AES
+        from repro.hw.lfsr import FibonacciLfsr
+        from repro.rftc.config import RFTCParams
+
+        with pytest.raises(ReproError):
+            AES(b"short")
+        with pytest.raises(ReproError):
+            FibonacciLfsr(8, seed=0)
+        with pytest.raises(ReproError):
+            RFTCParams(m_outputs=0)

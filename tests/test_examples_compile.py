@@ -1,0 +1,54 @@
+"""Examples stay loadable: compile + import-light checks.
+
+Running each example takes minutes (they are self-asserting demos, run by
+hand or CI-nightly); this module only guards against syntax/import rot:
+every example must compile and declare a ``main`` callable.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+class TestExamples:
+    def test_compiles(self, path):
+        compile(path.read_text(), str(path), "exec")
+
+    def test_declares_main(self, path):
+        tree = ast.parse(path.read_text())
+        names = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        assert "main" in names
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc and "Run:" in doc
+
+    def test_imports_resolve(self, path):
+        """Every ``from repro...`` import names a real attribute."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module.startswith("repro")
+            ):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+
+def test_example_count_matches_readme():
+    assert len(EXAMPLES) >= 8

@@ -1,0 +1,123 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that tie subsystems together: the scope preserves DC, schedules
+keep time monotone, windowed sums match their naive definition, and the
+streaming CPA accumulator equals the batch engine on arbitrary data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks.cpa import cpa_byte
+from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.sliding_window import sliding_window_sums
+from repro.hw.clock import ClockSchedule
+from repro.power.scope import Oscilloscope
+from repro.power.synth import TraceSynthesizer
+
+
+class TestScopeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        level=st.floats(min_value=0.5, max_value=300.0),
+        bandwidth=st.floats(min_value=5.0, max_value=500.0),
+    )
+    def test_dc_gain_unity_any_bandwidth(self, level, bandwidth):
+        scope = Oscilloscope(
+            bandwidth_mhz=bandwidth, noise_std=0.0, adc_bits=0
+        )
+        out = scope.capture(np.full((1, 600), level))
+        assert out[0, -1] == pytest.approx(level, rel=1e-2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 4), st.integers(8, 64)),
+            elements=st.floats(0, 100),
+        )
+    )
+    def test_filter_output_bounded_by_input(self, traces):
+        scope = Oscilloscope(noise_std=0.0, adc_bits=0)
+        out = scope.capture(traces)
+        assert out.max() <= traces.max() + 1e-9
+        assert out.min() >= min(0.0, traces.min()) - 1e-9
+
+
+class TestScheduleProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.just(11)),
+            elements=st.floats(5.0, 100.0),
+        )
+    )
+    def test_edge_times_strictly_increase(self, periods):
+        sched = ClockSchedule.from_period_matrix(periods)
+        edges = sched.edge_times_ns()
+        assert (np.diff(edges, axis=1) > 0).all()
+        np.testing.assert_allclose(
+            sched.completion_times_ns(), periods.sum(axis=1)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 3), st.just(11)),
+            elements=st.floats(10.0, 40.0),
+        )
+    )
+    def test_synthesis_energy_proportional_to_amplitude_sum(self, periods):
+        """Total sampled energy scales linearly with the amplitude vector."""
+        synth = TraceSynthesizer(n_samples=160)
+        sched = ClockSchedule.from_period_matrix(periods)
+        n = periods.shape[0]
+        base = np.ones((n, 11))
+        t1 = synth.synthesize(sched, base)
+        t2 = synth.synthesize(sched, 2.5 * base)
+        np.testing.assert_allclose(t2, 2.5 * t1, rtol=1e-12)
+
+
+class TestWindowSumProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 5), st.integers(4, 40)),
+            elements=st.floats(-50, 50),
+        ),
+        st.integers(1, 8),
+        st.integers(1, 4),
+    )
+    def test_matches_naive_definition(self, traces, width, step):
+        s = traces.shape[1]
+        if width > s:
+            width = s
+        out = sliding_window_sums(traces, width, step)
+        starts = range(0, s - width + 1, step)
+        naive = np.stack(
+            [traces[:, k : k + width].sum(axis=1) for k in starts], axis=1
+        )
+        np.testing.assert_allclose(out, naive, atol=1e-9)
+
+
+class TestIncrementalCpaProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 60))
+    def test_streaming_equals_batch(self, seed, n):
+        rng = np.random.default_rng(seed)
+        traces = rng.normal(size=(n, 12))
+        cts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+        batch = cpa_byte(traces, cts, 0, keep_corr_matrix=True)
+        inc = IncrementalCpa(byte_index=0)
+        split = max(1, n // 3)
+        inc.update(traces[:split], cts[:split])
+        inc.update(traces[split:], cts[split:])
+        np.testing.assert_allclose(
+            inc.correlation(), batch.corr_matrix, atol=1e-8
+        )

@@ -1,0 +1,69 @@
+"""ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.asciiplot import ascii_curve, ascii_histogram, sparkline
+
+
+class TestHistogram:
+    def test_line_count(self, rng):
+        out = ascii_histogram(rng.normal(size=500), bins=12)
+        assert len(out.splitlines()) == 12
+
+    def test_modal_bin_fills_width(self, rng):
+        out = ascii_histogram(rng.normal(size=500), bins=10, width=40)
+        assert max(line.count("#") for line in out.splitlines()) == 40
+
+    def test_single_value(self):
+        out = ascii_histogram([5.0], bins=3)
+        assert "#" in out
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([], bins=3)
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([1.0], bins=0)
+
+
+class TestCurve:
+    def test_dimensions(self):
+        out = ascii_curve([0, 1, 2, 3], [0, 1, 4, 9], width=30, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 9  # height rows + x-axis labels
+        assert all("*" not in lines[-1:] or True for _ in lines)
+
+    def test_monotone_curve_rises(self):
+        out = ascii_curve([0, 1, 2, 3, 4], [0, 1, 2, 3, 4], width=20, height=6)
+        lines = out.splitlines()[:-1]
+        first_star_row = next(i for i, l in enumerate(lines) if "*" in l)
+        last_star_row = max(i for i, l in enumerate(lines) if "*" in l)
+        assert first_star_row < last_star_row  # spans vertically
+
+    def test_y_range_clamps(self):
+        out = ascii_curve([0, 1], [0.2, 0.8], y_range=(0.0, 1.0))
+        assert out.splitlines()[0].strip().startswith("1")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_curve([1], [1, 2])
+        with pytest.raises(ConfigurationError):
+            ascii_curve([], [])
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_flat_input(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_extremes(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])

@@ -1,0 +1,172 @@
+"""Statistics primitives: Pearson, Welch t, running moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy import stats as scipy_stats
+
+from repro.errors import AttackError, ConfigurationError
+from repro.utils.stats import (
+    RunningMoments,
+    column_pearson,
+    max_abs,
+    pearson,
+    running_histogram,
+    welch_degrees_of_freedom,
+    welch_t,
+)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self, rng):
+        x = rng.normal(size=50)
+        y = rng.normal(size=50) + 0.3 * x
+        expected = scipy_stats.pearsonr(x, y)[0]
+        assert pearson(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson(np.arange(3.0), np.arange(4.0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pearson(np.array([1.0]), np.array([2.0]))
+
+
+class TestColumnPearson:
+    def test_matches_pairwise(self, rng):
+        preds = rng.normal(size=(40, 3))
+        traces = rng.normal(size=(40, 5))
+        full = column_pearson(preds, traces)
+        for h in range(3):
+            for s in range(5):
+                assert full[h, s] == pytest.approx(
+                    pearson(preds[:, h], traces[:, s]), abs=1e-12
+                )
+
+    def test_constant_column_gives_zero(self, rng):
+        preds = np.ones((20, 2))
+        traces = rng.normal(size=(20, 3))
+        assert (column_pearson(preds, traces) == 0).all()
+
+    def test_trace_count_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            column_pearson(rng.normal(size=(10, 2)), rng.normal(size=(11, 2)))
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ConfigurationError):
+            column_pearson(rng.normal(size=10), rng.normal(size=(10, 2)))
+
+    def test_too_few_traces(self, rng):
+        with pytest.raises(AttackError):
+            column_pearson(rng.normal(size=(1, 2)), rng.normal(size=(1, 2)))
+
+    def test_values_bounded(self, rng):
+        c = column_pearson(rng.normal(size=(30, 4)), rng.normal(size=(30, 6)))
+        assert (np.abs(c) <= 1.0 + 1e-12).all()
+
+
+class TestWelchT:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0, 1, size=(40, 6))
+        b = rng.normal(0.5, 2, size=(55, 6))
+        ours = welch_t(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, axis=0, equal_var=False).statistic
+        np.testing.assert_allclose(ours, theirs, rtol=1e-10)
+
+    def test_dof_matches_scipy(self, rng):
+        a = rng.normal(0, 1, size=(12, 4))
+        b = rng.normal(0, 3, size=(20, 4))
+        ours = welch_degrees_of_freedom(a, b)
+        res = scipy_stats.ttest_ind(a, b, axis=0, equal_var=False)
+        np.testing.assert_allclose(ours, res.df, rtol=1e-10)
+
+    def test_identical_groups_give_zero(self):
+        a = np.tile(np.arange(4.0), (5, 1))
+        t = welch_t(a, a)
+        assert (t == 0).all()
+
+    def test_sample_axis_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            welch_t(rng.normal(size=(5, 3)), rng.normal(size=(5, 4)))
+
+    def test_too_few_traces(self, rng):
+        with pytest.raises(AttackError):
+            welch_t(rng.normal(size=(1, 3)), rng.normal(size=(5, 3)))
+
+
+class TestRunningMoments:
+    def test_matches_batch(self, rng):
+        data = rng.normal(size=(100, 7))
+        acc = RunningMoments()
+        acc.update(data[:30])
+        acc.update(data[30:31])
+        acc.update(data[31:])
+        np.testing.assert_allclose(acc.mean, data.mean(axis=0), rtol=1e-10)
+        np.testing.assert_allclose(
+            acc.variance, data.var(axis=0, ddof=1), rtol=1e-9
+        )
+        assert acc.count == 100
+
+    def test_single_trace_update(self, rng):
+        acc = RunningMoments()
+        acc.update(np.arange(5.0))
+        assert acc.count == 1
+        with pytest.raises(AttackError):
+            _ = acc.variance
+
+    def test_empty_accumulator_raises(self):
+        with pytest.raises(AttackError):
+            _ = RunningMoments().mean
+
+    def test_width_mismatch_rejected(self, rng):
+        acc = RunningMoments()
+        acc.update(rng.normal(size=(2, 4)))
+        with pytest.raises(ConfigurationError):
+            acc.update(rng.normal(size=(2, 5)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 20), st.integers(1, 5)),
+            elements=st.floats(-1e3, 1e3),
+        )
+    )
+    def test_property_matches_numpy(self, data):
+        acc = RunningMoments()
+        acc.update(data)
+        np.testing.assert_allclose(
+            acc.mean, data.mean(axis=0), rtol=1e-8, atol=1e-8
+        )
+
+
+class TestHistogramHelpers:
+    def test_running_histogram_matches_numpy(self, rng):
+        values = rng.normal(size=500)
+        counts, edges = running_histogram(values, bins=20)
+        exp_counts, exp_edges = np.histogram(values, bins=20)
+        np.testing.assert_array_equal(counts, exp_counts)
+        np.testing.assert_allclose(edges, exp_edges)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            running_histogram(np.array([]), bins=5)
+
+    def test_bad_bins_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            running_histogram(rng.normal(size=5), bins=0)
+
+    def test_max_abs(self):
+        assert max_abs(np.array([-3.0, 2.0])) == 3.0
+        assert max_abs(np.array([])) == 0.0

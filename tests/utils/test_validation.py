@@ -1,0 +1,94 @@
+"""Argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_byte,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        assert check_positive("x", 1) == 1.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    @pytest.mark.parametrize("bad", ["1", None, True, [1]])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ConfigurationError, match="frequency"):
+            check_positive("frequency", -1)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True, "3"])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", bad)
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int("n", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, 0.5, False])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int("n", bad)
+
+
+class TestCheckInRange:
+    def test_boundaries_inclusive(self):
+        assert check_in_range("x", 0, 0, 1) == 0.0
+        assert check_in_range("x", 1, 0, 1) == 1.0
+
+    def test_outside_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.01, 0, 1)
+
+
+class TestCheckProbability:
+    def test_accepts(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", bad)
+
+
+class TestCheckByte:
+    def test_accepts(self):
+        assert check_byte("b", 255) == 255
+        assert check_byte("b", 0) == 0
+
+    @pytest.mark.parametrize("bad", [-1, 256, 1.5, True])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_byte("b", bad)
