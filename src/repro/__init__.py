@@ -6,7 +6,9 @@ This library rebuilds the whole system in Python: the AES circuit model,
 the 7-series clocking substrate (MMCM, DRP, BUFG, block RAM, LFSR), the
 RFTC planner/controller, a synthetic power-measurement channel, the full
 attack battery (CPA and DTW/PCA/FFT-preprocessed CPA), TVLA, the
-related-work baselines, and the per-figure/per-table experiment harness.
+related-work baselines, the per-figure/per-table experiment harness, and a
+streaming campaign pipeline (``repro.pipeline`` + ``repro.store``) that
+runs paper-scale trace counts in bounded memory on a worker pool.
 
 Quick start::
 
@@ -34,7 +36,7 @@ from repro.errors import (
     ReproError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AcquisitionError",

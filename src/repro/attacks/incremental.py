@@ -71,6 +71,37 @@ class IncrementalCpa:
         self._sum_p2 += (predictions * predictions).sum(axis=0)
         self._sum_pt += predictions.T @ traces
 
+    def merge(self, other: "IncrementalCpa") -> None:
+        """Fold another accumulator's sums into this one.
+
+        The running sums are plain additive, so two accumulators built
+        from disjoint trace shards combine exactly — this is what lets a
+        pipeline fan CPA out across workers and still report one ranking.
+        """
+        if not isinstance(other, IncrementalCpa):
+            raise AttackError("can only merge another IncrementalCpa")
+        if other.byte_index != self.byte_index or other.model is not self.model:
+            raise AttackError(
+                "merge requires matching byte_index and prediction model"
+            )
+        if other._sum_t is None:
+            return
+        if self._sum_t is None:
+            s = other._sum_t.shape[0]
+            self._sum_t = np.zeros(s)
+            self._sum_t2 = np.zeros(s)
+            self._sum_p = np.zeros(256)
+            self._sum_p2 = np.zeros(256)
+            self._sum_pt = np.zeros((256, s))
+        elif other._sum_t.shape[0] != self._sum_t.shape[0]:
+            raise AttackError("accumulators disagree on the sample count")
+        self.n_traces += other.n_traces
+        self._sum_t += other._sum_t
+        self._sum_t2 += other._sum_t2
+        self._sum_p += other._sum_p
+        self._sum_p2 += other._sum_p2
+        self._sum_pt += other._sum_pt
+
     def correlation(self) -> np.ndarray:
         """Current ``(256, S)`` Pearson matrix."""
         if self._sum_t is None or self.n_traces < 2:

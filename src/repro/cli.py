@@ -3,12 +3,13 @@
 Installed as ``repro-rftc`` (see pyproject), or run via
 ``python -m repro.cli``.  Subcommands:
 
-* ``info``   — library and flagship-configuration summary
-* ``plan``   — run the frequency planner, print overlap statistics
-* ``attack`` — collect a campaign and run the attack battery
-* ``tvla``   — fixed-vs-random leakage assessment
-* ``table1`` — regenerate the comparison table
-* ``fig3``   — completion-time histogram statistics
+* ``info``     — library and flagship-configuration summary
+* ``plan``     — run the frequency planner, print overlap statistics
+* ``attack``   — collect a campaign and run the attack battery
+* ``tvla``     — fixed-vs-random leakage assessment
+* ``table1``   — regenerate the comparison table
+* ``fig3``     — completion-time histogram statistics
+* ``campaign`` — streaming chunked campaign (bounded memory, worker pool)
 
 Every subcommand prints plain text and exits 0 on success; budgets are
 deliberately small so each command finishes in seconds to a few minutes.
@@ -160,6 +161,75 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.attacks.models import expand_last_round_key
+    from repro.experiments.figures import TVLA_FIXED_PLAINTEXT
+    from repro.leakage_assessment import TVLA_THRESHOLD
+    from repro.pipeline import (
+        CampaignSpec,
+        CompletionTimeConsumer,
+        CpaStreamConsumer,
+        StreamingCampaign,
+        TvlaStreamConsumer,
+    )
+
+    from repro.pipeline import campaign_targets
+
+    if args.target not in campaign_targets():
+        print(f"unknown target {args.target!r}; "
+              f"available: {campaign_targets()}", file=sys.stderr)
+        return 2
+    spec = CampaignSpec(
+        target=args.target,
+        m_outputs=args.m,
+        p_configs=args.p,
+        plan_seed=args.seed,
+        fixed_plaintext=TVLA_FIXED_PLAINTEXT if args.mode == "tvla" else None,
+    )
+    consumers = [CompletionTimeConsumer()]
+    if args.mode == "cpa":
+        consumers.append(CpaStreamConsumer(byte_index=0))
+    else:
+        consumers.append(TvlaStreamConsumer())
+    engine = StreamingCampaign(
+        spec,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        seed=args.seed,
+    )
+
+    def show_progress(p) -> None:
+        print(
+            f"  chunk {p.chunk_index + 1}/{p.n_chunks}: "
+            f"{p.done_traces}/{p.total_traces} traces "
+            f"({p.traces_per_second:.0f}/s)"
+        )
+
+    print(f"streaming {args.traces} traces from {spec.label()} "
+          f"({args.workers} workers, chunks of {args.chunk_size}) ...")
+    report = engine.run(
+        args.traces,
+        consumers=consumers,
+        store=args.out,
+        progress=None if args.quiet else show_progress,
+    )
+    print(report.summary())
+    times = report.results["completion"]
+    print(f"completion times: {times.min_ns:.2f}-{times.max_ns:.2f} ns, "
+          f"{times.distinct_times} distinct, max identical {times.max_identical}")
+    if args.mode == "cpa":
+        cpa = report.results["cpa[0]"]
+        true_byte = int(expand_last_round_key(spec.key)[0])
+        print(f"CPA byte 0: best guess 0x{cpa.best_guess:02x}, "
+              f"true-key rank {cpa.rank_of(true_byte)}")
+    else:
+        tvla = report.results["tvla"]
+        verdict = "PASS" if tvla.max_abs_t < TVLA_THRESHOLD else "LEAK"
+        print(f"TVLA: max |t| = {tvla.max_abs_t:.2f} -> {verdict} "
+              f"(threshold {TVLA_THRESHOLD})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -221,6 +291,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--encryptions", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=33)
     p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser(
+        "campaign",
+        help="streaming chunked campaign through repro.pipeline",
+    )
+    common(p, m=1, pc=16, traces=8000)
+    p.add_argument("--target", default="rftc",
+                   help="unprotected, rftc, or a baseline name")
+    p.add_argument("--mode", choices=("cpa", "tvla"), default="cpa")
+    p.add_argument("--workers", type=int, default=1,
+                   help="acquisition worker processes")
+    p.add_argument("--chunk-size", type=int, default=2000,
+                   help="traces per chunk (memory granularity)")
+    p.add_argument("--out", default=None,
+                   help="directory for a ChunkedTraceStore (default: no store)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-chunk progress lines")
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("report", help="generate a full markdown report")
     p.add_argument("--profile", choices=("smoke", "quick"), default="smoke")

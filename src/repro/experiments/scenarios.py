@@ -149,13 +149,19 @@ def build_baseline(
     seed: int = 2019,
     noise_std: float = 2.0,
     n_samples: int = 256,
+    rng: Optional[np.random.Generator] = None,
 ) -> Scenario:
-    """One of the related-work baselines by name (see :func:`baseline_names`)."""
+    """One of the related-work baselines by name (see :func:`baseline_names`).
+
+    ``rng`` overrides ``seed`` for the countermeasure's randomness — the
+    streaming pipeline passes per-chunk spawned generators here so results
+    stay reproducible at any worker count.
+    """
     if name not in _BASELINE_BUILDERS:
         raise ConfigurationError(
             f"unknown baseline {name!r}; expected one of {sorted(_BASELINE_BUILDERS)}"
         )
-    cm = _BASELINE_BUILDERS[name](np.random.default_rng(seed))
+    cm = _BASELINE_BUILDERS[name](rng if rng is not None else np.random.default_rng(seed))
     return Scenario(
         name=cm.label,
         device=_measurement_chain(key, cm, n_samples=n_samples, noise_std=noise_std),

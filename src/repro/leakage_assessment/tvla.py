@@ -103,6 +103,15 @@ class IncrementalTvla:
     def update_random(self, traces: np.ndarray) -> None:
         self._random.update(traces)
 
+    def merge(self, other: "IncrementalTvla") -> None:
+        """Fold another accumulator in (exact parallel-shard combine)."""
+        if other.exclude_prefix_samples != self.exclude_prefix_samples:
+            raise ConfigurationError(
+                "merge requires matching exclude_prefix_samples"
+            )
+        self._fixed.merge(other._fixed)
+        self._random.merge(other._random)
+
     def result(self) -> TvlaResult:
         if self._fixed.count < 2 or self._random.count < 2:
             raise AttackError("TVLA requires at least 2 traces per population")

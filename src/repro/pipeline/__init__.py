@@ -1,0 +1,36 @@
+"""Streaming campaign pipeline: paper-scale acquisition + analysis.
+
+The scaling layer over ``repro.power``: campaigns are sharded into
+chunks, acquired on a worker pool with per-chunk spawned RNG streams,
+persisted to a :class:`~repro.store.ChunkedTraceStore`, and analysed by
+incremental consumers (CPA, TVLA, completion-time statistics) — all in
+memory bounded by the chunk size, with results independent of the worker
+count.  See ``docs/pipeline.md`` for the architecture.
+"""
+
+from repro.pipeline.consumers import (
+    CompletionTimeConsumer,
+    CompletionTimeStats,
+    CpaStreamConsumer,
+    TraceConsumer,
+    TvlaStreamConsumer,
+)
+from repro.pipeline.engine import (
+    ChunkProgress,
+    PipelineReport,
+    StreamingCampaign,
+)
+from repro.pipeline.spec import CampaignSpec, campaign_targets
+
+__all__ = [
+    "CampaignSpec",
+    "campaign_targets",
+    "ChunkProgress",
+    "CompletionTimeConsumer",
+    "CompletionTimeStats",
+    "CpaStreamConsumer",
+    "PipelineReport",
+    "StreamingCampaign",
+    "TraceConsumer",
+    "TvlaStreamConsumer",
+]

@@ -1,0 +1,168 @@
+"""Incremental trace consumers: the analysis side of the pipeline.
+
+A consumer is anything with a ``name``, a ``consume(chunk)`` that folds a
+:class:`~repro.power.acquisition.TraceSet` chunk into running state, and a
+``result()`` that reports the analysis so far.  The engine feeds every
+consumer each chunk exactly once, in acquisition order, then collects
+``result()`` into the :class:`~repro.pipeline.engine.PipelineReport` —
+so a 4M-trace campaign carries CPA, TVLA and completion-time statistics
+simultaneously while only ever holding one chunk of traces.
+
+The three built-ins wrap the library's existing streaming accumulators:
+
+* :class:`CpaStreamConsumer` — :class:`~repro.attacks.IncrementalCpa`
+  (known-ciphertext last-round CPA, the paper's Sec. 6 attack).
+* :class:`TvlaStreamConsumer` —
+  :class:`~repro.leakage_assessment.IncrementalTvla` over the pipeline's
+  interleaved fixed/random rows (Fig. 6 methodology).
+* :class:`CompletionTimeConsumer` — a streaming histogram of encryption
+  completion times (Fig. 3 statistics without storing per-trace times).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.attacks.cpa import CpaByteResult, PredictionModel
+from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.models import last_round_hd_predictions
+from repro.errors import AttackError, ConfigurationError
+from repro.leakage_assessment.tvla import IncrementalTvla, TvlaResult
+from repro.power.acquisition import TraceSet
+
+
+@runtime_checkable
+class TraceConsumer(Protocol):
+    """The pipeline's analysis plug-in contract."""
+
+    name: str
+
+    def consume(self, chunk: TraceSet) -> None:
+        """Fold one chunk (called once per chunk, in acquisition order)."""
+        ...
+
+    def result(self):
+        """The analysis outcome accumulated so far."""
+        ...
+
+
+class CpaStreamConsumer:
+    """Streaming last-round CPA on one key byte."""
+
+    def __init__(
+        self,
+        byte_index: int = 0,
+        model: PredictionModel = last_round_hd_predictions,
+        name: Optional[str] = None,
+    ):
+        self._inc = IncrementalCpa(byte_index=byte_index, model=model)
+        self.name = name if name is not None else f"cpa[{byte_index}]"
+
+    @property
+    def byte_index(self) -> int:
+        return self._inc.byte_index
+
+    @property
+    def n_traces(self) -> int:
+        return self._inc.n_traces
+
+    def consume(self, chunk: TraceSet) -> None:
+        self._inc.update(chunk.traces, chunk.ciphertexts)
+
+    def result(self) -> CpaByteResult:
+        return self._inc.result()
+
+
+class TvlaStreamConsumer:
+    """Streaming fixed-vs-random Welch t over interleaved chunks.
+
+    Expects chunks produced by a fixed-vs-random campaign
+    (``CampaignSpec.fixed_plaintext`` set): even rows fixed, odd rows
+    random, flagged by ``metadata["tvla_interleaved"]``.  Feeding it a
+    plain CPA chunk is a hard error rather than a silently wrong t-curve.
+    """
+
+    def __init__(self, exclude_prefix_samples: int = 0, name: str = "tvla"):
+        self._inc = IncrementalTvla(exclude_prefix_samples=exclude_prefix_samples)
+        self.name = name
+
+    def consume(self, chunk: TraceSet) -> None:
+        if not chunk.metadata.get("tvla_interleaved"):
+            raise AttackError(
+                "TvlaStreamConsumer needs interleaved fixed-vs-random chunks "
+                "(run the campaign with a fixed_plaintext)"
+            )
+        self._inc.update_fixed(chunk.traces[0::2])
+        self._inc.update_random(chunk.traces[1::2])
+
+    def result(self) -> TvlaResult:
+        return self._inc.result()
+
+
+@dataclass
+class CompletionTimeStats:
+    """Streaming summary of per-encryption completion times.
+
+    ``counts`` maps quantized completion time (ns) to occurrences — the
+    paper's Fig. 3 histograms reduced to their sufficient statistic.
+    """
+
+    counts: Dict[float, int]
+    resolution_ns: float
+
+    @property
+    def n_encryptions(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def distinct_times(self) -> int:
+        return len(self.counts)
+
+    @property
+    def min_ns(self) -> float:
+        return min(self.counts)
+
+    @property
+    def max_ns(self) -> float:
+        return max(self.counts)
+
+    @property
+    def max_identical(self) -> int:
+        """Largest single bucket — the paper's misalignment-resistance metric."""
+        return max(self.counts.values())
+
+    def histogram(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(times_ns, counts) sorted by time, for plotting."""
+        times = np.array(sorted(self.counts))
+        return times, np.array([self.counts[t] for t in times])
+
+
+class CompletionTimeConsumer:
+    """Histogram completion times chunk by chunk, in O(distinct times)."""
+
+    def __init__(self, resolution_ns: float = 0.01, name: str = "completion"):
+        if resolution_ns <= 0:
+            raise ConfigurationError("resolution_ns must be positive")
+        self.resolution_ns = float(resolution_ns)
+        self.name = name
+        self._counts: Counter = Counter()
+
+    def consume(self, chunk: TraceSet) -> None:
+        quantized = np.round(
+            np.asarray(chunk.completion_times_ns, dtype=np.float64)
+            / self.resolution_ns
+        )
+        values, counts = np.unique(quantized, return_counts=True)
+        for value, count in zip(values, counts):
+            self._counts[float(value) * self.resolution_ns] += int(count)
+
+    def result(self) -> CompletionTimeStats:
+        if not self._counts:
+            raise AttackError("no completion times accumulated")
+        return CompletionTimeStats(
+            counts=dict(self._counts), resolution_ns=self.resolution_ns
+        )

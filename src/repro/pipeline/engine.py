@@ -1,0 +1,266 @@
+"""The streaming campaign engine: parallel acquisition in bounded memory.
+
+``StreamingCampaign`` shards a campaign into fixed-size chunks, acquires
+them on a ``multiprocessing`` pool, and streams each finished chunk — in
+acquisition order — into an optional
+:class:`~repro.store.ChunkedTraceStore` and any number of
+:class:`~repro.pipeline.consumers.TraceConsumer` plug-ins.  Peak resident
+trace memory is O(workers x chunk), never O(campaign), which is what
+makes the paper's four-million-trace evaluations reachable.
+
+Reproducibility contract
+------------------------
+The master seed feeds one :class:`numpy.random.SeedSequence`; chunk ``i``
+gets child ``i`` of ``spawn(n_chunks)`` and derives from it a device
+stream (countermeasure randomness) and a data stream (plaintexts, analog
+noise).  Chunk results are therefore a pure function of ``(spec, seed,
+chunk layout)`` — the worker count only decides *where* a chunk is
+computed, and the parent folds chunks in index order, so consumer output
+is identical for 1 or N workers (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AcquisitionError, ConfigurationError
+from repro.pipeline.consumers import TraceConsumer
+from repro.pipeline.spec import CampaignSpec
+from repro.power.acquisition import TraceSet
+from repro.store import ChunkedTraceStore
+
+#: A unit of worker work: (chunk index, trace count, chunk seed, spec).
+_ChunkTask = Tuple[int, int, np.random.SeedSequence, CampaignSpec]
+
+
+def _acquire_chunk(task: _ChunkTask) -> Tuple[int, TraceSet, float]:
+    """Worker entry point: build a fresh device and acquire one chunk.
+
+    Runs in the parent when ``workers == 1`` and in pool processes
+    otherwise; either way the chunk's randomness comes only from its
+    spawned seed sequence, never from process-local state.
+    """
+    index, n, chunk_seed, spec = task
+    started = time.perf_counter()
+    device_seq, data_seq = chunk_seed.spawn(2)
+    device = spec.build_device(np.random.default_rng(device_seq))
+    rng = np.random.default_rng(data_seq)
+    plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+    if spec.fixed_plaintext is not None:
+        plaintexts[0::2] = np.frombuffer(spec.fixed_plaintext, dtype=np.uint8)
+    chunk = device.run(plaintexts, rng)
+    chunk.metadata["chunk_index"] = index
+    if spec.fixed_plaintext is not None:
+        chunk.metadata["tvla_interleaved"] = True
+    return index, chunk, time.perf_counter() - started
+
+
+@dataclass
+class ChunkProgress:
+    """What a progress callback sees after each chunk is folded."""
+
+    chunk_index: int
+    n_chunks: int
+    chunk_traces: int
+    done_traces: int
+    total_traces: int
+    elapsed_seconds: float
+
+    @property
+    def traces_per_second(self) -> float:
+        return self.done_traces / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+ProgressCallback = Callable[[ChunkProgress], None]
+
+
+@dataclass
+class PipelineReport:
+    """Outcome + per-stage wall-clock accounting of one pipeline run.
+
+    ``acquire_seconds`` sums per-chunk worker time (it exceeds the wall
+    clock when workers overlap); ``consume_seconds`` and
+    ``store_seconds`` are parent-side folding and persistence time.
+    """
+
+    spec: CampaignSpec
+    n_traces: int
+    chunk_size: int
+    n_chunks: int
+    workers: int
+    seed: int
+    wall_seconds: float
+    acquire_seconds: float
+    consume_seconds: float
+    store_seconds: float
+    results: Dict[str, object] = field(default_factory=dict)
+    store_path: Optional[Path] = None
+
+    @property
+    def traces_per_second(self) -> float:
+        return self.n_traces / self.wall_seconds if self.wall_seconds else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.spec.label()}: {self.n_traces} traces in "
+            f"{self.n_chunks} chunks of <= {self.chunk_size} "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}, seed {self.seed})",
+            f"  wall    : {self.wall_seconds:.2f} s "
+            f"({self.traces_per_second:.0f} traces/s)",
+            f"  acquire : {self.acquire_seconds:.2f} s (summed over workers)",
+            f"  consume : {self.consume_seconds:.2f} s",
+        ]
+        if self.store_path is not None:
+            lines.append(
+                f"  store   : {self.store_seconds:.2f} s -> {self.store_path}"
+            )
+        return "\n".join(lines)
+
+
+class StreamingCampaign:
+    """Chunked, parallel acquisition with pluggable streaming analysis.
+
+    Parameters
+    ----------
+    spec:
+        What to acquire from (see :class:`CampaignSpec`).
+    chunk_size:
+        Traces per chunk — the memory/scheduling granularity.
+    workers:
+        Process count; ``1`` runs inline (no pool, identical results).
+    seed:
+        Master seed of the campaign's ``SeedSequence`` tree.
+    start_method:
+        Optional ``multiprocessing`` start method (defaults to the
+        platform's; ``"fork"`` on Linux keeps warmed plan caches shared).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        chunk_size: int = 5000,
+        workers: int = 1,
+        seed: int = 0,
+        start_method: Optional[str] = None,
+    ):
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.spec = spec
+        self.chunk_size = int(chunk_size)
+        self.workers = int(workers)
+        self.seed = int(seed)
+        self.start_method = start_method
+
+    def chunk_layout(self, n_traces: int) -> List[int]:
+        """Chunk sizes for a campaign of ``n_traces`` (last may be short)."""
+        if n_traces < 1:
+            raise AcquisitionError("n_traces must be >= 1")
+        sizes = [self.chunk_size] * (n_traces // self.chunk_size)
+        if n_traces % self.chunk_size:
+            sizes.append(n_traces % self.chunk_size)
+        return sizes
+
+    def _tasks(self, n_traces: int) -> List[_ChunkTask]:
+        sizes = self.chunk_layout(n_traces)
+        seeds = np.random.SeedSequence(self.seed).spawn(len(sizes))
+        return [
+            (index, size, seeds[index], self.spec)
+            for index, size in enumerate(sizes)
+        ]
+
+    def run(
+        self,
+        n_traces: int,
+        consumers: Sequence[TraceConsumer] = (),
+        store: Union[ChunkedTraceStore, str, Path, None] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> PipelineReport:
+        """Acquire ``n_traces``, streaming chunks to consumers and store.
+
+        ``store`` may be an open :class:`ChunkedTraceStore` or a path (a
+        fresh store is created there).  Chunks are folded strictly in
+        index order even when workers finish out of order.
+        """
+        tasks = self._tasks(n_traces)
+        store_path: Optional[Path] = None
+        if store is not None and not isinstance(store, ChunkedTraceStore):
+            # Deferred: created from the first chunk, which knows the
+            # sample period without building a throwaway device here.
+            store_path, store = Path(store), None
+        self.spec.warm_caches()
+
+        started = time.perf_counter()
+        acquire_s = consume_s = store_s = 0.0
+        done = 0
+        pool = None
+        try:
+            if self.workers == 1:
+                results = map(_acquire_chunk, tasks)
+            else:
+                ctx = (
+                    multiprocessing.get_context(self.start_method)
+                    if self.start_method
+                    else multiprocessing.get_context()
+                )
+                pool = ctx.Pool(processes=min(self.workers, len(tasks)))
+                results = pool.imap(_acquire_chunk, tasks)
+            for index, chunk, chunk_acquire_s in results:
+                acquire_s += chunk_acquire_s
+                if store is not None or store_path is not None:
+                    t0 = time.perf_counter()
+                    if store is None:
+                        store = ChunkedTraceStore.create(
+                            store_path,
+                            key=self.spec.key,
+                            sample_period_ns=chunk.sample_period_ns,
+                            metadata={
+                                "target": self.spec.label(),
+                                "seed": self.seed,
+                                "chunk_size": self.chunk_size,
+                            },
+                        )
+                    store.append(chunk)
+                    store_s += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                for consumer in consumers:
+                    consumer.consume(chunk)
+                consume_s += time.perf_counter() - t0
+                done += chunk.n_traces
+                if progress is not None:
+                    progress(
+                        ChunkProgress(
+                            chunk_index=index,
+                            n_chunks=len(tasks),
+                            chunk_traces=chunk.n_traces,
+                            done_traces=done,
+                            total_traces=n_traces,
+                            elapsed_seconds=time.perf_counter() - started,
+                        )
+                    )
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+        return PipelineReport(
+            spec=self.spec,
+            n_traces=done,
+            chunk_size=self.chunk_size,
+            n_chunks=len(tasks),
+            workers=self.workers,
+            seed=self.seed,
+            wall_seconds=time.perf_counter() - started,
+            acquire_seconds=acquire_s,
+            consume_seconds=consume_s,
+            store_seconds=store_s,
+            results={c.name: c.result() for c in consumers},
+            store_path=store.path if store is not None else None,
+        )

@@ -1,0 +1,120 @@
+"""Picklable campaign specifications for the streaming pipeline.
+
+A :class:`CampaignSpec` is everything a worker process needs to rebuild
+the device under test from scratch: target name, RFTC shape, key, noise
+level, and (for TVLA campaigns) the fixed plaintext.  Workers never share
+live device objects — each chunk gets a *fresh* device whose randomness
+comes from that chunk's spawned :class:`numpy.random.SeedSequence`, which
+is what makes pipeline output a pure function of ``(spec, master seed,
+chunk size)`` and independent of the worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Non-baseline target names (baselines come from ``baseline_names()``).
+_CORE_TARGETS = ("unprotected", "rftc")
+
+
+def campaign_targets() -> Tuple[str, ...]:
+    """Every target name a :class:`CampaignSpec` accepts."""
+    from repro.experiments.scenarios import baseline_names
+
+    names = list(_CORE_TARGETS)
+    names += [n for n in baseline_names() if n not in names]
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a device build for worker processes.
+
+    Attributes
+    ----------
+    target:
+        ``"unprotected"``, ``"rftc"``, or a baseline name
+        (see :func:`campaign_targets`).
+    m_outputs / p_configs / plan_seed:
+        RFTC shape and the seed of its (memoized) frequency plan; ignored
+        for other targets.  The plan seed is deliberately separate from
+        the campaign master seed: every chunk must use the *same* plan.
+    key / noise_std:
+        Device key and scope noise, as in ``experiments.scenarios``.
+    fixed_plaintext:
+        When set, chunks interleave this plaintext on even rows (TVLA
+        fixed-vs-random acquisition); ``None`` means a plain
+        known-plaintext CPA campaign.
+    """
+
+    target: str = "rftc"
+    m_outputs: int = 2
+    p_configs: int = 16
+    key: bytes = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    noise_std: float = 2.0
+    plan_seed: int = 2019
+    fixed_plaintext: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in campaign_targets():
+            raise ConfigurationError(
+                f"unknown campaign target {self.target!r}; "
+                f"expected one of {campaign_targets()}"
+            )
+        if len(self.key) != 16:
+            raise ConfigurationError("key must be 16 bytes")
+        if self.fixed_plaintext is not None and len(self.fixed_plaintext) != 16:
+            raise ConfigurationError("fixed_plaintext must be 16 bytes")
+        if self.noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+
+    @property
+    def is_fixed_vs_random(self) -> bool:
+        return self.fixed_plaintext is not None
+
+    def warm_caches(self) -> None:
+        """Precompute process-global state chunk builds will reuse.
+
+        RFTC frequency plans are expensive and memoized per process;
+        warming the cache in the parent lets forked workers inherit it
+        instead of re-planning once each.
+        """
+        if self.target == "rftc":
+            from repro.experiments.scenarios import cached_plan
+
+            cached_plan(self.m_outputs, self.p_configs, self.plan_seed, True)
+
+    def build_device(self, rng: np.random.Generator):
+        """A fresh :class:`ProtectedAesDevice` whose randomness is ``rng``."""
+        from repro.experiments.scenarios import (
+            build_baseline,
+            build_rftc,
+            build_unprotected,
+        )
+
+        if self.target == "rftc":
+            scenario = build_rftc(
+                self.m_outputs,
+                self.p_configs,
+                key=self.key,
+                seed=self.plan_seed,
+                noise_std=self.noise_std,
+                rng=rng,
+            )
+        elif self.target == "unprotected":
+            scenario = build_unprotected(key=self.key, noise_std=self.noise_std)
+        else:
+            scenario = build_baseline(
+                self.target, key=self.key, noise_std=self.noise_std, rng=rng
+            )
+        return scenario.device
+
+    def label(self) -> str:
+        if self.target == "rftc":
+            return f"RFTC({self.m_outputs}, {self.p_configs})"
+        return self.target

@@ -7,7 +7,12 @@ them into sampled, band-limited, noisy voltage traces — the exact channel
 CPA/DTW/PCA/FFT/TVLA consume.
 """
 
-from repro.power.acquisition import AcquisitionCampaign, ProtectedAesDevice, TraceSet
+from repro.power.acquisition import (
+    AcquisitionCampaign,
+    ProtectedAesDevice,
+    TraceSet,
+    sanitize_metadata,
+)
 from repro.power.leakage import (
     HammingDistanceLeakage,
     HammingWeightLeakage,
@@ -25,4 +30,5 @@ __all__ = [
     "LeakageModel",
     "Oscilloscope",
     "TraceSynthesizer",
+    "sanitize_metadata",
 ]

@@ -10,9 +10,10 @@ TVLA evaluation needs as a :class:`TraceSet`.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Protocol, Union
+from typing import Iterator, Optional, Protocol, Union
 
 import numpy as np
 
@@ -29,6 +30,31 @@ class Countermeasure(Protocol):
 
     def schedule(self, n_encryptions: int) -> ClockSchedule:
         ...
+
+
+def sanitize_metadata(metadata: dict) -> dict:
+    """A JSON-serialisable copy of a trace-set metadata dict.
+
+    Campaign metadata mixes python scalars with numpy arrays and numpy
+    scalars (set indices, per-round choices, stall times).  Arrays become
+    nested lists, numpy scalars become their python equivalents; anything
+    JSON cannot express is stringified via ``repr`` rather than dropped.
+    """
+
+    def convert(value):
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, dict):
+            return {str(k): convert(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(v) for v in value]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return repr(value)
+
+    return {str(k): convert(v) for k, v in metadata.items()}
 
 
 @dataclass
@@ -90,8 +116,20 @@ class TraceSet:
             metadata=dict(self.metadata),
         )
 
+    #: Archive members every :meth:`save` call writes (``metadata_json`` is
+    #: newer than some archives in the wild, so :meth:`load` treats it as
+    #: optional for backward compatibility).
+    _REQUIRED_KEYS = (
+        "traces",
+        "plaintexts",
+        "ciphertexts",
+        "key",
+        "completion_times_ns",
+        "sample_period_ns",
+    )
+
     def save(self, path: Union[str, Path]) -> None:
-        """Persist to an ``.npz`` archive."""
+        """Persist to an ``.npz`` archive (metadata serialised as JSON)."""
         np.savez_compressed(
             Path(path),
             traces=self.traces,
@@ -100,20 +138,79 @@ class TraceSet:
             key=np.frombuffer(self.key, dtype=np.uint8),
             completion_times_ns=self.completion_times_ns,
             sample_period_ns=np.array(self.sample_period_ns),
+            metadata_json=np.array(json.dumps(sanitize_metadata(self.metadata))),
         )
 
     @staticmethod
     def load(path: Union[str, Path]) -> "TraceSet":
-        """Load a set previously stored with :meth:`save`."""
-        data = np.load(Path(path))
-        return TraceSet(
-            traces=data["traces"],
-            plaintexts=data["plaintexts"],
-            ciphertexts=data["ciphertexts"],
-            key=bytes(data["key"]),
-            completion_times_ns=data["completion_times_ns"],
-            sample_period_ns=float(data["sample_period_ns"]),
+        """Load a set previously stored with :meth:`save`.
+
+        Validates the archive contents (a truncated or foreign ``.npz``
+        raises :class:`AcquisitionError`, not a bare ``KeyError``) and
+        closes the file handle before returning.  Archives written before
+        metadata was persisted load with an empty metadata dict.
+        """
+        path = Path(path)
+        try:
+            archive = np.load(path)
+        except (OSError, ValueError) as exc:
+            raise AcquisitionError(f"cannot read trace archive {path}: {exc}")
+        if not hasattr(archive, "files"):
+            raise AcquisitionError(
+                f"{path} is a bare array, not a TraceSet .npz archive"
+            )
+        with archive as data:
+            missing = [k for k in TraceSet._REQUIRED_KEYS if k not in data.files]
+            if missing:
+                raise AcquisitionError(
+                    f"trace archive {path} is missing keys {missing}; "
+                    "expected one written by TraceSet.save()"
+                )
+            metadata: dict = {}
+            if "metadata_json" in data.files:
+                try:
+                    metadata = json.loads(str(data["metadata_json"]))
+                except json.JSONDecodeError as exc:
+                    raise AcquisitionError(
+                        f"trace archive {path} has corrupt metadata: {exc}"
+                    )
+            return TraceSet(
+                traces=data["traces"],
+                plaintexts=data["plaintexts"],
+                ciphertexts=data["ciphertexts"],
+                key=bytes(data["key"]),
+                completion_times_ns=data["completion_times_ns"],
+                sample_period_ns=float(data["sample_period_ns"]),
+                metadata=metadata,
+            )
+
+    def to_store(
+        self, path: Union[str, Path], chunk_size: int = 5000
+    ) -> "ChunkedTraceStore":
+        """Re-chunk this in-memory set into a :class:`~repro.store.ChunkedTraceStore`.
+
+        The bridge between the monolithic and the streaming worlds: the
+        store's :meth:`~repro.store.ChunkedTraceStore.load_all` inverts it.
+        """
+        from repro.store import ChunkedTraceStore
+
+        if chunk_size < 1:
+            raise AcquisitionError("chunk_size must be >= 1")
+        # Array-valued metadata (per-trace schedules) rides along in each
+        # chunk's sidecar; only scalar provenance belongs in the manifest.
+        scalar_meta = {
+            k: v for k, v in self.metadata.items()
+            if not isinstance(v, np.ndarray)
+        }
+        store = ChunkedTraceStore.create(
+            path,
+            key=self.key,
+            sample_period_ns=self.sample_period_ns,
+            metadata=sanitize_metadata(scalar_meta),
         )
+        for start in range(0, self.n_traces, chunk_size):
+            store.append(self.subset(np.arange(start, min(start + chunk_size, self.n_traces))))
+        return store
 
 
 class ProtectedAesDevice:
@@ -203,6 +300,27 @@ class AcquisitionCampaign:
     def collect(self, n: int) -> TraceSet:
         """Known-plaintext campaign (the CPA threat model of Sec. 2)."""
         return self.device.run(self.random_plaintexts(n), self._rng)
+
+    def collect_chunks(self, n: int, chunk_size: int) -> Iterator[TraceSet]:
+        """Known-plaintext campaign yielded as bounded-memory chunks.
+
+        Sequential sibling of :class:`repro.pipeline.StreamingCampaign`:
+        one RNG stream, chunks emitted in order, never more than
+        ``chunk_size`` traces resident.  Chunk boundaries are visible to
+        stateful countermeasures (each chunk opens a fresh schedule), which
+        is exactly how repeated scope arm/capture segments behave on the
+        real bench.
+        """
+        if n < 1:
+            raise AcquisitionError("n must be >= 1")
+        if chunk_size < 1:
+            raise AcquisitionError("chunk_size must be >= 1")
+        for start in range(0, n, chunk_size):
+            chunk = self.device.run(
+                self.random_plaintexts(min(chunk_size, n - start)), self._rng
+            )
+            chunk.metadata["chunk_start"] = start
+            yield chunk
 
     def collect_fixed(self, n: int, plaintext: bytes) -> TraceSet:
         """Fixed-plaintext campaign (one TVLA population)."""

@@ -1,0 +1,19 @@
+"""Disk-backed trace storage: the persistence layer under ``repro.pipeline``.
+
+One class for now — :class:`ChunkedTraceStore`, a directory-of-chunks
+format with a JSON manifest — kept as its own package because every later
+scaling step (sharded stores, remote backends, compaction) slots in here
+without touching acquisition or analysis code.
+"""
+
+from repro.store.chunked import (
+    MANIFEST_NAME,
+    STORE_FORMAT_VERSION,
+    ChunkedTraceStore,
+)
+
+__all__ = [
+    "ChunkedTraceStore",
+    "MANIFEST_NAME",
+    "STORE_FORMAT_VERSION",
+]

@@ -1,0 +1,264 @@
+"""Chunked, disk-backed trace storage for paper-scale campaigns.
+
+The paper evaluates RFTC out to four million traces; at 256 float32
+samples that is a ~4 GB matrix — far past what a monolithic in-RAM
+:class:`~repro.power.acquisition.TraceSet` (or one giant ``.npz``) can
+sustain.  :class:`ChunkedTraceStore` keeps a campaign as a directory of
+fixed-layout chunks plus a JSON manifest:
+
+.. code-block:: text
+
+    store/
+      manifest.json               # key, sample period, per-chunk index
+      chunk-00000.traces.npy      # (n_0, S) scope samples
+      chunk-00000.plaintexts.npy  # (n_0, 16) uint8
+      chunk-00000.ciphertexts.npy
+      chunk-00000.times.npy       # (n_0,) completion times
+      chunk-00000.meta.npz        # array-valued chunk metadata (optional)
+      chunk-00001.traces.npy
+      ...
+
+Plain ``.npy`` chunk files (rather than one archive) buy three things:
+appends are O(chunk), any chunk can be memory-mapped without touching the
+rest of the campaign, and a crashed acquisition leaves every finished
+chunk readable.  JSON-safe chunk metadata lives in the manifest; numpy
+arrays (per-round set indices, stall times, ...) go to a ``.meta.npz``
+sidecar so the manifest stays small at any trace count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import AcquisitionError, ConfigurationError
+from repro.power.acquisition import TraceSet, sanitize_metadata
+
+MANIFEST_NAME = "manifest.json"
+STORE_FORMAT_VERSION = 1
+
+#: Fields persisted per chunk as ``chunk-XXXXX.<suffix>.npy``.
+_CHUNK_FIELDS = (
+    ("traces", "traces"),
+    ("plaintexts", "plaintexts"),
+    ("ciphertexts", "ciphertexts"),
+    ("times", "completion_times_ns"),
+)
+
+
+def _split_metadata(metadata: dict) -> "tuple[dict, dict]":
+    """Partition chunk metadata into (json-safe, array-valued) halves."""
+    plain, arrays = {}, {}
+    for key, value in metadata.items():
+        if isinstance(value, np.ndarray):
+            arrays[str(key)] = value
+        else:
+            plain[str(key)] = value
+    return sanitize_metadata(plain), arrays
+
+
+class ChunkedTraceStore:
+    """A directory of trace chunks behind a manifest.
+
+    Create with :meth:`create`, reopen with :meth:`open`; then
+    :meth:`append` finished chunks during acquisition and
+    :meth:`iter_chunks` (optionally memory-mapped) during analysis.
+    ``load_all`` materialises the whole campaign for code that still wants
+    a monolithic :class:`~repro.power.acquisition.TraceSet` — the inverse
+    of :meth:`TraceSet.to_store`.
+    """
+
+    def __init__(self, path: Path, manifest: dict):
+        self.path = Path(path)
+        self._manifest = manifest
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: Union[str, Path],
+        key: bytes,
+        sample_period_ns: float,
+        metadata: Optional[dict] = None,
+    ) -> "ChunkedTraceStore":
+        """Initialise an empty store at ``path`` (created if missing)."""
+        if len(key) != 16:
+            raise ConfigurationError("key must be 16 bytes")
+        if sample_period_ns <= 0:
+            raise ConfigurationError("sample_period_ns must be positive")
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        if (path / MANIFEST_NAME).exists():
+            raise AcquisitionError(
+                f"{path} already holds a trace store; open() it instead"
+            )
+        manifest = {
+            "version": STORE_FORMAT_VERSION,
+            "key": key.hex(),
+            "sample_period_ns": float(sample_period_ns),
+            "n_samples": None,  # pinned by the first append
+            "metadata": sanitize_metadata(metadata or {}),
+            "chunks": [],
+        }
+        store = cls(path, manifest)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "ChunkedTraceStore":
+        """Open an existing store, validating its manifest."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise AcquisitionError(f"no trace store at {path} (missing manifest)")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise AcquisitionError(f"corrupt store manifest at {path}: {exc}")
+        for required in ("version", "key", "sample_period_ns", "chunks"):
+            if required not in manifest:
+                raise AcquisitionError(
+                    f"store manifest at {path} is missing {required!r}"
+                )
+        if manifest["version"] > STORE_FORMAT_VERSION:
+            raise AcquisitionError(
+                f"store at {path} uses format v{manifest['version']}; "
+                f"this library reads up to v{STORE_FORMAT_VERSION}"
+            )
+        return cls(path, manifest)
+
+    def _write_manifest(self) -> None:
+        """Atomically persist the manifest (finished chunks survive crashes)."""
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=1))
+        os.replace(tmp, self.path / MANIFEST_NAME)
+
+    # -- metadata ------------------------------------------------------
+
+    @property
+    def key(self) -> bytes:
+        return bytes.fromhex(self._manifest["key"])
+
+    @property
+    def sample_period_ns(self) -> float:
+        return float(self._manifest["sample_period_ns"])
+
+    @property
+    def metadata(self) -> dict:
+        return dict(self._manifest["metadata"])
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._manifest["chunks"])
+
+    @property
+    def n_traces(self) -> int:
+        return sum(c["n_traces"] for c in self._manifest["chunks"])
+
+    @property
+    def n_samples(self) -> Optional[int]:
+        """Samples per trace (``None`` until the first chunk lands)."""
+        return self._manifest["n_samples"]
+
+    def chunk_sizes(self) -> List[int]:
+        return [c["n_traces"] for c in self._manifest["chunks"]]
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, chunk: TraceSet) -> int:
+        """Persist one finished chunk; returns its index in the store."""
+        if chunk.key != self.key:
+            raise AcquisitionError("chunk key does not match the store key")
+        if abs(chunk.sample_period_ns - self.sample_period_ns) > 1e-12:
+            raise AcquisitionError(
+                "chunk sample period does not match the store"
+            )
+        if self.n_samples is None:
+            self._manifest["n_samples"] = chunk.n_samples
+        elif chunk.n_samples != self.n_samples:
+            raise AcquisitionError(
+                f"chunk has {chunk.n_samples} samples, store has {self.n_samples}"
+            )
+        index = self.n_chunks
+        stem = f"chunk-{index:05d}"
+        for suffix, attr in _CHUNK_FIELDS:
+            np.save(self.path / f"{stem}.{suffix}.npy", getattr(chunk, attr))
+        plain_meta, array_meta = _split_metadata(chunk.metadata)
+        if array_meta:
+            np.savez_compressed(self.path / f"{stem}.meta.npz", **array_meta)
+        self._manifest["chunks"].append(
+            {
+                "index": index,
+                "stem": stem,
+                "n_traces": chunk.n_traces,
+                "metadata": plain_meta,
+                "has_array_metadata": bool(array_meta),
+            }
+        )
+        self._write_manifest()
+        return index
+
+    # -- reading -------------------------------------------------------
+
+    def _entry(self, index: int) -> dict:
+        if not 0 <= index < self.n_chunks:
+            raise AcquisitionError(
+                f"chunk index {index} out of range [0, {self.n_chunks})"
+            )
+        return self._manifest["chunks"][index]
+
+    def _load_field(self, stem: str, suffix: str, mmap: bool) -> np.ndarray:
+        file = self.path / f"{stem}.{suffix}.npy"
+        if not file.exists():
+            raise AcquisitionError(f"store at {self.path} lost chunk file {file.name}")
+        return np.load(file, mmap_mode="r" if mmap else None)
+
+    def chunk(self, index: int, mmap: bool = False) -> TraceSet:
+        """Load one chunk as a :class:`TraceSet`.
+
+        With ``mmap=True`` the trace matrix (the only large field) is a
+        read-only memory map: analysis that scans samples touches pages on
+        demand instead of faulting the whole chunk in.
+        """
+        entry = self._entry(index)
+        stem = entry["stem"]
+        metadata = dict(entry["metadata"])
+        if entry.get("has_array_metadata"):
+            with np.load(self.path / f"{stem}.meta.npz") as sidecar:
+                metadata.update({k: sidecar[k] for k in sidecar.files})
+        return TraceSet(
+            traces=self._load_field(stem, "traces", mmap),
+            plaintexts=np.asarray(self._load_field(stem, "plaintexts", False)),
+            ciphertexts=np.asarray(self._load_field(stem, "ciphertexts", False)),
+            key=self.key,
+            completion_times_ns=np.asarray(self._load_field(stem, "times", False)),
+            sample_period_ns=self.sample_period_ns,
+            metadata=metadata,
+        )
+
+    def iter_chunks(self, mmap: bool = False) -> Iterator[TraceSet]:
+        """Yield chunks in acquisition order, one resident at a time."""
+        for index in range(self.n_chunks):
+            yield self.chunk(index, mmap=mmap)
+
+    def load_all(self) -> TraceSet:
+        """Materialise the whole campaign (small stores / bridging only)."""
+        if self.n_chunks == 0:
+            raise AcquisitionError("store is empty")
+        chunks = list(self.iter_chunks())
+        return TraceSet(
+            traces=np.concatenate([c.traces for c in chunks]),
+            plaintexts=np.concatenate([c.plaintexts for c in chunks]),
+            ciphertexts=np.concatenate([c.ciphertexts for c in chunks]),
+            key=self.key,
+            completion_times_ns=np.concatenate(
+                [c.completion_times_ns for c in chunks]
+            ),
+            sample_period_ns=self.sample_period_ns,
+            metadata=self.metadata,
+        )

@@ -151,6 +151,30 @@ class RunningMoments:
             self._mean += delta / self.count
             self._m2 += delta * (row - self._mean)
 
+    def merge(self, other: "RunningMoments") -> None:
+        """Combine with another accumulator (Chan et al. parallel update).
+
+        Exact (not approximate) pooling of mean and M2, so shard-parallel
+        TVLA matches the sequential fold bit-for-bit up to float
+        associativity.
+        """
+        if other._mean is None or other.count == 0:
+            return
+        if self._mean is None:
+            self.count = other.count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            return
+        if other._mean.shape != self._mean.shape:
+            raise ConfigurationError(
+                "cannot merge accumulators of different widths"
+            )
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * (self.count * other.count / total)
+        self._mean += delta * (other.count / total)
+        self.count = total
+
     @property
     def mean(self) -> np.ndarray:
         if self._mean is None:

@@ -89,6 +89,18 @@ class TestCampaign:
         with pytest.raises(AcquisitionError):
             campaign.collect_fixed(5, b"short")
 
+    def test_collect_chunks_bounded(self, device):
+        chunks = list(AcquisitionCampaign(device, seed=8).collect_chunks(25, 10))
+        assert [c.n_traces for c in chunks] == [10, 10, 5]
+        assert [c.metadata["chunk_start"] for c in chunks] == [0, 10, 20]
+
+    def test_collect_chunks_bad_inputs(self, device):
+        campaign = AcquisitionCampaign(device)
+        with pytest.raises(AcquisitionError):
+            list(campaign.collect_chunks(0, 10))
+        with pytest.raises(AcquisitionError):
+            list(campaign.collect_chunks(10, 0))
+
 
 class TestTraceSet:
     def _make(self, device):
@@ -110,6 +122,64 @@ class TestTraceSet:
         np.testing.assert_array_equal(loaded.ciphertexts, ts.ciphertexts)
         assert loaded.key == ts.key
         assert loaded.sample_period_ns == ts.sample_period_ns
+
+    def test_save_preserves_metadata(self, device, tmp_path):
+        ts = self._make(device)
+        ts.metadata["note"] = "bench run 7"
+        ts.metadata["stalls"] = np.array([1.5, 2.5])
+        path = tmp_path / "campaign.npz"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert loaded.metadata["note"] == "bench run 7"
+        assert loaded.metadata["stalls"] == [1.5, 2.5]  # arrays JSON-ify to lists
+        assert loaded.metadata["countermeasure"] == ts.metadata["countermeasure"]
+
+    def test_load_pre_metadata_archive(self, device, tmp_path):
+        """Archives saved before the metadata fix still load (empty dict)."""
+        ts = self._make(device)
+        path = tmp_path / "old.npz"
+        np.savez_compressed(
+            path,
+            traces=ts.traces,
+            plaintexts=ts.plaintexts,
+            ciphertexts=ts.ciphertexts,
+            key=np.frombuffer(ts.key, dtype=np.uint8),
+            completion_times_ns=ts.completion_times_ns,
+            sample_period_ns=np.array(ts.sample_period_ns),
+        )
+        loaded = TraceSet.load(path)
+        assert loaded.metadata == {}
+        np.testing.assert_array_equal(loaded.traces, ts.traces)
+
+    def test_load_missing_keys_is_clear_error(self, device, tmp_path):
+        ts = self._make(device)
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(path, traces=ts.traces)
+        with pytest.raises(AcquisitionError, match="missing keys"):
+            TraceSet.load(path)
+
+    def test_load_non_archive_rejected(self, tmp_path, rng):
+        npy = tmp_path / "bare.npy"
+        np.save(npy, rng.normal(size=(3, 4)))
+        with pytest.raises(AcquisitionError):
+            TraceSet.load(npy)
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"not a zip at all")
+        with pytest.raises(AcquisitionError):
+            TraceSet.load(garbage)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(AcquisitionError):
+            TraceSet.load(tmp_path / "nope.npz")
+
+    def test_load_releases_file_handle(self, device, tmp_path):
+        ts = self._make(device)
+        path = tmp_path / "campaign.npz"
+        ts.save(path)
+        TraceSet.load(path)
+        # The context-managed load must leave the file unlocked/removable.
+        path.unlink()
+        assert not path.exists()
 
     def test_validation(self, device):
         ts = self._make(device)

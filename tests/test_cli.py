@@ -12,7 +12,8 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("info", "plan", "attack", "tvla", "table1", "fig3"):
+        for cmd in ("info", "plan", "attack", "tvla", "table1", "fig3",
+                    "campaign"):
             args = parser.parse_args([cmd])
             assert callable(args.func)
 
@@ -75,6 +76,40 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "max |t|" in out
+
+    def test_campaign_smoke(self, capsys, tmp_path):
+        from repro.store import ChunkedTraceStore
+
+        store_dir = tmp_path / "store"
+        rc = main(
+            [
+                "campaign",
+                "--target", "unprotected",
+                "--traces", "400",
+                "--chunk-size", "100",
+                "--workers", "1",
+                "--out", str(store_dir),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traces/s" in out
+        assert "CPA byte 0" in out
+        assert ChunkedTraceStore.open(store_dir).n_traces == 400
+
+    def test_campaign_tvla_mode(self, capsys):
+        rc = main(
+            [
+                "campaign",
+                "--target", "unprotected",
+                "--mode", "tvla",
+                "--traces", "300",
+                "--chunk-size", "150",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert "TVLA: max |t|" in capsys.readouterr().out
 
     def test_fig3_small_run(self, capsys):
         rc = main(["fig3", "--encryptions", "20000"])

@@ -17,6 +17,10 @@ PACKAGES = [
     "repro.preprocess",
     "repro.leakage_assessment",
     "repro.baselines",
+    "repro.pipeline",
+    "repro.pipeline.engine",
+    "repro.pipeline.consumers",
+    "repro.store",
     "repro.experiments",
     "repro.experiments.figures",
     "repro.experiments.tables",
@@ -44,6 +48,8 @@ class TestImports:
             "repro.baselines",
             "repro.crypto",
             "repro.utils",
+            "repro.pipeline",
+            "repro.store",
         ],
     )
     def test_all_entries_resolve(self, name):
