@@ -41,6 +41,7 @@ def test_pipeline_throughput_vs_workers(benchmark):
             f"{r.traces_per_second:.0f}",
             f"{r.wall_seconds:.2f}",
             f"{r.acquire_seconds:.2f}",
+            f"{r.stage_seconds.get('synth', 0.0):.2f}",
             f"{r.consume_seconds:.2f}",
         )
         for r in reports
@@ -50,9 +51,16 @@ def test_pipeline_throughput_vs_workers(benchmark):
     print(
         format_table(
             ["workers", "traces", "chunks", "traces/s", "wall s",
-             "acquire s", "consume s"],
+             "acquire s", "synth s", "cpa s"],
             rows,
         )
+    )
+    # Acquisition dominated by trace synthesis?  The stage split says.
+    synth_total = sum(r.stage_seconds.get("synth", 0.0) for r in reports)
+    cpa_total = sum(r.consume_seconds for r in reports)
+    print(
+        f"time split across runs: synth {synth_total:.2f}s, "
+        f"cpa consume {cpa_total:.2f}s"
     )
     # Worker count must never change the science, only the wall clock.
     peaks = [r.results["cpa[0]"].peak_corr for r in reports]

@@ -1,13 +1,13 @@
 """Power-analysis attacks: CPA and its preprocessed variants' scaffolding."""
 
-from repro.attacks.cpa import CpaByteResult, CpaResult, cpa_attack, cpa_byte
+from repro.attacks.cpa import CpaByteResult, CpaEngine, CpaResult, cpa_attack, cpa_byte
 from repro.attacks.guess import guessing_entropy, key_rank
 from repro.attacks.models import (
     first_round_hw_predictions,
     last_round_hd_predictions,
     recover_master_key_from_last_round,
 )
-from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
 from repro.attacks.mia import mia_byte, mutual_information
 from repro.attacks.progression import (
     RankProgression,
@@ -33,6 +33,7 @@ from repro.attacks.success_rate import (
 
 __all__ = [
     "CpaByteResult",
+    "CpaEngine",
     "CpaResult",
     "cpa_attack",
     "cpa_byte",
@@ -42,6 +43,7 @@ __all__ = [
     "last_round_hd_predictions",
     "recover_master_key_from_last_round",
     "IncrementalCpa",
+    "IncrementalCpaBank",
     "mia_byte",
     "mutual_information",
     "RankProgression",

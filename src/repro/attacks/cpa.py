@@ -5,6 +5,13 @@ every trace sample; the guess whose correlation peaks highest (in absolute
 value, anywhere in the trace) is the attack's answer.  Misalignment
 countermeasures like RFTC work precisely by spreading the secret round's
 samples so that no single sample correlates for the right guess.
+
+Multi-byte attacks should go through :class:`CpaEngine`: it centers and
+normalizes the trace matrix **once**, reuses those sufficient statistics
+for every key byte, and fuses all requested bytes' guesses into a single
+correlation GEMM — :func:`cpa_attack` is a thin wrapper over it.  The
+per-byte :func:`cpa_byte` remains the standalone reference path the engine
+is tested against (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -14,9 +21,9 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.models import last_round_hd_predictions
+from repro.attacks.models import _last_round_hd_into, last_round_hd_predictions
 from repro.errors import AttackError
-from repro.utils.stats import column_pearson
+from repro.utils.stats import center_columns, column_pearson
 
 #: Signature of a prediction model: (ciphertexts_or_plaintexts, byte_index)
 #: -> (n, 256) predictions.
@@ -126,6 +133,170 @@ def cpa_byte(
     )
 
 
+class CpaEngine:
+    """Multi-byte CPA sharing the trace moments across all guesses.
+
+    ``cpa_byte`` recomputes the trace means and norms for every key byte —
+    16 identical passes over an ``(n, S)`` matrix per full-key attack — and
+    round-trips every intermediate through freshly allocated arrays.  The
+    engine computes the trace sufficient statistics once at construction,
+    then answers any number of byte attacks against them with three more
+    savings per byte:
+
+    * integer prediction models (the standard HW/HD models return uint8)
+      get their column norms from exact integer sums, skipping the
+      prediction-centering pass entirely — valid because the trace side is
+      already centered, so ``cov = P.T @ t_centered`` equals the doubly
+      centered covariance to machine precision;
+    * the covariance GEMM, the float cast of the predictions, and the
+      normalization all run in scratch buffers reused across bytes, so no
+      ``O(n·256)`` allocation happens after the first byte;
+    * peaks are taken as ``max(max, -min)`` over the correlation buffer
+      without materializing ``|corr|``.
+
+    Peak correlations and rankings match the per-byte path to ~1e-12
+    (asserted by the test suite); see ``docs/performance.md``.
+
+    Parameters
+    ----------
+    traces:
+        ``(n, S)`` preprocessed or raw traces.
+    data:
+        ``(n, 16)`` known values the model consumes (ciphertexts for the
+        last-round model, plaintexts for the first-round model).
+    model:
+        Prediction model (default: last-round Hamming distance).
+    sample_window:
+        Restrict the attack to a slice of samples (a windowed attack).
+    """
+
+    def __init__(
+        self,
+        traces: np.ndarray,
+        data: np.ndarray,
+        model: PredictionModel = last_round_hd_predictions,
+        sample_window: Optional[slice] = None,
+    ):
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim != 2:
+            raise AttackError("traces must be a 2-D matrix")
+        if traces.shape[0] < 4:
+            raise AttackError("CPA requires at least 4 traces")
+        data = np.asarray(data)
+        if traces.shape[0] != data.shape[0]:
+            raise AttackError("traces and data disagree on the number of traces")
+        if sample_window is not None:
+            traces = traces[:, sample_window]
+        self.model = model
+        self._data = data
+        self._t_centered, self._t_norm = center_columns(traces)
+        with np.errstate(divide="ignore"):
+            self._t_inv = np.where(self._t_norm > 0.0, 1.0 / self._t_norm, 0.0)
+        self._p_buf: Optional[np.ndarray] = None  # (n, H) float64 scratch
+        self._c_buf: Optional[np.ndarray] = None  # (S, H) float64 scratch
+        self._u8_buf: Optional[np.ndarray] = None  # (n, 256) uint8 scratch
+        # The default model gets a fused, allocation-free kernel; validate
+        # its input once here instead of on every byte.
+        self._fast_hd = model is last_round_hd_predictions
+        if self._fast_hd:
+            ct = np.asarray(data, dtype=np.uint8)
+            if ct.ndim != 2 or ct.shape[1] != 16:
+                raise AttackError("ciphertexts must be (n, 16) uint8")
+            self._data = ct
+
+    @property
+    def n_traces(self) -> int:
+        return int(self._t_centered.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        return int(self._t_centered.shape[1])
+
+    def _byte_correlation(self, byte_index: int) -> np.ndarray:
+        """Pearson coefficients for one byte in the ``(S, 256)`` scratch.
+
+        The returned array is the engine's reusable buffer: consume it (or
+        copy it) before the next call.
+        """
+        n = self.n_traces
+        if self._fast_hd:
+            if self._u8_buf is None:
+                self._u8_buf = np.empty((n, 256), dtype=np.uint8)
+            predictions = _last_round_hd_into(
+                self._data, byte_index, self._u8_buf
+            )
+        else:
+            predictions = self.model(self._data, byte_index)
+        n_hyp = predictions.shape[1]
+        if self._p_buf is None or self._p_buf.shape[1] != n_hyp:
+            self._p_buf = np.empty((n, n_hyp), dtype=np.float64)
+            self._c_buf = np.empty((self.n_samples, n_hyp), dtype=np.float64)
+        np.copyto(self._p_buf, predictions)
+        if np.issubdtype(predictions.dtype, np.integer):
+            # Exact column norms from the raw sums (the small integer
+            # values are exact in float64); the trace side is centered, so
+            # skipping the prediction centering changes the covariance only
+            # at machine precision.
+            sum_p = self._p_buf.sum(axis=0)
+            sum_p2 = np.einsum("nk,nk->k", self._p_buf, self._p_buf)
+            var_p = np.maximum(sum_p2 - sum_p * sum_p / n, 0.0)
+            p_norm = np.sqrt(var_p)
+        else:
+            self._p_buf -= self._p_buf.mean(axis=0, keepdims=True)
+            p_norm = np.sqrt(
+                np.einsum("nk,nk->k", self._p_buf, self._p_buf)
+            )
+        np.matmul(self._t_centered.T, self._p_buf, out=self._c_buf)
+        with np.errstate(divide="ignore"):
+            p_inv = np.where(p_norm > 0.0, 1.0 / p_norm, 0.0)
+        corr = self._c_buf
+        corr *= self._t_inv[:, None]
+        corr *= p_inv[None, :]
+        return corr
+
+    def correlation(self, byte_indices: Sequence[int]) -> np.ndarray:
+        """``(len(byte_indices), 256, S)`` Pearson matrices."""
+        if not len(byte_indices):
+            raise AttackError("at least one byte index is required")
+        out = None
+        for i, b in enumerate(byte_indices):
+            corr = self._byte_correlation(b)
+            if out is None:
+                out = np.empty(
+                    (len(byte_indices), corr.shape[1], corr.shape[0])
+                )
+            out[i] = corr.T
+        return out
+
+    def attack_byte(
+        self, byte_index: int, keep_corr_matrix: bool = False
+    ) -> CpaByteResult:
+        """CPA on one key byte against the shared trace statistics."""
+        corr = self._byte_correlation(byte_index)  # (S, 256)
+        peak = np.maximum(corr.max(axis=0), -corr.min(axis=0))
+        return CpaByteResult(
+            byte_index=byte_index,
+            peak_corr=peak,
+            best_guess=int(np.argmax(peak)),
+            corr_matrix=corr.T.copy() if keep_corr_matrix else None,
+        )
+
+    def attack(
+        self,
+        byte_indices: Sequence[int] = tuple(range(16)),
+        keep_corr_matrix: bool = False,
+    ) -> CpaResult:
+        """CPA across several key bytes (all 16 by default)."""
+        if not byte_indices:
+            raise AttackError("at least one byte index is required")
+        return CpaResult(
+            byte_results=[
+                self.attack_byte(b, keep_corr_matrix=keep_corr_matrix)
+                for b in byte_indices
+            ]
+        )
+
+
 def cpa_attack(
     traces: np.ndarray,
     data: np.ndarray,
@@ -133,11 +304,12 @@ def cpa_attack(
     model: PredictionModel = last_round_hd_predictions,
     sample_window: Optional[slice] = None,
 ) -> CpaResult:
-    """CPA across several key bytes (all 16 by default)."""
+    """CPA across several key bytes (all 16 by default).
+
+    Delegates to :class:`CpaEngine` so the trace moments are computed once
+    and the per-guess correlations run as one fused GEMM.
+    """
     if not byte_indices:
         raise AttackError("at least one byte index is required")
-    results = [
-        cpa_byte(traces, data, b, model=model, sample_window=sample_window)
-        for b in byte_indices
-    ]
-    return CpaResult(byte_results=results)
+    engine = CpaEngine(traces, data, model=model, sample_window=sample_window)
+    return engine.attack(byte_indices)

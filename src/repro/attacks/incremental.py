@@ -11,11 +11,11 @@ test suite checks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.cpa import CpaByteResult, PredictionModel
+from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
 from repro.attacks.models import last_round_hd_predictions
 from repro.errors import AttackError
 
@@ -125,4 +125,136 @@ class IncrementalCpa:
             peak_corr=peak,
             best_guess=int(np.argmax(peak)),
             corr_matrix=corr if keep_corr_matrix else None,
+        )
+
+
+class IncrementalCpaBank:
+    """Running-sums CPA over several key bytes with shared trace moments.
+
+    Sixteen :class:`IncrementalCpa` instances each maintain their own
+    Σt/Σt² and issue their own per-chunk GEMM; for a full-key streaming
+    attack that recomputes the trace sums 16 times and runs 16 small
+    matrix products per chunk.  The bank keeps **one** copy of the trace
+    sums and stacks every byte's 256 guesses into a single ``(B·256, S)``
+    cross-sum updated by one GEMM per chunk — the streaming twin of
+    :class:`~repro.attacks.cpa.CpaEngine`.
+
+    Parameters
+    ----------
+    byte_indices:
+        The attacked key bytes (all 16 by default).
+    model:
+        Prediction model mapping ``(data, byte_index) -> (n, 256)``.
+    """
+
+    def __init__(
+        self,
+        byte_indices: Sequence[int] = tuple(range(16)),
+        model: PredictionModel = last_round_hd_predictions,
+    ):
+        if not byte_indices:
+            raise AttackError("at least one byte index is required")
+        for b in byte_indices:
+            if not 0 <= b < 16:
+                raise AttackError(f"byte_index must be in [0, 16), got {b}")
+        if len(set(byte_indices)) != len(byte_indices):
+            raise AttackError("byte_indices must be unique")
+        self.byte_indices = tuple(int(b) for b in byte_indices)
+        self.model = model
+        self.n_traces = 0
+        self._n_hyp = 256 * len(self.byte_indices)
+        self._sum_t: Optional[np.ndarray] = None  # (S,)
+        self._sum_t2: Optional[np.ndarray] = None  # (S,)
+        self._sum_p: Optional[np.ndarray] = None  # (B*256,)
+        self._sum_p2: Optional[np.ndarray] = None  # (B*256,)
+        self._sum_pt: Optional[np.ndarray] = None  # (B*256, S)
+
+    def _predictions(self, data: np.ndarray) -> np.ndarray:
+        return np.concatenate(
+            [self.model(data, b).astype(np.float64) for b in self.byte_indices],
+            axis=1,
+        )
+
+    def update(self, traces: np.ndarray, data: np.ndarray) -> None:
+        """Fold a batch of traces and their known data into the sums."""
+        traces = np.asarray(traces, dtype=np.float64)
+        if traces.ndim != 2:
+            raise AttackError("traces must be (n, S)")
+        if traces.shape[0] != np.asarray(data).shape[0]:
+            raise AttackError("traces and data disagree on the batch size")
+        predictions = self._predictions(data)
+        if self._sum_t is None:
+            s = traces.shape[1]
+            self._sum_t = np.zeros(s)
+            self._sum_t2 = np.zeros(s)
+            self._sum_p = np.zeros(self._n_hyp)
+            self._sum_p2 = np.zeros(self._n_hyp)
+            self._sum_pt = np.zeros((self._n_hyp, s))
+        elif traces.shape[1] != self._sum_t.shape[0]:
+            raise AttackError("batch sample count does not match accumulator")
+        self.n_traces += traces.shape[0]
+        self._sum_t += traces.sum(axis=0)
+        self._sum_t2 += (traces * traces).sum(axis=0)
+        self._sum_p += predictions.sum(axis=0)
+        self._sum_p2 += (predictions * predictions).sum(axis=0)
+        self._sum_pt += predictions.T @ traces
+
+    def merge(self, other: "IncrementalCpaBank") -> None:
+        """Fold another bank's sums into this one (shard-parallel CPA)."""
+        if not isinstance(other, IncrementalCpaBank):
+            raise AttackError("can only merge another IncrementalCpaBank")
+        if (
+            other.byte_indices != self.byte_indices
+            or other.model is not self.model
+        ):
+            raise AttackError(
+                "merge requires matching byte_indices and prediction model"
+            )
+        if other._sum_t is None:
+            return
+        if self._sum_t is None:
+            s = other._sum_t.shape[0]
+            self._sum_t = np.zeros(s)
+            self._sum_t2 = np.zeros(s)
+            self._sum_p = np.zeros(self._n_hyp)
+            self._sum_p2 = np.zeros(self._n_hyp)
+            self._sum_pt = np.zeros((self._n_hyp, s))
+        elif other._sum_t.shape[0] != self._sum_t.shape[0]:
+            raise AttackError("accumulators disagree on the sample count")
+        self.n_traces += other.n_traces
+        self._sum_t += other._sum_t
+        self._sum_t2 += other._sum_t2
+        self._sum_p += other._sum_p
+        self._sum_p2 += other._sum_p2
+        self._sum_pt += other._sum_pt
+
+    def correlation(self) -> np.ndarray:
+        """Current ``(B, 256, S)`` Pearson matrices, one byte per slab."""
+        if self._sum_t is None or self.n_traces < 2:
+            raise AttackError("accumulate at least 2 traces first")
+        n = self.n_traces
+        cov = self._sum_pt - np.outer(self._sum_p, self._sum_t) / n
+        var_p = self._sum_p2 - self._sum_p**2 / n
+        var_t = self._sum_t2 - self._sum_t**2 / n
+        var_p[var_p < 0] = 0.0
+        var_t[var_t < 0] = 0.0
+        denom = np.sqrt(np.outer(var_p, var_t))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            corr = np.where(denom > 0.0, cov / denom, 0.0)
+        return corr.reshape(len(self.byte_indices), 256, -1)
+
+    def result(self, keep_corr_matrix: bool = False) -> CpaResult:
+        """Current attack outcome across all attacked bytes."""
+        corr = self.correlation()
+        peaks = np.abs(corr).max(axis=2)
+        return CpaResult(
+            byte_results=[
+                CpaByteResult(
+                    byte_index=b,
+                    peak_corr=peaks[i],
+                    best_guess=int(np.argmax(peaks[i])),
+                    corr_matrix=corr[i] if keep_corr_matrix else None,
+                )
+                for i, b in enumerate(self.byte_indices)
+            ]
         )

@@ -56,6 +56,24 @@ def last_round_hd_predictions(
     return HW8[before ^ after]
 
 
+def _last_round_hd_into(
+    ciphertexts: np.ndarray, byte_index: int, out: np.ndarray
+) -> np.ndarray:
+    """:func:`last_round_hd_predictions` into a caller-owned uint8 buffer.
+
+    Skips validation and allocation — the CPA engine calls this once per
+    key byte on pre-validated ciphertexts, reusing one ``(n, 256)`` scratch
+    so the model stage stays out of the allocator on the hot path.  The
+    returned array *is* ``out``.
+    """
+    partner = int(SHIFT_ROWS_MAP[byte_index])
+    np.bitwise_xor(ciphertexts[:, byte_index, None], _GUESSES[None, :], out=out)
+    INV_SBOX.take(out, out=out)
+    np.bitwise_xor(out, ciphertexts[:, partner, None], out=out)
+    HW8.take(out, out=out)
+    return out
+
+
 def first_round_hw_predictions(
     plaintexts: np.ndarray, byte_index: int
 ) -> np.ndarray:

@@ -1,6 +1,12 @@
 """AES block cipher and the cycle-accurate datapath model it leaks through."""
 
-from repro.crypto.aes import AES, aes128_decrypt, aes128_encrypt, expand_key
+from repro.crypto.aes import (
+    AES,
+    aes128_decrypt,
+    aes128_encrypt,
+    batch_expand_key,
+    expand_key,
+)
 from repro.crypto.aes_tables import INV_SBOX, RCON, SBOX
 from repro.crypto.datapath import AesDatapath, RoundTransition
 
@@ -8,6 +14,7 @@ __all__ = [
     "AES",
     "aes128_decrypt",
     "aes128_encrypt",
+    "batch_expand_key",
     "expand_key",
     "INV_SBOX",
     "RCON",

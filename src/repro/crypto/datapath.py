@@ -19,7 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.crypto.aes import AES, BlockLike, _as_block
+from repro.crypto.aes import AES, BlockLike, _as_block, batch_expand_key
 from repro.crypto.aes_tables import MUL2, MUL3, SBOX, SHIFT_ROWS_MAP
 from repro.errors import ConfigurationError
 from repro.utils.bitops import HW8
@@ -82,19 +82,9 @@ def batch_round_states(keys: np.ndarray, plaintexts: np.ndarray) -> np.ndarray:
     if keys.ndim == 1:
         if keys.shape[0] != 16:
             raise ConfigurationError("key must be 16 bytes")
-        round_keys = np.array(
-            [np.frombuffer(rk, dtype=np.uint8) for rk in AES(keys.tobytes()).round_keys]
-        )
-        rk_batch = np.broadcast_to(round_keys, (n,) + round_keys.shape)
+        rk_batch = np.broadcast_to(batch_expand_key(keys), (n, 11, 16))
     elif keys.ndim == 2 and keys.shape == (n, 16):
-        unique, inverse = np.unique(keys, axis=0, return_inverse=True)
-        expanded = np.array(
-            [
-                [np.frombuffer(rk, dtype=np.uint8) for rk in AES(k.tobytes()).round_keys]
-                for k in unique
-            ]
-        )
-        rk_batch = expanded[inverse]
+        rk_batch = batch_expand_key(keys)
     else:
         raise ConfigurationError("keys must have shape (16,) or (n, 16)")
 

@@ -11,6 +11,7 @@ count.  See ``docs/pipeline.md`` for the architecture.
 from repro.pipeline.consumers import (
     CompletionTimeConsumer,
     CompletionTimeStats,
+    CpaBankConsumer,
     CpaStreamConsumer,
     TraceConsumer,
     TvlaStreamConsumer,
@@ -28,6 +29,7 @@ __all__ = [
     "ChunkProgress",
     "CompletionTimeConsumer",
     "CompletionTimeStats",
+    "CpaBankConsumer",
     "CpaStreamConsumer",
     "PipelineReport",
     "StreamingCampaign",

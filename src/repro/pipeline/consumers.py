@@ -27,8 +27,8 @@ from typing import Dict, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.attacks.cpa import CpaByteResult, PredictionModel
-from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
+from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
 from repro.attacks.models import last_round_hd_predictions
 from repro.errors import AttackError, ConfigurationError
 from repro.leakage_assessment.tvla import IncrementalTvla, TvlaResult
@@ -75,6 +75,40 @@ class CpaStreamConsumer:
 
     def result(self) -> CpaByteResult:
         return self._inc.result()
+
+
+class CpaBankConsumer:
+    """Streaming last-round CPA on several key bytes at once.
+
+    One :class:`~repro.attacks.IncrementalCpaBank` replaces 16 independent
+    :class:`CpaStreamConsumer` plug-ins: the per-chunk trace sums are
+    computed once instead of per byte and all guesses share one GEMM, so a
+    full-key streaming attack costs far less per chunk (see
+    ``docs/performance.md``).
+    """
+
+    def __init__(
+        self,
+        byte_indices: "tuple[int, ...]" = tuple(range(16)),
+        model: PredictionModel = last_round_hd_predictions,
+        name: str = "cpa_bank",
+    ):
+        self._bank = IncrementalCpaBank(byte_indices=byte_indices, model=model)
+        self.name = name
+
+    @property
+    def byte_indices(self) -> "tuple[int, ...]":
+        return self._bank.byte_indices
+
+    @property
+    def n_traces(self) -> int:
+        return self._bank.n_traces
+
+    def consume(self, chunk: TraceSet) -> None:
+        self._bank.update(chunk.traces, chunk.ciphertexts)
+
+    def result(self) -> CpaResult:
+        return self._bank.result()
 
 
 class TvlaStreamConsumer:

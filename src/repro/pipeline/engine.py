@@ -101,6 +101,10 @@ class PipelineReport:
     store_seconds: float
     results: Dict[str, object] = field(default_factory=dict)
     store_path: Optional[Path] = None
+    #: Acquisition time split by measurement-chain stage (schedule /
+    #: crypto / leakage / synth / capture), summed over chunks and workers
+    #: — the breakdown of ``acquire_seconds``.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def traces_per_second(self) -> float:
@@ -116,6 +120,12 @@ class PipelineReport:
             f"  acquire : {self.acquire_seconds:.2f} s (summed over workers)",
             f"  consume : {self.consume_seconds:.2f} s",
         ]
+        if self.stage_seconds:
+            split = ", ".join(
+                f"{stage} {seconds:.2f} s"
+                for stage, seconds in self.stage_seconds.items()
+            )
+            lines.append(f"  stages  : {split}")
         if self.store_path is not None:
             lines.append(
                 f"  store   : {self.store_seconds:.2f} s -> {self.store_path}"
@@ -199,6 +209,7 @@ class StreamingCampaign:
 
         started = time.perf_counter()
         acquire_s = consume_s = store_s = 0.0
+        stage_s: Dict[str, float] = {}
         done = 0
         pool = None
         try:
@@ -214,6 +225,10 @@ class StreamingCampaign:
                 results = pool.imap(_acquire_chunk, tasks)
             for index, chunk, chunk_acquire_s in results:
                 acquire_s += chunk_acquire_s
+                for stage, seconds in chunk.metadata.get(
+                    "stage_seconds", {}
+                ).items():
+                    stage_s[stage] = stage_s.get(stage, 0.0) + float(seconds)
                 if store is not None or store_path is not None:
                     t0 = time.perf_counter()
                     if store is None:
@@ -263,4 +278,5 @@ class StreamingCampaign:
             store_seconds=store_s,
             results={c.name: c.result() for c in consumers},
             store_path=store.path if store is not None else None,
+            stage_seconds=stage_s,
         )

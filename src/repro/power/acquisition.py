@@ -11,6 +11,7 @@ TVLA evaluation needs as a :class:`TraceSet`.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Protocol, Union
@@ -104,8 +105,24 @@ class TraceSet:
         return int(self.traces.shape[1])
 
     def subset(self, indices: np.ndarray) -> "TraceSet":
-        """A view-like subset (arrays are fancy-indexed copies)."""
+        """A view-like subset (arrays are fancy-indexed copies).
+
+        Metadata entries that are per-trace arrays — a leading axis equal
+        to ``n_traces``, like the RFTC controller's ``set_indices`` or
+        ``stall_ns`` — are sliced with the same indices so they stay
+        aligned with the surviving traces; everything else is carried over
+        unchanged.
+        """
         indices = np.asarray(indices)
+        n = self.n_traces
+        metadata = {
+            key: value[indices]
+            if isinstance(value, np.ndarray)
+            and value.ndim >= 1
+            and value.shape[0] == n
+            else value
+            for key, value in self.metadata.items()
+        }
         return TraceSet(
             traces=self.traces[indices],
             plaintexts=self.plaintexts[indices],
@@ -113,7 +130,7 @@ class TraceSet:
             key=self.key,
             completion_times_ns=self.completion_times_ns[indices],
             sample_period_ns=self.sample_period_ns,
-            metadata=dict(self.metadata),
+            metadata=metadata,
         )
 
     #: Archive members every :meth:`save` call writes (``metadata_json`` is
@@ -254,25 +271,45 @@ class ProtectedAesDevice:
     def run(
         self, plaintexts: np.ndarray, rng: np.random.Generator
     ) -> TraceSet:
-        """Encrypt each plaintext once and capture the power trace."""
+        """Encrypt each plaintext once and capture the power trace.
+
+        The returned set's ``metadata["stage_seconds"]`` breaks the run
+        down by measurement-chain stage (schedule / crypto / leakage /
+        synth / capture) so pipelines and benchmarks can report where
+        acquisition time actually goes.
+        """
         plaintexts = np.ascontiguousarray(plaintexts, dtype=np.uint8)
         if plaintexts.ndim != 2 or plaintexts.shape[1] != 16:
             raise AcquisitionError("plaintexts must be (n, 16) uint8")
         n = plaintexts.shape[0]
+        t0 = time.perf_counter()
         schedule = self.countermeasure.schedule(n)
         if schedule.n_encryptions != n:
             raise AcquisitionError(
                 "countermeasure returned a schedule of the wrong length"
             )
+        t1 = time.perf_counter()
         ciphertexts = self.datapath.batch_ciphertexts(plaintexts)
+        t2 = time.perf_counter()
         # Back-to-back encryptions: the register holds the previous
         # ciphertext when the next plaintext loads (Fig. 2 timeline).
         previous = np.vstack([np.zeros((1, 16), dtype=np.uint8), ciphertexts[:-1]])
         amplitudes = self.leakage.cycle_amplitudes(
             schedule, self.datapath, plaintexts, previous, rng
         )
+        t3 = time.perf_counter()
         analog = self.synthesizer.synthesize(schedule, amplitudes, rng=rng)
+        t4 = time.perf_counter()
         traces = self.scope.capture(analog, rng)
+        t5 = time.perf_counter()
+        metadata = dict(schedule.metadata)
+        metadata["stage_seconds"] = {
+            "schedule": t1 - t0,
+            "crypto": t2 - t1,
+            "leakage": t3 - t2,
+            "synth": t4 - t3,
+            "capture": t5 - t4,
+        }
         return TraceSet(
             traces=traces,
             plaintexts=plaintexts,
@@ -280,7 +317,7 @@ class ProtectedAesDevice:
             key=self.key,
             completion_times_ns=schedule.completion_times_ns(),
             sample_period_ns=self.synthesizer.dt_ns,
-            metadata=dict(schedule.metadata),
+            metadata=metadata,
         )
 
 

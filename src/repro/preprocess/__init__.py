@@ -6,7 +6,7 @@ hook: DTW elastic alignment [22], PCA projection [12, 20], FFT magnitude
 [16, 17], and simple static alignment.
 """
 
-from repro.preprocess.align import normalize_traces, static_align
+from repro.preprocess.align import best_shifts, normalize_traces, static_align
 from repro.preprocess.dtw import (
     DtwAligner,
     batch_dtw_align,
@@ -20,6 +20,7 @@ from repro.preprocess.ram import RapidAligner, select_reference_pattern
 
 __all__ = [
     "normalize_traces",
+    "best_shifts",
     "static_align",
     "DtwAligner",
     "batch_dtw_align",

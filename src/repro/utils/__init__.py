@@ -10,6 +10,8 @@ from repro.utils.bitops import (
     xtime,
 )
 from repro.utils.stats import (
+    center_columns,
+    centered_column_pearson,
     column_pearson,
     pearson,
     running_histogram,
@@ -30,6 +32,8 @@ __all__ = [
     "rotl32",
     "state_to_bytes",
     "xtime",
+    "center_columns",
+    "centered_column_pearson",
     "column_pearson",
     "pearson",
     "running_histogram",

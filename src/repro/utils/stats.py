@@ -38,6 +38,45 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
     return float((xc * yc).sum() / denom)
 
 
+def center_columns(matrix: np.ndarray) -> "Tuple[np.ndarray, np.ndarray]":
+    """Column-centered copy of a 2-D matrix plus per-column L2 norms.
+
+    These are the sufficient statistics of one side of a column-wise
+    Pearson correlation; :class:`~repro.attacks.cpa.CpaEngine` computes
+    them once for the trace matrix and reuses them across all key bytes
+    and guesses instead of recomputing them per byte.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError("center_columns requires a 2-D matrix")
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    norms = np.sqrt((centered * centered).sum(axis=0))
+    return centered, norms
+
+
+def centered_column_pearson(
+    p_centered: np.ndarray,
+    p_norm: np.ndarray,
+    t_centered: np.ndarray,
+    t_norm: np.ndarray,
+) -> np.ndarray:
+    """Column-wise Pearson from precomputed :func:`center_columns` outputs.
+
+    ``(n, H)`` predictions against ``(n, S)`` traces ->  ``(H, S)``
+    coefficients; zero-variance columns on either side yield 0.0, matching
+    :func:`column_pearson` (which is implemented on top of this).
+    """
+    if p_centered.shape[0] != t_centered.shape[0]:
+        raise ConfigurationError(
+            "predictions and traces must agree on the number of traces: "
+            f"{p_centered.shape[0]} vs {t_centered.shape[0]}"
+        )
+    cov = p_centered.T @ t_centered
+    denom = np.outer(p_norm, t_norm)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(denom > 0.0, cov / denom, 0.0)
+
+
 def column_pearson(predictions: np.ndarray, traces: np.ndarray) -> np.ndarray:
     """Correlate each prediction column against each trace column.
 
@@ -67,15 +106,9 @@ def column_pearson(predictions: np.ndarray, traces: np.ndarray) -> np.ndarray:
     if n < 2:
         raise AttackError("column_pearson requires at least 2 traces")
 
-    p_centered = predictions - predictions.mean(axis=0, keepdims=True)
-    t_centered = traces - traces.mean(axis=0, keepdims=True)
-    p_norm = np.sqrt((p_centered * p_centered).sum(axis=0))
-    t_norm = np.sqrt((t_centered * t_centered).sum(axis=0))
-    cov = p_centered.T @ t_centered
-    denom = np.outer(p_norm, t_norm)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        corr = np.where(denom > 0.0, cov / denom, 0.0)
-    return corr
+    p_centered, p_norm = center_columns(predictions)
+    t_centered, t_norm = center_columns(traces)
+    return centered_column_pearson(p_centered, p_norm, t_centered, t_norm)
 
 
 def welch_t(group_a: np.ndarray, group_b: np.ndarray) -> np.ndarray:

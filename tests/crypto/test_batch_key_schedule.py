@@ -1,0 +1,78 @@
+"""Vectorized AES-128 key schedule vs. the reference ``expand_key``."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import AES, batch_expand_key, expand_key
+from repro.crypto.datapath import batch_round_states
+from repro.errors import ConfigurationError
+
+
+def _reference_round_keys(key_bytes):
+    return np.array(
+        [np.frombuffer(rk, dtype=np.uint8) for rk in expand_key(key_bytes)]
+    )
+
+
+class TestBatchExpandKey:
+    def test_byte_identical_to_reference(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 256, size=(128, 16), dtype=np.uint8)
+        batched = batch_expand_key(keys)
+        assert batched.shape == (128, 11, 16)
+        assert batched.dtype == np.uint8
+        for i in range(128):
+            np.testing.assert_array_equal(
+                batched[i], _reference_round_keys(keys[i].tobytes())
+            )
+
+    def test_fips197_vector(self):
+        # FIPS-197 Appendix A.1 key expansion example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        batched = batch_expand_key(np.frombuffer(key, dtype=np.uint8))
+        assert batched.shape == (11, 16)
+        assert batched[10].tobytes() == bytes.fromhex(
+            "d014f9a8c9ee2589e13f0cc8b6630ca6"
+        )
+
+    def test_single_key_matches_batch_row(self):
+        key = np.arange(16, dtype=np.uint8)
+        single = batch_expand_key(key)
+        batch = batch_expand_key(key[None, :])
+        np.testing.assert_array_equal(single, batch[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            batch_expand_key(np.zeros(15, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            batch_expand_key(np.zeros((4, 24), dtype=np.uint8))
+
+
+class TestBatchRoundStatesUsesSchedule:
+    def test_per_trace_keys_match_scalar_aes(self):
+        rng = np.random.default_rng(23)
+        keys = rng.integers(0, 256, size=(40, 16), dtype=np.uint8)
+        pts = rng.integers(0, 256, size=(40, 16), dtype=np.uint8)
+        states = batch_round_states(keys, pts)
+        for i in range(40):
+            expected = np.array(
+                [
+                    np.frombuffer(s, dtype=np.uint8)
+                    for s in AES(keys[i].tobytes()).round_states(
+                        pts[i].tobytes()
+                    )
+                ]
+            )
+            np.testing.assert_array_equal(states[i], expected)
+
+    def test_duplicate_keys_still_exact(self):
+        rng = np.random.default_rng(29)
+        base = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        keys = base[rng.integers(0, 3, size=50)]
+        pts = rng.integers(0, 256, size=(50, 16), dtype=np.uint8)
+        states = batch_round_states(keys, pts)
+        for i in range(50):
+            assert (
+                states[i, 10].tobytes()
+                == AES(keys[i].tobytes()).encrypt(pts[i].tobytes())
+            )

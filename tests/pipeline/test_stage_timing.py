@@ -1,0 +1,74 @@
+"""Pipeline stage accounting and the multi-byte streaming CPA consumer."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import IncrementalCpaBank
+from repro.errors import AttackError
+from repro.pipeline import (
+    CampaignSpec,
+    CpaBankConsumer,
+    CpaStreamConsumer,
+    StreamingCampaign,
+)
+
+STAGES = ("schedule", "crypto", "leakage", "synth", "capture")
+
+
+class TestStageSeconds:
+    def test_chunks_carry_stage_seconds(self):
+        spec = CampaignSpec(target="unprotected")
+        device = spec.build_device(np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        pts = rng.integers(0, 256, size=(50, 16), dtype=np.uint8)
+        chunk = device.run(pts, rng)
+        stage_seconds = chunk.metadata["stage_seconds"]
+        assert set(stage_seconds) == set(STAGES)
+        assert all(v >= 0.0 for v in stage_seconds.values())
+
+    def test_report_aggregates_stages(self):
+        spec = CampaignSpec(target="unprotected")
+        engine = StreamingCampaign(spec, chunk_size=100, seed=3)
+        report = engine.run(300)
+        assert set(report.stage_seconds) == set(STAGES)
+        assert all(v >= 0.0 for v in report.stage_seconds.values())
+        assert "stages" in report.summary()
+        # The stage split decomposes (a large part of) acquisition time.
+        assert sum(report.stage_seconds.values()) <= report.acquire_seconds * 1.5
+
+
+class TestCpaBankConsumer:
+    def test_matches_per_byte_stream_consumers(self):
+        spec = CampaignSpec(target="unprotected")
+
+        def run(consumers):
+            engine = StreamingCampaign(spec, chunk_size=200, seed=7)
+            return engine.run(600, consumers=consumers)
+
+        bank_report = run([CpaBankConsumer(byte_indices=(0, 1, 2))])
+        single_report = run(
+            [CpaStreamConsumer(byte_index=b) for b in (0, 1, 2)]
+        )
+        bank_result = bank_report.results["cpa_bank"]
+        for i, b in enumerate((0, 1, 2)):
+            single = single_report.results[f"cpa[{b}]"]
+            np.testing.assert_allclose(
+                bank_result.byte_results[i].peak_corr,
+                single.peak_corr,
+                atol=1e-10,
+                rtol=0.0,
+            )
+            assert bank_result.byte_results[i].best_guess == single.best_guess
+
+    def test_default_attacks_all_sixteen_bytes(self):
+        consumer = CpaBankConsumer()
+        assert consumer.byte_indices == tuple(range(16))
+        assert consumer.name == "cpa_bank"
+        assert consumer.n_traces == 0
+        with pytest.raises(AttackError):
+            consumer.result()
+
+    def test_bank_property_access(self):
+        consumer = CpaBankConsumer(byte_indices=(4,), name="one-byte")
+        assert consumer.name == "one-byte"
+        assert isinstance(consumer._bank, IncrementalCpaBank)

@@ -1,0 +1,86 @@
+"""Batched FFT static alignment vs. the direct per-trace correlation loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.preprocess.align import _best_shift, best_shifts, static_align
+
+
+def _static_align_loop(traces, reference=None, max_shift=32):
+    """The pre-FFT implementation, kept here as the equivalence oracle."""
+    traces = np.asarray(traces, dtype=np.float64)
+    ref = traces.mean(axis=0) if reference is None else np.asarray(reference)
+    out = np.zeros_like(traces)
+    s = traces.shape[1]
+    for k in range(traces.shape[0]):
+        shift = _best_shift(ref, traces[k], max_shift)
+        if shift >= 0:
+            out[k, : s - shift] = traces[k, shift:]
+        else:
+            out[k, -shift:] = traces[k, : s + shift]
+    return out
+
+
+def _shifted_traces(rng, n, s, max_abs_shift):
+    base = rng.normal(size=s).cumsum()
+    traces = np.empty((n, s))
+    for i in range(n):
+        shift = rng.integers(-max_abs_shift, max_abs_shift + 1)
+        traces[i] = np.roll(base, shift) + 0.05 * rng.normal(size=s)
+    return traces
+
+
+class TestBestShifts:
+    def test_matches_per_trace_argmax(self, rng):
+        traces = _shifted_traces(rng, 80, 256, 12)
+        ref = traces.mean(axis=0)
+        batched = best_shifts(traces, ref, max_shift=30)
+        direct = np.array(
+            [_best_shift(ref, t, max_shift=30) for t in traces]
+        )
+        np.testing.assert_array_equal(batched, direct)
+
+    def test_short_reference(self, rng):
+        traces = _shifted_traces(rng, 40, 200, 8)
+        ref = traces[0, 40:120].copy()
+        batched = best_shifts(traces, ref, max_shift=20)
+        direct = np.array(
+            [_best_shift(ref, t, max_shift=20) for t in traces]
+        )
+        np.testing.assert_array_equal(batched, direct)
+
+    def test_validation(self, rng):
+        traces = rng.normal(size=(4, 32))
+        with pytest.raises(ConfigurationError):
+            best_shifts(traces, traces[0], max_shift=-1)
+        with pytest.raises(ConfigurationError):
+            best_shifts(traces, traces[0], max_shift=32)
+        with pytest.raises(ConfigurationError):
+            best_shifts(traces, np.empty(0), max_shift=0)
+
+
+class TestStaticAlignEquivalence:
+    @pytest.mark.parametrize("max_shift", [0, 5, 32, 100])
+    def test_identical_to_loop(self, rng, max_shift):
+        traces = _shifted_traces(rng, 60, 128, min(max_shift, 20) // 2 + 1)
+        np.testing.assert_array_equal(
+            static_align(traces, max_shift=max_shift),
+            _static_align_loop(traces, max_shift=max_shift),
+        )
+
+    def test_identical_with_explicit_reference(self, rng):
+        traces = _shifted_traces(rng, 50, 160, 10)
+        ref = traces[3].copy()
+        np.testing.assert_array_equal(
+            static_align(traces, reference=ref, max_shift=24),
+            _static_align_loop(traces, reference=ref, max_shift=24),
+        )
+
+    def test_realigns_rolled_traces(self, rng):
+        base = np.zeros(128)
+        base[40:44] = [1.0, 4.0, 2.0, 0.5]
+        traces = np.array([np.roll(base, s) for s in (-6, 0, 3, 9)])
+        aligned = static_align(traces, reference=base, max_shift=16)
+        for row in aligned:
+            assert np.argmax(row) == np.argmax(base)
