@@ -17,7 +17,36 @@ import numpy as np
 
 from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
 from repro.attacks.models import last_round_hd_predictions
-from repro.errors import AttackError
+from repro.errors import AttackError, CheckpointError
+
+_SUM_FIELDS = ("sum_t", "sum_t2", "sum_p", "sum_p2", "sum_pt")
+
+
+def _snapshot_sums(acc) -> dict:
+    """Exact copy of an accumulator's running sums (omitted while empty)."""
+    state: dict = {"n_traces": int(acc.n_traces)}
+    if acc._sum_t is not None:
+        for name in _SUM_FIELDS:
+            state[name] = getattr(acc, f"_{name}").copy()
+    return state
+
+
+def _restore_sums(acc, state: dict) -> None:
+    """Overwrite an accumulator's running sums from a snapshot state."""
+    n = int(state.get("n_traces", 0))
+    if n < 0:
+        raise CheckpointError("snapshot n_traces must be >= 0")
+    if n > 0 and any(name not in state for name in _SUM_FIELDS):
+        raise CheckpointError(
+            "snapshot with traces accumulated must carry all five sums"
+        )
+    acc.n_traces = n
+    if "sum_t" in state:
+        for name in _SUM_FIELDS:
+            setattr(acc, f"_{name}", np.array(state[name], dtype=np.float64))
+    else:
+        for name in _SUM_FIELDS:
+            setattr(acc, f"_{name}", None)
 
 
 class IncrementalCpa:
@@ -101,6 +130,25 @@ class IncrementalCpa:
         self._sum_p += other._sum_p
         self._sum_p2 += other._sum_p2
         self._sum_pt += other._sum_pt
+
+    def snapshot(self) -> dict:
+        """Serializable state: byte index plus the five exact running sums.
+
+        The prediction model is *not* serialized; :meth:`restore` must be
+        called on an accumulator constructed with the same model.
+        """
+        state = _snapshot_sums(self)
+        state["byte_index"] = self.byte_index
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this accumulator with a :meth:`snapshot` state."""
+        if int(state.get("byte_index", -1)) != self.byte_index:
+            raise CheckpointError(
+                f"snapshot is for byte {state.get('byte_index')}, "
+                f"accumulator attacks byte {self.byte_index}"
+            )
+        _restore_sums(self, state)
 
     def correlation(self) -> np.ndarray:
         """Current ``(256, S)`` Pearson matrix."""
@@ -227,6 +275,22 @@ class IncrementalCpaBank:
         self._sum_p += other._sum_p
         self._sum_p2 += other._sum_p2
         self._sum_pt += other._sum_pt
+
+    def snapshot(self) -> dict:
+        """Serializable state: attacked bytes plus the exact running sums."""
+        state = _snapshot_sums(self)
+        state["byte_indices"] = list(self.byte_indices)
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this bank with a :meth:`snapshot` state."""
+        snapped = tuple(int(b) for b in state.get("byte_indices", ()))
+        if snapped != self.byte_indices:
+            raise CheckpointError(
+                f"snapshot attacks bytes {snapped}, "
+                f"bank attacks {self.byte_indices}"
+            )
+        _restore_sums(self, state)
 
     def correlation(self) -> np.ndarray:
         """Current ``(B, 256, S)`` Pearson matrices, one byte per slab."""

@@ -9,7 +9,9 @@ Installed as ``repro-rftc`` (see pyproject), or run via
 * ``tvla``     — fixed-vs-random leakage assessment
 * ``table1``   — regenerate the comparison table
 * ``fig3``     — completion-time histogram statistics
-* ``campaign`` — streaming chunked campaign (bounded memory, worker pool)
+* ``campaign`` — streaming chunked campaign (bounded memory, worker pool,
+  checkpoint/resume, fault injection)
+* ``store``    — inspect or integrity-check a ChunkedTraceStore
 
 Every subcommand prints plain text and exits 0 on success; budgets are
 deliberately small so each command finishes in seconds to a few minutes.
@@ -169,34 +171,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         CampaignSpec,
         CompletionTimeConsumer,
         CpaStreamConsumer,
+        RetryPolicy,
         StreamingCampaign,
         TvlaStreamConsumer,
     )
 
     from repro.pipeline import campaign_targets
+    from repro.testing.faults import FaultPlan
 
-    if args.target not in campaign_targets():
-        print(f"unknown target {args.target!r}; "
-              f"available: {campaign_targets()}", file=sys.stderr)
-        return 2
-    spec = CampaignSpec(
-        target=args.target,
-        m_outputs=args.m,
-        p_configs=args.p,
-        plan_seed=args.seed,
-        fixed_plaintext=TVLA_FIXED_PLAINTEXT if args.mode == "tvla" else None,
-    )
+    faults = None
+    if args.inject_fault:
+        try:
+            faults = FaultPlan.parse(args.inject_fault)
+        except Exception as exc:
+            print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
+            return 2
+    retry = RetryPolicy(max_attempts=args.retries)
     consumers = [CompletionTimeConsumer()]
     if args.mode == "cpa":
         consumers.append(CpaStreamConsumer(byte_index=0))
     else:
         consumers.append(TvlaStreamConsumer())
-    engine = StreamingCampaign(
-        spec,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
-        seed=args.seed,
-    )
 
     def show_progress(p) -> None:
         print(
@@ -205,14 +200,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"({p.traces_per_second:.0f}/s)"
         )
 
-    print(f"streaming {args.traces} traces from {spec.label()} "
-          f"({args.workers} workers, chunks of {args.chunk_size}) ...")
-    report = engine.run(
-        args.traces,
-        consumers=consumers,
-        store=args.out,
-        progress=None if args.quiet else show_progress,
-    )
+    progress = None if args.quiet else show_progress
+
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume needs --checkpoint <file>", file=sys.stderr)
+            return 2
+        print(f"resuming campaign from {args.checkpoint} ...")
+        report = StreamingCampaign.resume(
+            args.out,
+            args.checkpoint,
+            consumers=consumers,
+            workers=args.workers,
+            progress=progress,
+            retry=retry,
+            chunk_timeout_s=args.chunk_timeout,
+            faults=faults,
+        )
+        spec = report.spec
+    else:
+        if args.target not in campaign_targets():
+            print(f"unknown target {args.target!r}; "
+                  f"available: {campaign_targets()}", file=sys.stderr)
+            return 2
+        spec = CampaignSpec(
+            target=args.target,
+            m_outputs=args.m,
+            p_configs=args.p,
+            plan_seed=args.seed,
+            fixed_plaintext=TVLA_FIXED_PLAINTEXT if args.mode == "tvla" else None,
+        )
+        engine = StreamingCampaign(
+            spec,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            seed=args.seed,
+            retry=retry,
+            chunk_timeout_s=args.chunk_timeout,
+            faults=faults,
+        )
+        print(f"streaming {args.traces} traces from {spec.label()} "
+              f"({args.workers} workers, chunks of {args.chunk_size}) ...")
+        report = engine.run(
+            args.traces,
+            consumers=consumers,
+            store=args.out,
+            progress=progress,
+            checkpoint=args.checkpoint,
+        )
     print(report.summary())
     times = report.results["completion"]
     print(f"completion times: {times.min_ns:.2f}-{times.max_ns:.2f} ns, "
@@ -228,6 +263,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"TVLA: max |t| = {tvla.max_abs_t:.2f} -> {verdict} "
               f"(threshold {TVLA_THRESHOLD})")
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.errors import AcquisitionError
+    from repro.store import ChunkedTraceStore
+
+    try:
+        store = ChunkedTraceStore.open(args.path, quarantine=False)
+    except AcquisitionError as exc:
+        print(f"cannot open store: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "info":
+        sizes = store.chunk_sizes()
+        print(f"store    : {store.path} (format v{store.version})")
+        print(f"traces   : {store.n_traces} in {store.n_chunks} chunks "
+              f"({min(sizes) if sizes else 0}-{max(sizes) if sizes else 0} per chunk)")
+        print(f"samples  : {store.n_samples} @ {store.sample_period_ns} ns")
+        for k, v in store.metadata.items():
+            print(f"meta     : {k} = {v}")
+        return 0
+    verification = store.verify()
+    print(verification.summary())
+    return 0 if verification.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -308,7 +366,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory for a ChunkedTraceStore (default: no store)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-chunk progress lines")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file rewritten after every chunk "
+                        "(enables --resume after a crash)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue the campaign recorded in --checkpoint "
+                        "(reuses --out as the store; --mode must match)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="max acquisition attempts per chunk")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   help="seconds to wait for a pooled chunk before degrading "
+                        "to inline execution")
+    p.add_argument("--inject-fault", default=None, metavar="PLAN",
+                   help="deterministic fault plan for testing, e.g. "
+                        "'worker@1x2,crash@3' (see repro.testing.faults)")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser("store", help="inspect or verify a ChunkedTraceStore")
+    p.add_argument("action", choices=("info", "verify"))
+    p.add_argument("path", help="store directory")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("report", help="generate a full markdown report")
     p.add_argument("--profile", choices=("smoke", "quick"), default="smoke")

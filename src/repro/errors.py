@@ -38,3 +38,28 @@ class AttackError(ReproError, RuntimeError):
 
 class AcquisitionError(ReproError, RuntimeError):
     """A trace-acquisition campaign was misconfigured or failed."""
+
+
+class CheckpointError(AcquisitionError):
+    """A campaign checkpoint is missing, malformed, or inconsistent."""
+
+
+class IntegrityError(AcquisitionError):
+    """Persisted trace data failed an integrity check (checksum, layout)."""
+
+
+class PoolBrokenError(AcquisitionError):
+    """The acquisition worker pool died or stopped responding."""
+
+
+class InjectedFaultError(AcquisitionError):
+    """A deterministic fault raised by the fault-injection harness."""
+
+
+class InjectedCrashError(ReproError, RuntimeError):
+    """A simulated process crash raised by the fault-injection harness.
+
+    Deliberately *not* an :class:`AcquisitionError`: recovery code that
+    retries acquisition failures must still die on a simulated crash,
+    exactly like a real ``SIGKILL`` would end the process.
+    """

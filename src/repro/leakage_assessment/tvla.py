@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AttackError, ConfigurationError
+from repro.errors import AttackError, CheckpointError, ConfigurationError
 from repro.utils.stats import RunningMoments, welch_t
 
 #: The pass/fail threshold of [6]: |t| above this flags exploitable leakage.
@@ -111,6 +111,30 @@ class IncrementalTvla:
             )
         self._fixed.merge(other._fixed)
         self._random.merge(other._random)
+
+    def snapshot(self) -> dict:
+        """Serializable state: both populations' exact Welford moments."""
+        state: dict = {"exclude_prefix_samples": self.exclude_prefix_samples}
+        for prefix, moments in (("fixed", self._fixed), ("random", self._random)):
+            for key, value in moments.snapshot().items():
+                state[f"{prefix}.{key}"] = value
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this accumulator with a :meth:`snapshot` state."""
+        excl = int(state.get("exclude_prefix_samples", -1))
+        if excl != self.exclude_prefix_samples:
+            raise CheckpointError(
+                f"snapshot excludes {excl} prefix samples, accumulator "
+                f"excludes {self.exclude_prefix_samples}"
+            )
+        for prefix, moments in (("fixed", self._fixed), ("random", self._random)):
+            sub = {
+                key[len(prefix) + 1 :]: value
+                for key, value in state.items()
+                if key.startswith(prefix + ".")
+            }
+            moments.restore(sub)
 
     def result(self) -> TvlaResult:
         if self._fixed.count < 2 or self._random.count < 2:

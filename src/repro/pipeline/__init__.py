@@ -6,8 +6,16 @@ persisted to a :class:`~repro.store.ChunkedTraceStore`, and analysed by
 incremental consumers (CPA, TVLA, completion-time statistics) — all in
 memory bounded by the chunk size, with results independent of the worker
 count.  See ``docs/pipeline.md`` for the architecture.
+
+Long campaigns are fault tolerant: per-chunk worker retries with a
+deterministic :class:`RetryPolicy`, graceful degradation to inline
+execution when the pool dies, and atomic
+:class:`~repro.pipeline.checkpoint.CampaignCheckpoint` files that let
+:meth:`StreamingCampaign.resume` continue a killed run bit-identically.
+See ``docs/robustness.md`` for the guarantees.
 """
 
+from repro.pipeline.checkpoint import CampaignCheckpoint
 from repro.pipeline.consumers import (
     CompletionTimeConsumer,
     CompletionTimeStats,
@@ -21,9 +29,11 @@ from repro.pipeline.engine import (
     PipelineReport,
     StreamingCampaign,
 )
+from repro.pipeline.retry import RetryPolicy
 from repro.pipeline.spec import CampaignSpec, campaign_targets
 
 __all__ = [
+    "CampaignCheckpoint",
     "CampaignSpec",
     "campaign_targets",
     "ChunkProgress",
@@ -32,6 +42,7 @@ __all__ = [
     "CpaBankConsumer",
     "CpaStreamConsumer",
     "PipelineReport",
+    "RetryPolicy",
     "StreamingCampaign",
     "TraceConsumer",
     "TvlaStreamConsumer",

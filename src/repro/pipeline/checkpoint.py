@@ -1,0 +1,265 @@
+"""Atomic campaign checkpoints: resume a killed run bit-identically.
+
+A checkpoint is everything needed to continue a streaming campaign after
+the process dies: the campaign identity (spec, master seed, chunk size,
+trace budget), how many chunks have been folded, and the exact state of
+every consumer's incremental accumulator.  Because chunk content is a
+pure function of ``(spec, seed, chunk layout)`` (see
+:mod:`repro.pipeline.engine`), a resumed campaign re-derives the
+remaining chunks from the same ``SeedSequence`` tree and folds them onto
+the restored sums — producing *bit-identical* consumer results and store
+bytes to a run that was never interrupted (asserted by
+``tests/pipeline/test_fault_tolerance.py``).
+
+On disk a checkpoint is one ``.npz``: a ``__meta__`` entry holding a
+JSON document (format version, campaign identity, chunks done, and each
+consumer's scalar state) plus one array entry per consumer array field,
+namespaced ``<consumer name>::<field>``.  Writes go to a temp file then
+``os.replace`` — a crash mid-checkpoint leaves the previous checkpoint
+intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.pipeline.spec import CampaignSpec
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
+_SEP = "::"
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """JSON-safe description of a :class:`CampaignSpec` (bytes as hex)."""
+    return {
+        "target": spec.target,
+        "m_outputs": spec.m_outputs,
+        "p_configs": spec.p_configs,
+        "key": spec.key.hex(),
+        "noise_std": spec.noise_std,
+        "plan_seed": spec.plan_seed,
+        "fixed_plaintext": (
+            spec.fixed_plaintext.hex() if spec.fixed_plaintext is not None else None
+        ),
+    }
+
+
+def spec_from_dict(fields: dict) -> CampaignSpec:
+    """Rebuild the :class:`CampaignSpec` a checkpoint describes."""
+    try:
+        return CampaignSpec(
+            target=str(fields["target"]),
+            m_outputs=int(fields["m_outputs"]),
+            p_configs=int(fields["p_configs"]),
+            key=bytes.fromhex(fields["key"]),
+            noise_std=float(fields["noise_std"]),
+            plan_seed=int(fields["plan_seed"]),
+            fixed_plaintext=(
+                bytes.fromhex(fields["fixed_plaintext"])
+                if fields.get("fixed_plaintext") is not None
+                else None
+            ),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(f"checkpoint spec is malformed: {exc}") from exc
+
+
+def _split_state(state: dict) -> "tuple[dict, dict]":
+    """Partition a consumer state into (JSON-safe scalars, numpy arrays)."""
+    scalars, arrays = {}, {}
+    for key, value in state.items():
+        if _SEP in key:
+            raise ConfigurationError(f"state field {key!r} may not contain {_SEP!r}")
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        elif isinstance(value, (np.integer, np.floating)):
+            scalars[key] = value.item()
+        else:
+            scalars[key] = value
+    return scalars, arrays
+
+
+@dataclass
+class CampaignCheckpoint:
+    """A resumable snapshot of a streaming campaign after *k* chunks.
+
+    Attributes
+    ----------
+    seed / chunk_size / n_traces / spec_fields:
+        The campaign identity; :meth:`spec` rebuilds the
+        :class:`CampaignSpec`.  A checkpoint can only resume the exact
+        campaign that wrote it — :meth:`validate_matches` enforces this.
+    chunks_done:
+        Chunks folded into the consumer states below (the resume point).
+    consumer_states:
+        ``name -> snapshot()`` dict for every consumer, exactly as the
+        consumer's ``restore()`` expects it back.
+    """
+
+    seed: int
+    chunk_size: int
+    n_traces: int
+    chunks_done: int
+    spec_fields: dict
+    consumer_states: Dict[str, dict]
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        spec: CampaignSpec,
+        seed: int,
+        chunk_size: int,
+        n_traces: int,
+        chunks_done: int,
+        consumers: Sequence,
+    ) -> "CampaignCheckpoint":
+        """Snapshot live campaign state (consumers must offer snapshot())."""
+        states: Dict[str, dict] = {}
+        for consumer in consumers:
+            if consumer.name in states:
+                raise ConfigurationError(
+                    f"duplicate consumer name {consumer.name!r}; checkpointed "
+                    "campaigns need unique names"
+                )
+            if not callable(getattr(consumer, "snapshot", None)):
+                raise ConfigurationError(
+                    f"consumer {consumer.name!r} has no snapshot(); it cannot "
+                    "be checkpointed"
+                )
+            states[consumer.name] = consumer.snapshot()
+        return cls(
+            seed=int(seed),
+            chunk_size=int(chunk_size),
+            n_traces=int(n_traces),
+            chunks_done=int(chunks_done),
+            spec_fields=spec_to_dict(spec),
+            consumer_states=states,
+        )
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically write the checkpoint ``.npz`` (temp file + replace)."""
+        path = Path(path)
+        meta = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "seed": self.seed,
+            "chunk_size": self.chunk_size,
+            "n_traces": self.n_traces,
+            "chunks_done": self.chunks_done,
+            "spec": self.spec_fields,
+            "consumers": {},
+        }
+        entries: Dict[str, np.ndarray] = {}
+        for name, state in self.consumer_states.items():
+            scalars, arrays = _split_state(state)
+            meta["consumers"][name] = {
+                "scalars": scalars,
+                "arrays": sorted(arrays),
+            }
+            for field, array in arrays.items():
+                entries[f"{name}{_SEP}{field}"] = array
+        entries[_META_KEY] = np.array(json.dumps(meta, sort_keys=True))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **entries)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignCheckpoint":
+        """Read and validate a checkpoint written by :meth:`save`."""
+        path = Path(path)
+        if not path.is_file():
+            raise CheckpointError(f"no checkpoint at {path}")
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if _META_KEY not in archive.files:
+                    raise CheckpointError(
+                        f"{path} is not a campaign checkpoint (no {_META_KEY})"
+                    )
+                meta = json.loads(str(archive[_META_KEY]))
+                arrays = {
+                    name: np.array(archive[name])
+                    for name in archive.files
+                    if name != _META_KEY
+                }
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint at {path}: {exc}") from exc
+        if meta.get("format_version", 0) > CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} uses format "
+                f"v{meta.get('format_version')}; this library reads up to "
+                f"v{CHECKPOINT_FORMAT_VERSION}"
+            )
+        for required in ("seed", "chunk_size", "n_traces", "chunks_done", "spec"):
+            if required not in meta:
+                raise CheckpointError(f"checkpoint {path} is missing {required!r}")
+        states: Dict[str, dict] = {}
+        for name, layout in meta.get("consumers", {}).items():
+            state = dict(layout.get("scalars", {}))
+            for field in layout.get("arrays", []):
+                entry = f"{name}{_SEP}{field}"
+                if entry not in arrays:
+                    raise CheckpointError(
+                        f"checkpoint {path} is missing array {entry!r}"
+                    )
+                state[field] = arrays[entry]
+            states[name] = state
+        return cls(
+            seed=int(meta["seed"]),
+            chunk_size=int(meta["chunk_size"]),
+            n_traces=int(meta["n_traces"]),
+            chunks_done=int(meta["chunks_done"]),
+            spec_fields=dict(meta["spec"]),
+            consumer_states=states,
+        )
+
+    # -- use -----------------------------------------------------------
+
+    def spec(self) -> CampaignSpec:
+        return spec_from_dict(self.spec_fields)
+
+    def validate_matches(
+        self, spec: CampaignSpec, seed: int, chunk_size: int
+    ) -> None:
+        """Refuse to resume a different campaign than the one snapshotted."""
+        if spec_to_dict(spec) != self.spec_fields:
+            raise CheckpointError(
+                "checkpoint was written by a different campaign spec "
+                f"({self.spec_fields.get('target')!r})"
+            )
+        if int(seed) != self.seed or int(chunk_size) != self.chunk_size:
+            raise CheckpointError(
+                f"checkpoint is for seed {self.seed} / chunk_size "
+                f"{self.chunk_size}, not seed {seed} / chunk_size {chunk_size}"
+            )
+
+    def restore_consumers(self, consumers: Sequence) -> None:
+        """Restore ``consumers`` (matched by name) from the saved states."""
+        provided = {c.name for c in consumers}
+        saved = set(self.consumer_states)
+        if provided != saved:
+            raise CheckpointError(
+                f"consumer names {sorted(provided)} do not match the "
+                f"checkpoint's {sorted(saved)}"
+            )
+        for consumer in consumers:
+            if not callable(getattr(consumer, "restore", None)):
+                raise ConfigurationError(
+                    f"consumer {consumer.name!r} has no restore(); it cannot "
+                    "resume from a checkpoint"
+                )
+            consumer.restore(self.consumer_states[consumer.name])

@@ -30,14 +30,23 @@ import numpy as np
 from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
 from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
 from repro.attacks.models import last_round_hd_predictions
-from repro.errors import AttackError, ConfigurationError
+from repro.errors import AttackError, CheckpointError, ConfigurationError
 from repro.leakage_assessment.tvla import IncrementalTvla, TvlaResult
 from repro.power.acquisition import TraceSet
 
 
 @runtime_checkable
 class TraceConsumer(Protocol):
-    """The pipeline's analysis plug-in contract."""
+    """The pipeline's analysis plug-in contract.
+
+    ``snapshot``/``restore`` are the checkpoint half of the contract:
+    ``snapshot()`` returns a dict of JSON-safe scalars and numpy arrays
+    capturing the accumulator exactly, and ``restore(state)`` overwrites
+    a freshly-constructed consumer with it such that continuing the fold
+    is bit-identical to never having stopped.  Consumers without them
+    still stream fine — they just cannot take part in checkpointed
+    (resumable) campaigns.
+    """
 
     name: str
 
@@ -47,6 +56,14 @@ class TraceConsumer(Protocol):
 
     def result(self):
         """The analysis outcome accumulated so far."""
+        ...
+
+    def snapshot(self) -> dict:
+        """Serializable exact state for campaign checkpoints."""
+        ...
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this consumer with a :meth:`snapshot` state."""
         ...
 
 
@@ -75,6 +92,12 @@ class CpaStreamConsumer:
 
     def result(self) -> CpaByteResult:
         return self._inc.result()
+
+    def snapshot(self) -> dict:
+        return self._inc.snapshot()
+
+    def restore(self, state: dict) -> None:
+        self._inc.restore(state)
 
 
 class CpaBankConsumer:
@@ -110,6 +133,12 @@ class CpaBankConsumer:
     def result(self) -> CpaResult:
         return self._bank.result()
 
+    def snapshot(self) -> dict:
+        return self._bank.snapshot()
+
+    def restore(self, state: dict) -> None:
+        self._bank.restore(state)
+
 
 class TvlaStreamConsumer:
     """Streaming fixed-vs-random Welch t over interleaved chunks.
@@ -135,6 +164,12 @@ class TvlaStreamConsumer:
 
     def result(self) -> TvlaResult:
         return self._inc.result()
+
+    def snapshot(self) -> dict:
+        return self._inc.snapshot()
+
+    def restore(self, state: dict) -> None:
+        self._inc.restore(state)
 
 
 @dataclass
@@ -199,4 +234,27 @@ class CompletionTimeConsumer:
             raise AttackError("no completion times accumulated")
         return CompletionTimeStats(
             counts=dict(self._counts), resolution_ns=self.resolution_ns
+        )
+
+    def snapshot(self) -> dict:
+        times = np.array(sorted(self._counts), dtype=np.float64)
+        counts = np.array([self._counts[t] for t in times], dtype=np.int64)
+        return {
+            "resolution_ns": self.resolution_ns,
+            "times": times,
+            "counts": counts,
+        }
+
+    def restore(self, state: dict) -> None:
+        if float(state.get("resolution_ns", -1.0)) != self.resolution_ns:
+            raise CheckpointError(
+                f"snapshot resolution {state.get('resolution_ns')} ns does "
+                f"not match consumer resolution {self.resolution_ns} ns"
+            )
+        times = np.asarray(state.get("times", ()), dtype=np.float64)
+        counts = np.asarray(state.get("counts", ()), dtype=np.int64)
+        if times.shape != counts.shape:
+            raise CheckpointError("snapshot times/counts length mismatch")
+        self._counts = Counter(
+            {float(t): int(c) for t, c in zip(times, counts)}
         )

@@ -17,11 +17,30 @@ noise).  Chunk results are therefore a pure function of ``(spec, seed,
 chunk layout)`` — the worker count only decides *where* a chunk is
 computed, and the parent folds chunks in index order, so consumer output
 is identical for 1 or N workers (asserted by the test suite).
+
+Fault tolerance
+---------------
+The same purity is what makes multi-hour campaigns *restartable*:
+
+* each chunk's acquisition is retried per the engine's
+  :class:`~repro.pipeline.retry.RetryPolicy` (inside the worker, from
+  the same spawned seeds, so a retried chunk is bit-identical);
+* if the pool dies or a chunk times out, the engine **degrades** to
+  inline single-process execution for the remaining chunks instead of
+  aborting (``PipelineReport.degraded``);
+* with ``checkpoint=...`` the engine writes an atomic
+  :class:`~repro.pipeline.checkpoint.CampaignCheckpoint` after every
+  folded chunk, and :meth:`StreamingCampaign.resume` continues a killed
+  campaign — replaying chunks already persisted to the store and
+  re-deriving the rest — with bit-identical final results.
+
+See ``docs/robustness.md`` for the guarantees and their tests.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,36 +48,95 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import AcquisitionError, ConfigurationError
+from repro.errors import (
+    AcquisitionError,
+    CheckpointError,
+    ConfigurationError,
+    PoolBrokenError,
+)
+from repro.pipeline.checkpoint import CampaignCheckpoint
 from repro.pipeline.consumers import TraceConsumer
+from repro.pipeline.retry import RetryPolicy
 from repro.pipeline.spec import CampaignSpec
 from repro.power.acquisition import TraceSet
 from repro.store import ChunkedTraceStore
+from repro.testing.faults import FaultPlan
 
-#: A unit of worker work: (chunk index, trace count, chunk seed, spec).
-_ChunkTask = Tuple[int, int, np.random.SeedSequence, CampaignSpec]
+#: A unit of worker work:
+#: (chunk index, trace count, chunk seed, spec, retry policy, fault plan).
+_ChunkTask = Tuple[
+    int, int, np.random.SeedSequence, CampaignSpec, RetryPolicy, Optional[FaultPlan]
+]
+
+#: Exceptions from collecting a pool result that mean "the pool is gone",
+#: not "the chunk is bad" — the engine degrades to inline execution on
+#: these instead of aborting the campaign.
+_POOL_FAILURES = (multiprocessing.TimeoutError, PoolBrokenError, BrokenPipeError)
 
 
-def _acquire_chunk(task: _ChunkTask) -> Tuple[int, TraceSet, float]:
+def _abandon_pool(pool) -> None:
+    """Hard-stop a failed pool without letting teardown block the campaign.
+
+    ``Pool.terminate()`` can deadlock when a worker is mid-write of a
+    chunk result larger than the pipe buffer: the terminate sequence
+    stops the result-reader thread, then needs the result queue's write
+    lock — which the blocked worker holds while waiting for a reader.
+    Workers are therefore SIGKILLed first (a killed writer releases the
+    pipe, and the work is re-acquired inline anyway), and the blocking
+    ``terminate()``/``join()`` runs on a daemon thread: if teardown still
+    wedges, an idle pool is leaked until interpreter exit instead of
+    hanging a multi-hour campaign.
+    """
+
+    def reap() -> None:
+        for proc in getattr(pool, "_pool", ()):
+            if proc.exitcode is None:
+                proc.kill()
+        pool.terminate()
+        pool.join()
+
+    threading.Thread(target=reap, name="pool-reaper", daemon=True).start()
+
+
+def _acquire_chunk(task: _ChunkTask) -> Tuple[int, TraceSet, float, int]:
     """Worker entry point: build a fresh device and acquire one chunk.
 
-    Runs in the parent when ``workers == 1`` and in pool processes
-    otherwise; either way the chunk's randomness comes only from its
-    spawned seed sequence, never from process-local state.
+    Runs in the parent when ``workers == 1`` (or after pool degradation)
+    and in pool processes otherwise; either way the chunk's randomness
+    comes only from its spawned seed sequence, never from process-local
+    state.  Failed attempts are retried per the task's
+    :class:`RetryPolicy` **from the same seed children** — the seeds are
+    spawned once, before the first attempt — so a chunk that needed
+    three attempts is bit-identical to one that succeeded immediately.
     """
-    index, n, chunk_seed, spec = task
+    index, n, chunk_seed, spec, retry, faults = task
     started = time.perf_counter()
     device_seq, data_seq = chunk_seed.spawn(2)
-    device = spec.build_device(np.random.default_rng(device_seq))
-    rng = np.random.default_rng(data_seq)
-    plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
-    if spec.fixed_plaintext is not None:
-        plaintexts[0::2] = np.frombuffer(spec.fixed_plaintext, dtype=np.uint8)
-    chunk = device.run(plaintexts, rng)
-    chunk.metadata["chunk_index"] = index
-    if spec.fixed_plaintext is not None:
-        chunk.metadata["tvla_interleaved"] = True
-    return index, chunk, time.perf_counter() - started
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if faults is not None:
+                faults.check_worker(index, attempt)
+            device = spec.build_device(np.random.default_rng(device_seq))
+            rng = np.random.default_rng(data_seq)
+            plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+            if spec.fixed_plaintext is not None:
+                plaintexts[0::2] = np.frombuffer(
+                    spec.fixed_plaintext, dtype=np.uint8
+                )
+            chunk = device.run(plaintexts, rng)
+        except Exception:
+            if attempt >= retry.max_attempts:
+                raise
+            delay = retry.backoff_seconds(attempt, chunk_seed)
+            if delay > 0.0:
+                time.sleep(delay)
+            continue
+        chunk.metadata["chunk_index"] = index
+        if spec.fixed_plaintext is not None:
+            chunk.metadata["tvla_interleaved"] = True
+        return index, chunk, time.perf_counter() - started, attempt
 
 
 @dataclass
@@ -87,6 +165,12 @@ class PipelineReport:
     ``acquire_seconds`` sums per-chunk worker time (it exceeds the wall
     clock when workers overlap); ``consume_seconds`` and
     ``store_seconds`` are parent-side folding and persistence time.
+
+    The recovery fields tell an operator whether the run limped home:
+    ``retried_chunks``/``total_retries`` count worker-side retries,
+    ``degraded`` flags a pool failure that forced the remaining
+    ``degraded_chunks`` to run inline, and ``resumed_from_chunk`` /
+    ``replayed_chunks`` describe a checkpoint resume.
     """
 
     spec: CampaignSpec
@@ -105,6 +189,20 @@ class PipelineReport:
     #: crypto / leakage / synth / capture), summed over chunks and workers
     #: — the breakdown of ``acquire_seconds``.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Chunks that needed more than one acquisition attempt.
+    retried_chunks: int = 0
+    #: Extra attempts beyond the first, summed over all chunks.
+    total_retries: int = 0
+    #: True when the worker pool died and the engine fell back to
+    #: inline single-process acquisition for the remaining chunks.
+    degraded: bool = False
+    #: Chunks acquired inline after the pool failure.
+    degraded_chunks: int = 0
+    #: First chunk index acquired by this run when resuming (``None``
+    #: for a fresh campaign).
+    resumed_from_chunk: Optional[int] = None
+    #: Chunks folded from the store rather than re-acquired on resume.
+    replayed_chunks: int = 0
 
     @property
     def traces_per_second(self) -> float:
@@ -130,6 +228,24 @@ class PipelineReport:
             lines.append(
                 f"  store   : {self.store_seconds:.2f} s -> {self.store_path}"
             )
+        if self.resumed_from_chunk is not None:
+            line = f"  resume  : continued at chunk {self.resumed_from_chunk}"
+            if self.replayed_chunks:
+                line += f" ({self.replayed_chunks} chunk(s) replayed from store)"
+            lines.append(line)
+        if self.retried_chunks or self.degraded:
+            parts = []
+            if self.retried_chunks:
+                parts.append(
+                    f"{self.retried_chunks} chunk(s) recovered after "
+                    f"{self.total_retries} retry(ies)"
+                )
+            if self.degraded:
+                parts.append(
+                    "pool died -> DEGRADED to inline execution for "
+                    f"{self.degraded_chunks} chunk(s)"
+                )
+            lines.append(f"  recovery: {'; '.join(parts)}")
         return "\n".join(lines)
 
 
@@ -149,6 +265,16 @@ class StreamingCampaign:
     start_method:
         Optional ``multiprocessing`` start method (defaults to the
         platform's; ``"fork"`` on Linux keeps warmed plan caches shared).
+    retry:
+        Per-chunk :class:`RetryPolicy` (bounded attempts, deterministic
+        backoff).  The default retries each chunk up to 3 times.
+    chunk_timeout_s:
+        Parent-side cap on waiting for one pooled chunk; on expiry the
+        pool is presumed dead and the engine degrades to inline
+        execution.  ``None`` (default) waits indefinitely.
+    faults:
+        Optional :class:`~repro.testing.faults.FaultPlan` driving the
+        deterministic fault-injection harness (tests / ``--inject-fault``).
     """
 
     def __init__(
@@ -158,16 +284,24 @@ class StreamingCampaign:
         workers: int = 1,
         seed: int = 0,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        chunk_timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if chunk_timeout_s is not None and chunk_timeout_s <= 0:
+            raise ConfigurationError("chunk_timeout_s must be positive")
         self.spec = spec
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
         self.seed = int(seed)
         self.start_method = start_method
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chunk_timeout_s = chunk_timeout_s
+        self.faults = faults
 
     def chunk_layout(self, n_traces: int) -> List[int]:
         """Chunk sizes for a campaign of ``n_traces`` (last may be short)."""
@@ -182,7 +316,7 @@ class StreamingCampaign:
         sizes = self.chunk_layout(n_traces)
         seeds = np.random.SeedSequence(self.seed).spawn(len(sizes))
         return [
-            (index, size, seeds[index], self.spec)
+            (index, size, seeds[index], self.spec, self.retry, self.faults)
             for index, size in enumerate(sizes)
         ]
 
@@ -192,74 +326,265 @@ class StreamingCampaign:
         consumers: Sequence[TraceConsumer] = (),
         store: Union[ChunkedTraceStore, str, Path, None] = None,
         progress: Optional[ProgressCallback] = None,
+        checkpoint: Union[str, Path, None] = None,
     ) -> PipelineReport:
         """Acquire ``n_traces``, streaming chunks to consumers and store.
 
         ``store`` may be an open :class:`ChunkedTraceStore` or a path (a
         fresh store is created there).  Chunks are folded strictly in
-        index order even when workers finish out of order.
+        index order even when workers finish out of order.  With
+        ``checkpoint`` set, an atomic resume point is rewritten after
+        every folded chunk (see :meth:`resume`).
         """
         tasks = self._tasks(n_traces)
+        return self._execute(
+            n_traces,
+            tasks,
+            consumers=consumers,
+            store=store,
+            progress=progress,
+            checkpoint_path=checkpoint,
+            folded_chunks=0,
+            replay_until=0,
+            resumed_from=None,
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        store: Union[ChunkedTraceStore, str, Path, None],
+        checkpoint: Union[CampaignCheckpoint, str, Path],
+        consumers: Sequence[TraceConsumer] = (),
+        workers: int = 1,
+        progress: Optional[ProgressCallback] = None,
+        checkpoint_path: Union[str, Path, None] = None,
+        start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        chunk_timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> PipelineReport:
+        """Continue an interrupted campaign from its checkpoint.
+
+        Rebuilds the campaign (spec, seed, chunk layout) from the
+        checkpoint, restores ``consumers`` (which must match the
+        checkpointed names) onto their saved accumulator states, folds
+        any chunks the store holds beyond the checkpoint (a crash
+        between store append and checkpoint write loses nothing), then
+        acquires the remaining chunks from the same ``SeedSequence``
+        tree.  Because chunk content is a pure function of ``(spec,
+        seed, chunk layout)``, the final consumer results and store
+        bytes are **bit-identical** to an uninterrupted run.
+
+        Checkpoints keep being written during the resumed run — to
+        ``checkpoint_path`` if given, else to the path ``checkpoint``
+        was loaded from.
+        """
+        if isinstance(checkpoint, CampaignCheckpoint):
+            ckpt = checkpoint
+        else:
+            if checkpoint_path is None:
+                checkpoint_path = checkpoint
+            ckpt = CampaignCheckpoint.load(checkpoint)
+        engine = cls(
+            ckpt.spec(),
+            chunk_size=ckpt.chunk_size,
+            workers=workers,
+            seed=ckpt.seed,
+            start_method=start_method,
+            retry=retry,
+            chunk_timeout_s=chunk_timeout_s,
+            faults=faults,
+        )
+        ckpt.restore_consumers(consumers)
+        tasks = engine._tasks(ckpt.n_traces)
+        if not 0 <= ckpt.chunks_done <= len(tasks):
+            raise CheckpointError(
+                f"checkpoint claims {ckpt.chunks_done} folded chunks but the "
+                f"campaign has {len(tasks)}"
+            )
+        if store is not None and not isinstance(store, ChunkedTraceStore):
+            store = ChunkedTraceStore.open(store)
+        replay_until = ckpt.chunks_done
+        if store is not None:
+            layout = [task[1] for task in tasks]
+            if store.n_chunks > len(tasks):
+                raise CheckpointError(
+                    f"store holds {store.n_chunks} chunks; the campaign has "
+                    f"only {len(tasks)}"
+                )
+            if store.n_chunks < ckpt.chunks_done:
+                raise CheckpointError(
+                    f"store holds {store.n_chunks} chunks but the checkpoint "
+                    f"folded {ckpt.chunks_done}; chunks were persisted before "
+                    "being checkpointed, so this store cannot have written "
+                    "this checkpoint"
+                )
+            if store.chunk_sizes() != layout[: store.n_chunks]:
+                raise CheckpointError(
+                    "store chunk sizes do not match the campaign layout; "
+                    "wrong store for this checkpoint?"
+                )
+            replay_until = store.n_chunks
+        return engine._execute(
+            ckpt.n_traces,
+            tasks,
+            consumers=consumers,
+            store=store,
+            progress=progress,
+            checkpoint_path=checkpoint_path,
+            folded_chunks=ckpt.chunks_done,
+            replay_until=replay_until,
+            resumed_from=ckpt.chunks_done,
+        )
+
+    # -- core ----------------------------------------------------------
+
+    def _execute(
+        self,
+        n_traces: int,
+        tasks: List[_ChunkTask],
+        consumers: Sequence[TraceConsumer],
+        store: Union[ChunkedTraceStore, str, Path, None],
+        progress: Optional[ProgressCallback],
+        checkpoint_path: Union[str, Path, None],
+        folded_chunks: int,
+        replay_until: int,
+        resumed_from: Optional[int],
+    ) -> PipelineReport:
         store_path: Optional[Path] = None
         if store is not None and not isinstance(store, ChunkedTraceStore):
             # Deferred: created from the first chunk, which knows the
             # sample period without building a throwaway device here.
             store_path, store = Path(store), None
+        if checkpoint_path is not None:
+            checkpoint_path = Path(checkpoint_path)
+            # Fail on un-checkpointable consumers up front, not at chunk 1.
+            CampaignCheckpoint.capture(
+                self.spec, self.seed, self.chunk_size, n_traces,
+                folded_chunks, consumers,
+            )
         self.spec.warm_caches()
 
         started = time.perf_counter()
         acquire_s = consume_s = store_s = 0.0
         stage_s: Dict[str, float] = {}
-        done = 0
+        done = sum(task[1] for task in tasks[:folded_chunks])
+        retried_chunks = total_retries = degraded_chunks = 0
+        degraded = False
+
+        def _store_chunk(chunk: TraceSet) -> None:
+            # Deferred-creation dance: the store is created lazily from
+            # the first persisted chunk, which knows the sample period.
+            nonlocal store
+            if store is None:
+                store = ChunkedTraceStore.create(
+                    store_path,
+                    key=self.spec.key,
+                    sample_period_ns=chunk.sample_period_ns,
+                    metadata={
+                        "target": self.spec.label(),
+                        "seed": self.seed,
+                        "chunk_size": self.chunk_size,
+                    },
+                )
+            store.append(chunk)
+
+        def fold(index: int, chunk: TraceSet, persist: bool) -> None:
+            """Stream one chunk (replayed or fresh) through store/consumers."""
+            nonlocal consume_s, store_s, done
+            # Pop, don't get: wall-clock stage timings must never reach
+            # the store, or persisted chunk bytes stop being a pure
+            # function of (spec, seed, layout).
+            for stage, seconds in chunk.metadata.pop(
+                "stage_seconds", {}
+            ).items():
+                stage_s[stage] = stage_s.get(stage, 0.0) + float(seconds)
+            if persist and (store is not None or store_path is not None):
+                t0 = time.perf_counter()
+                _store_chunk(chunk)
+                store_s += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for consumer in consumers:
+                consumer.consume(chunk)
+            consume_s += time.perf_counter() - t0
+            done += chunk.n_traces
+            if checkpoint_path is not None:
+                CampaignCheckpoint.capture(
+                    self.spec, self.seed, self.chunk_size, n_traces,
+                    index + 1, consumers,
+                ).save(checkpoint_path)
+            if progress is not None:
+                progress(
+                    ChunkProgress(
+                        chunk_index=index,
+                        n_chunks=len(tasks),
+                        chunk_traces=chunk.n_traces,
+                        done_traces=done,
+                        total_traces=n_traces,
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+                )
+            if self.faults is not None:
+                self.faults.check_crash(index)
+
+        fresh = tasks[max(folded_chunks, replay_until):]
         pool = None
         try:
-            if self.workers == 1:
-                results = map(_acquire_chunk, tasks)
-            else:
+            # Phase 1 (resume only): chunks the store already holds are
+            # folded from disk — never re-acquired, so store bytes are
+            # untouched and consumer folds see the exact same data.
+            for index in range(folded_chunks, replay_until):
+                chunk = store.chunk(index)
+                if chunk.n_traces != tasks[index][1]:
+                    raise CheckpointError(
+                        f"stored chunk {index} holds {chunk.n_traces} traces; "
+                        f"the campaign layout expects {tasks[index][1]}"
+                    )
+                fold(index, chunk, persist=False)
+
+            # Phase 2: acquire the remaining chunks.
+            async_results = None
+            if self.workers > 1 and len(fresh) > 0:
                 ctx = (
                     multiprocessing.get_context(self.start_method)
                     if self.start_method
                     else multiprocessing.get_context()
                 )
-                pool = ctx.Pool(processes=min(self.workers, len(tasks)))
-                results = pool.imap(_acquire_chunk, tasks)
-            for index, chunk, chunk_acquire_s in results:
+                pool = ctx.Pool(processes=min(self.workers, len(fresh)))
+                async_results = [
+                    pool.apply_async(_acquire_chunk, (task,)) for task in fresh
+                ]
+            for position, task in enumerate(fresh):
+                if pool is not None:
+                    try:
+                        if self.faults is not None:
+                            self.faults.check_pool(task[0])
+                        index, chunk, chunk_acquire_s, attempts = async_results[
+                            position
+                        ].get(self.chunk_timeout_s)
+                    except _POOL_FAILURES:
+                        # The pool (not the chunk) failed: abandon it and
+                        # limp home inline rather than losing the campaign.
+                        degraded = True
+                        _abandon_pool(pool)
+                        pool = None
+                if pool is None:
+                    index, chunk, chunk_acquire_s, attempts = _acquire_chunk(task)
+                    if degraded:
+                        degraded_chunks += 1
                 acquire_s += chunk_acquire_s
-                for stage, seconds in chunk.metadata.get(
-                    "stage_seconds", {}
-                ).items():
-                    stage_s[stage] = stage_s.get(stage, 0.0) + float(seconds)
-                if store is not None or store_path is not None:
-                    t0 = time.perf_counter()
-                    if store is None:
-                        store = ChunkedTraceStore.create(
-                            store_path,
-                            key=self.spec.key,
-                            sample_period_ns=chunk.sample_period_ns,
-                            metadata={
-                                "target": self.spec.label(),
-                                "seed": self.seed,
-                                "chunk_size": self.chunk_size,
-                            },
-                        )
-                    store.append(chunk)
-                    store_s += time.perf_counter() - t0
-                t0 = time.perf_counter()
-                for consumer in consumers:
-                    consumer.consume(chunk)
-                consume_s += time.perf_counter() - t0
-                done += chunk.n_traces
-                if progress is not None:
-                    progress(
-                        ChunkProgress(
-                            chunk_index=index,
-                            n_chunks=len(tasks),
-                            chunk_traces=chunk.n_traces,
-                            done_traces=done,
-                            total_traces=n_traces,
-                            elapsed_seconds=time.perf_counter() - started,
-                        )
-                    )
+                if attempts > 1:
+                    retried_chunks += 1
+                    total_retries += attempts - 1
+                fold(index, chunk, persist=True)
+        except BaseException:
+            # Workers may still be mid-chunk; close()+join() would block
+            # on them while the campaign is already dead.  Kill the pool,
+            # surface the original error.
+            if pool is not None:
+                _abandon_pool(pool)
+                pool = None
+            raise
         finally:
             if pool is not None:
                 pool.close()
@@ -279,4 +604,10 @@ class StreamingCampaign:
             results={c.name: c.result() for c in consumers},
             store_path=store.path if store is not None else None,
             stage_seconds=stage_s,
+            retried_chunks=retried_chunks,
+            total_retries=total_retries,
+            degraded=degraded,
+            degraded_chunks=degraded_chunks,
+            resumed_from_chunk=resumed_from,
+            replayed_chunks=max(0, replay_until - folded_chunks),
         )

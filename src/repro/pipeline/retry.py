@@ -1,0 +1,88 @@
+"""Bounded, deterministic retry for per-chunk acquisition.
+
+Long campaigns hit transient faults — a worker OOM-killed, a flaky
+storage mount, an injected test fault — and a four-million-trace run must
+not die on the first one.  :class:`RetryPolicy` bounds the attempts per
+chunk and spaces them with exponential backoff whose jitter is derived
+*deterministically* from the chunk's :class:`numpy.random.SeedSequence`:
+two runs of the same campaign retry at the same instants, so recovery
+behaviour is reproducible and testable without wall-clock flakiness.
+
+Retries re-run the chunk from the same spawned seed children, so a chunk
+that succeeds on attempt *n* produces bit-identical traces to one that
+succeeds on attempt 1 — the engine's determinism contract survives
+recovery (asserted by ``tests/pipeline/test_fault_tolerance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Namespace mixed into the spawn key so jitter draws can never collide
+#: with the device/data streams spawned from the same chunk seed.
+_JITTER_KEY = 0x52455452  # "RETR"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt a chunk, and how long to wait between.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per chunk (1 = no retry).
+    backoff_base_s:
+        Sleep before attempt 2; doubles (``backoff_factor``) per further
+        attempt, capped at ``backoff_max_s``.  ``0.0`` disables sleeping,
+        which is what the test suite uses.
+    backoff_factor / backoff_max_s:
+        Exponential growth rate and ceiling of the backoff.
+    jitter_fraction:
+        ±half this fraction of spread around each delay, drawn
+        deterministically from the chunk seed (decorrelates workers that
+        fail simultaneously without sacrificing reproducibility).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1]")
+
+    def backoff_seconds(
+        self,
+        attempt: int,
+        chunk_seed: Optional[np.random.SeedSequence] = None,
+    ) -> float:
+        """Delay before retrying after failed ``attempt`` (1-based).
+
+        Pure function of ``(policy, attempt, chunk seed)`` — no global
+        RNG, no wall clock — so a replayed campaign backs off identically.
+        """
+        if attempt < 1:
+            raise ConfigurationError("attempt is 1-based")
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        delay = min(delay, self.backoff_max_s)
+        if delay <= 0.0 or self.jitter_fraction == 0.0 or chunk_seed is None:
+            return delay
+        draw_seq = np.random.SeedSequence(
+            entropy=chunk_seed.entropy,
+            spawn_key=(*chunk_seed.spawn_key, _JITTER_KEY, attempt),
+        )
+        unit = draw_seq.generate_state(1, np.uint64)[0] / float(2**64)
+        return delay * (1.0 + self.jitter_fraction * (unit - 0.5))

@@ -24,22 +24,33 @@ rest of the campaign, and a crashed acquisition leaves every finished
 chunk readable.  JSON-safe chunk metadata lives in the manifest; numpy
 arrays (per-round set indices, stall times, ...) go to a ``.meta.npz``
 sidecar so the manifest stays small at any trace count.
+
+Integrity (format v2): :meth:`ChunkedTraceStore.append` records a
+SHA-256 per chunk file in the manifest, :meth:`ChunkedTraceStore.verify`
+re-hashes the directory and reports missing / corrupt / orphaned files,
+and :meth:`ChunkedTraceStore.open` quarantines partial chunk files left
+by a crash between ``np.save`` and the manifest write (the manifest
+itself is always replaced atomically).  v1 stores still open; their
+chunks are reported as ``unverified``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
-from repro.errors import AcquisitionError, ConfigurationError
+from repro.errors import AcquisitionError, ConfigurationError, IntegrityError
 from repro.power.acquisition import TraceSet, sanitize_metadata
 
 MANIFEST_NAME = "manifest.json"
-STORE_FORMAT_VERSION = 1
+QUARANTINE_DIR = "quarantine"
+STORE_FORMAT_VERSION = 2
 
 #: Fields persisted per chunk as ``chunk-XXXXX.<suffix>.npy``.
 _CHUNK_FIELDS = (
@@ -61,6 +72,94 @@ def _split_metadata(metadata: dict) -> "tuple[dict, dict]":
     return sanitize_metadata(plain), arrays
 
 
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _validate_manifest(path: Path, manifest: dict) -> None:
+    """Reject hand-edited or truncated manifests with a clear error.
+
+    Catches what a deep ``KeyError`` in :meth:`ChunkedTraceStore.chunk`
+    would otherwise surface much later: a malformed key, a missing
+    ``n_samples`` field, or chunk entries without their required fields.
+    """
+    for required in ("version", "key", "sample_period_ns", "n_samples", "chunks"):
+        if required not in manifest:
+            raise AcquisitionError(
+                f"store manifest at {path} is missing {required!r}"
+            )
+    key = manifest["key"]
+    if not (isinstance(key, str) and len(key) == 32):
+        raise AcquisitionError(
+            f"store manifest at {path} has a malformed key (expected 32 hex "
+            f"characters, got {key!r})"
+        )
+    try:
+        bytes.fromhex(key)
+    except ValueError as exc:
+        raise AcquisitionError(
+            f"store manifest at {path} has a non-hex key {key!r}"
+        ) from exc
+    if not isinstance(manifest["chunks"], list):
+        raise AcquisitionError(f"store manifest at {path}: 'chunks' must be a list")
+    for position, entry in enumerate(manifest["chunks"]):
+        if not isinstance(entry, dict):
+            raise AcquisitionError(
+                f"store manifest at {path}: chunk entry {position} is not an object"
+            )
+        for entry_field in ("stem", "n_traces"):
+            if entry_field not in entry:
+                raise AcquisitionError(
+                    f"store manifest at {path}: chunk entry {position} is "
+                    f"missing {entry_field!r}"
+                )
+        if not isinstance(entry["n_traces"], int) or entry["n_traces"] < 0:
+            raise AcquisitionError(
+                f"store manifest at {path}: chunk entry {position} has a "
+                f"malformed n_traces {entry['n_traces']!r}"
+            )
+
+
+@dataclass
+class StoreVerification:
+    """Outcome of :meth:`ChunkedTraceStore.verify`.
+
+    ``missing``/``corrupt``/``orphaned`` are file names relative to the
+    store directory; ``unverified`` lists chunk stems recorded without
+    checksums (pre-v2 stores), which existence-checks still cover.
+    """
+
+    n_chunks: int
+    missing: List[str] = field(default_factory=list)
+    corrupt: List[str] = field(default_factory=list)
+    orphaned: List[str] = field(default_factory=list)
+    unverified: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every manifest file exists and hashes clean."""
+        return not (self.missing or self.corrupt or self.orphaned)
+
+    def summary(self) -> str:
+        if self.ok and not self.unverified:
+            return f"store OK: {self.n_chunks} chunks, all checksums match"
+        lines = [f"store verification over {self.n_chunks} chunks:"]
+        for label, names in (
+            ("missing", self.missing),
+            ("corrupt", self.corrupt),
+            ("orphaned", self.orphaned),
+            ("unverified", self.unverified),
+        ):
+            if names:
+                lines.append(f"  {label:10s}: {', '.join(names)}")
+        lines.append(f"  verdict   : {'OK' if self.ok else 'DAMAGED'}")
+        return "\n".join(lines)
+
+
 class ChunkedTraceStore:
     """A directory of trace chunks behind a manifest.
 
@@ -75,6 +174,9 @@ class ChunkedTraceStore:
     def __init__(self, path: Path, manifest: dict):
         self.path = Path(path)
         self._manifest = manifest
+        #: Files moved aside by quarantine-on-open (names under
+        #: ``quarantine/``); empty for cleanly-closed stores.
+        self.quarantined_files: List[str] = []
 
     # -- lifecycle -----------------------------------------------------
 
@@ -110,8 +212,18 @@ class ChunkedTraceStore:
         return store
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "ChunkedTraceStore":
-        """Open an existing store, validating its manifest."""
+    def open(
+        cls, path: Union[str, Path], quarantine: bool = True
+    ) -> "ChunkedTraceStore":
+        """Open an existing store, validating its manifest.
+
+        With ``quarantine=True`` (the default), chunk files whose stem is
+        not in the manifest — the footprint of a crash between
+        ``np.save`` and the manifest write — are moved into a
+        ``quarantine/`` subdirectory so a resumed campaign can rewrite
+        the chunk cleanly; the moved names are listed on
+        :attr:`quarantined_files`.
+        """
         path = Path(path)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -119,18 +231,41 @@ class ChunkedTraceStore:
         try:
             manifest = json.loads(manifest_path.read_text())
         except json.JSONDecodeError as exc:
-            raise AcquisitionError(f"corrupt store manifest at {path}: {exc}")
-        for required in ("version", "key", "sample_period_ns", "chunks"):
-            if required not in manifest:
-                raise AcquisitionError(
-                    f"store manifest at {path} is missing {required!r}"
-                )
+            raise AcquisitionError(
+                f"corrupt store manifest at {path}: {exc}"
+            ) from exc
+        _validate_manifest(path, manifest)
         if manifest["version"] > STORE_FORMAT_VERSION:
             raise AcquisitionError(
                 f"store at {path} uses format v{manifest['version']}; "
                 f"this library reads up to v{STORE_FORMAT_VERSION}"
             )
-        return cls(path, manifest)
+        store = cls(path, manifest)
+        if quarantine:
+            store._quarantine_partial_chunks()
+        return store
+
+    def _known_stems(self) -> "set[str]":
+        return {entry["stem"] for entry in self._manifest["chunks"]}
+
+    def _stray_chunk_files(self) -> List[Path]:
+        """Top-level ``chunk-*`` files whose stem the manifest doesn't own."""
+        known = self._known_stems()
+        return sorted(
+            file
+            for file in self.path.glob("chunk-*")
+            if file.is_file() and file.name.split(".")[0] not in known
+        )
+
+    def _quarantine_partial_chunks(self) -> None:
+        strays = self._stray_chunk_files()
+        if not strays:
+            return
+        quarantine = self.path / QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        for file in strays:
+            os.replace(file, quarantine / file.name)
+            self.quarantined_files.append(file.name)
 
     def _write_manifest(self) -> None:
         """Atomically persist the manifest (finished chunks survive crashes)."""
@@ -139,6 +274,11 @@ class ChunkedTraceStore:
         os.replace(tmp, self.path / MANIFEST_NAME)
 
     # -- metadata ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Manifest format version the store was written with."""
+        return int(self._manifest["version"])
 
     @property
     def key(self) -> bytes:
@@ -186,11 +326,16 @@ class ChunkedTraceStore:
             )
         index = self.n_chunks
         stem = f"chunk-{index:05d}"
+        checksums = {}
         for suffix, attr in _CHUNK_FIELDS:
-            np.save(self.path / f"{stem}.{suffix}.npy", getattr(chunk, attr))
+            file = self.path / f"{stem}.{suffix}.npy"
+            np.save(file, getattr(chunk, attr))
+            checksums[file.name] = _sha256(file)
         plain_meta, array_meta = _split_metadata(chunk.metadata)
         if array_meta:
-            np.savez_compressed(self.path / f"{stem}.meta.npz", **array_meta)
+            sidecar = self.path / f"{stem}.meta.npz"
+            np.savez_compressed(sidecar, **array_meta)
+            checksums[sidecar.name] = _sha256(sidecar)
         self._manifest["chunks"].append(
             {
                 "index": index,
@@ -198,10 +343,54 @@ class ChunkedTraceStore:
                 "n_traces": chunk.n_traces,
                 "metadata": plain_meta,
                 "has_array_metadata": bool(array_meta),
+                "files": checksums,
             }
         )
         self._write_manifest()
         return index
+
+    # -- integrity -----------------------------------------------------
+
+    def expected_files(self, index: int) -> List[str]:
+        """File names one chunk entry must have on disk."""
+        entry = self._entry(index)
+        names = [f"{entry['stem']}.{suffix}.npy" for suffix, _ in _CHUNK_FIELDS]
+        if entry.get("has_array_metadata"):
+            names.append(f"{entry['stem']}.meta.npz")
+        return names
+
+    def verify(self) -> StoreVerification:
+        """Re-hash every chunk file against the manifest checksums.
+
+        Reports files that are *missing*, *corrupt* (checksum mismatch —
+        a single flipped byte is caught), or *orphaned* (``chunk-*``
+        files the manifest does not own, e.g. leftovers of a crash when
+        the store was opened with ``quarantine=False``).  Chunks written
+        by pre-checksum stores land in ``unverified``.  Never raises on
+        damage — operators want the full report, not the first failure.
+        """
+        outcome = StoreVerification(n_chunks=self.n_chunks)
+        for position, entry in enumerate(self._manifest["chunks"]):
+            checksums = entry.get("files")
+            if checksums is None:
+                outcome.unverified.append(entry["stem"])
+                checksums = {name: None for name in self.expected_files(position)}
+            for name, digest in checksums.items():
+                file = self.path / name
+                if not file.is_file():
+                    outcome.missing.append(name)
+                elif digest is not None and _sha256(file) != digest:
+                    outcome.corrupt.append(name)
+        outcome.orphaned.extend(file.name for file in self._stray_chunk_files())
+        return outcome
+
+    def require_intact(self) -> None:
+        """Raise :class:`~repro.errors.IntegrityError` unless verify() is ok."""
+        outcome = self.verify()
+        if not outcome.ok:
+            raise IntegrityError(
+                f"store at {self.path} failed verification:\n{outcome.summary()}"
+            )
 
     # -- reading -------------------------------------------------------
 

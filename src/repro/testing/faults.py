@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the streaming campaign pipeline.
+
+Fault-tolerance code that is only ever *claimed* to work is worse than
+none: the recovery path rots unnoticed until a real 4M-trace campaign
+dies on it.  This module makes every failure mode reproducible on
+demand:
+
+* :class:`FaultPlan` — a picklable plan the engine consults at fixed
+  points: raise in a worker on chunk *k* (for the first *n* attempts, so
+  "fails twice then succeeds" is one tuple), simulate the worker pool
+  dying while collecting chunk *k*, or simulate a hard process crash
+  right after chunk *k* is folded and checkpointed.
+* File-level corruption helpers — flip a byte in a named chunk file,
+  truncate it, or drop the tail of the store manifest — used to prove
+  :meth:`~repro.store.ChunkedTraceStore.verify` and manifest validation
+  actually detect damage.
+
+Everything is a pure function of the plan; no randomness, no timing.
+The same plans drive the test suite and the CLI's ``--inject-fault``
+debug flag (``repro-rftc campaign --inject-fault worker@2x1``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import (
+    ConfigurationError,
+    InjectedCrashError,
+    InjectedFaultError,
+    PoolBrokenError,
+)
+
+#: ``worker@K`` with no ``xN`` repeat count means "this chunk always fails".
+ALWAYS = 10**9
+
+_SPEC_RE = re.compile(r"^(worker|pool|crash)@(\d+)(?:x(\d+))?$")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected failures for one campaign.
+
+    Attributes
+    ----------
+    worker_errors:
+        ``(chunk_index, failing_attempts)`` pairs: acquisition of that
+        chunk raises :class:`~repro.errors.InjectedFaultError` on
+        attempts ``1..failing_attempts`` and succeeds afterwards.  Use
+        :data:`ALWAYS` for a permanent fault.
+    pool_breaks:
+        Chunk indices at which collecting from the worker pool raises
+        :class:`~repro.errors.PoolBrokenError` — the engine must
+        degrade to inline execution, not abort.
+    crash_after:
+        Chunk index after whose fold (store append + consumer update +
+        checkpoint) the parent raises
+        :class:`~repro.errors.InjectedCrashError`, simulating a killed
+        process at the worst-aligned instant.
+    """
+
+    worker_errors: Tuple[Tuple[int, int], ...] = ()
+    pool_breaks: Tuple[int, ...] = ()
+    crash_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for entry in self.worker_errors:
+            if len(entry) != 2 or entry[0] < 0 or entry[1] < 1:
+                raise ConfigurationError(
+                    "worker_errors entries must be (chunk_index >= 0, "
+                    "failing_attempts >= 1)"
+                )
+        if any(index < 0 for index in self.pool_breaks):
+            raise ConfigurationError("pool_breaks indices must be >= 0")
+        if self.crash_after is not None and self.crash_after < 0:
+            raise ConfigurationError("crash_after must be >= 0")
+
+    # -- engine hooks --------------------------------------------------
+
+    def check_worker(self, chunk_index: int, attempt: int) -> None:
+        """Raise if this (chunk, attempt) is scheduled to fail in-worker."""
+        for index, failing in self.worker_errors:
+            if index == chunk_index and attempt <= failing:
+                raise InjectedFaultError(
+                    f"injected worker fault: chunk {chunk_index}, "
+                    f"attempt {attempt}/{failing}"
+                )
+
+    def check_pool(self, chunk_index: int) -> None:
+        """Raise if the pool is scheduled to die while collecting a chunk."""
+        if chunk_index in self.pool_breaks:
+            raise PoolBrokenError(
+                f"injected pool failure while collecting chunk {chunk_index}"
+            )
+
+    def check_crash(self, chunk_index: int) -> None:
+        """Raise if the parent is scheduled to crash after folding a chunk."""
+        if self.crash_after == chunk_index:
+            raise InjectedCrashError(
+                f"injected crash after folding chunk {chunk_index}"
+            )
+
+    # -- parsing -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the CLI mini-language.
+
+        Comma-separated directives: ``worker@K`` (chunk *K* always fails),
+        ``worker@KxN`` (fails on the first *N* attempts), ``pool@K``
+        (pool dies collecting chunk *K*), ``crash@K`` (parent crashes
+        after folding chunk *K*).  Example: ``worker@1x2,crash@3``.
+        """
+        worker_errors = []
+        pool_breaks = []
+        crash_after = None
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            match = _SPEC_RE.match(part)
+            if match is None:
+                raise ConfigurationError(
+                    f"bad fault directive {part!r}; expected worker@K[xN], "
+                    "pool@K, or crash@K"
+                )
+            kind, index, count = match.group(1), int(match.group(2)), match.group(3)
+            if kind == "worker":
+                worker_errors.append((index, int(count) if count else ALWAYS))
+            elif count is not None:
+                raise ConfigurationError(f"{kind}@K takes no repeat count")
+            elif kind == "pool":
+                pool_breaks.append(index)
+            else:
+                if crash_after is not None:
+                    raise ConfigurationError("only one crash@K directive allowed")
+                crash_after = index
+        return cls(
+            worker_errors=tuple(worker_errors),
+            pool_breaks=tuple(pool_breaks),
+            crash_after=crash_after,
+        )
+
+
+# -- store corruption helpers ------------------------------------------
+
+
+def _chunk_file(store_path: Union[str, Path], file_name: str) -> Path:
+    file = Path(store_path) / file_name
+    if not file.is_file():
+        raise ConfigurationError(f"no chunk file {file_name} in {store_path}")
+    return file
+
+
+def corrupt_chunk_file(
+    store_path: Union[str, Path], file_name: str, byte_offset: int = -1
+) -> None:
+    """Flip every bit of one byte in a named chunk file (default: last).
+
+    The smallest possible on-disk damage — exactly what a checksum must
+    catch and a size check cannot.
+    """
+    file = _chunk_file(store_path, file_name)
+    data = bytearray(file.read_bytes())
+    if not data:
+        raise ConfigurationError(f"{file_name} is empty; nothing to corrupt")
+    data[byte_offset] ^= 0xFF
+    file.write_bytes(bytes(data))
+
+
+def truncate_chunk_file(
+    store_path: Union[str, Path], file_name: str, keep_bytes: int = 16
+) -> None:
+    """Cut a named chunk file down to its first ``keep_bytes`` bytes."""
+    if keep_bytes < 0:
+        raise ConfigurationError("keep_bytes must be >= 0")
+    file = _chunk_file(store_path, file_name)
+    file.write_bytes(file.read_bytes()[:keep_bytes])
+
+
+def drop_manifest_tail(
+    store_path: Union[str, Path], drop_chars: int = 32
+) -> None:
+    """Truncate the store manifest, as a crash mid-rewrite would.
+
+    (The store writes manifests atomically, so this can only happen with
+    a non-atomic filesystem or manual editing — validation must still
+    fail loudly.)
+    """
+    from repro.store import MANIFEST_NAME
+
+    if drop_chars < 1:
+        raise ConfigurationError("drop_chars must be >= 1")
+    manifest = Path(store_path) / MANIFEST_NAME
+    if not manifest.is_file():
+        raise ConfigurationError(f"no manifest in {store_path}")
+    text = manifest.read_text()
+    manifest.write_text(text[: max(0, len(text) - drop_chars)])

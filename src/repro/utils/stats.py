@@ -208,6 +208,33 @@ class RunningMoments:
         self._mean += delta * (other.count / total)
         self.count = total
 
+    def snapshot(self) -> dict:
+        """Serializable state: exact ``{count, mean, m2}`` (arrays omitted
+        while empty).  ``restore`` of a snapshot reproduces the accumulator
+        bit-for-bit, which is what campaign checkpoints rely on."""
+        state: dict = {"count": int(self.count)}
+        if self._mean is not None:
+            state["mean"] = self._mean.copy()
+            state["m2"] = self._m2.copy()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this accumulator with a :meth:`snapshot` state."""
+        count = int(state.get("count", 0))
+        if count < 0:
+            raise ConfigurationError("snapshot count must be >= 0")
+        if count > 0 and ("mean" not in state or "m2" not in state):
+            raise ConfigurationError(
+                "snapshot with count > 0 must carry mean and m2 arrays"
+            )
+        self.count = count
+        if "mean" in state:
+            self._mean = np.array(state["mean"], dtype=np.float64)
+            self._m2 = np.array(state["m2"], dtype=np.float64)
+        else:
+            self._mean = None
+            self._m2 = None
+
     @property
     def mean(self) -> np.ndarray:
         if self._mean is None:

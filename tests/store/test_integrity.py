@@ -1,0 +1,162 @@
+"""Store integrity: checksums, verify(), quarantine, manifest validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import AcquisitionError, IntegrityError
+from repro.pipeline import CampaignSpec, StreamingCampaign
+from repro.store import (
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    STORE_FORMAT_VERSION,
+    ChunkedTraceStore,
+)
+from repro.testing.faults import (
+    corrupt_chunk_file,
+    drop_manifest_tail,
+    truncate_chunk_file,
+)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    """A small, healthy two-chunk store."""
+    path = tmp_path / "store"
+    StreamingCampaign(
+        CampaignSpec(target="unprotected"), chunk_size=50, seed=3
+    ).run(100, store=path)
+    return path
+
+
+class TestChecksums:
+    def test_append_records_a_checksum_per_file(self, store_path):
+        manifest = json.loads((store_path / MANIFEST_NAME).read_text())
+        assert manifest["version"] == STORE_FORMAT_VERSION
+        for entry in manifest["chunks"]:
+            files = entry["files"]
+            assert set(files) >= {
+                f"{entry['stem']}.{suffix}.npy"
+                for suffix in ("traces", "plaintexts", "ciphertexts", "times")
+            }
+            for digest in files.values():
+                assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_clean_store_verifies_ok(self, store_path):
+        outcome = ChunkedTraceStore.open(store_path).verify()
+        assert outcome.ok
+        assert outcome.n_chunks == 2
+        assert "all checksums match" in outcome.summary()
+
+    @pytest.mark.parametrize(
+        "suffix", ["traces", "plaintexts", "ciphertexts", "times"]
+    )
+    def test_single_flipped_byte_detected(self, store_path, suffix):
+        name = f"chunk-00001.{suffix}.npy"
+        corrupt_chunk_file(store_path, name)
+        outcome = ChunkedTraceStore.open(store_path).verify()
+        assert not outcome.ok
+        assert outcome.corrupt == [name]
+        assert "DAMAGED" in outcome.summary()
+
+    def test_truncation_detected(self, store_path):
+        truncate_chunk_file(store_path, "chunk-00000.traces.npy")
+        outcome = ChunkedTraceStore.open(store_path).verify()
+        assert outcome.corrupt == ["chunk-00000.traces.npy"]
+
+    def test_missing_file_detected(self, store_path):
+        (store_path / "chunk-00000.times.npy").unlink()
+        outcome = ChunkedTraceStore.open(store_path).verify()
+        assert outcome.missing == ["chunk-00000.times.npy"]
+
+    def test_require_intact(self, store_path):
+        store = ChunkedTraceStore.open(store_path)
+        store.require_intact()
+        corrupt_chunk_file(store_path, "chunk-00000.traces.npy")
+        with pytest.raises(IntegrityError):
+            store.require_intact()
+
+    def test_pre_checksum_store_reports_unverified(self, store_path):
+        """v1 manifests (no 'files') still open; verify() flags them."""
+        manifest_file = store_path / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        manifest["version"] = 1
+        for entry in manifest["chunks"]:
+            del entry["files"]
+        manifest_file.write_text(json.dumps(manifest))
+        store = ChunkedTraceStore.open(store_path)
+        outcome = store.verify()
+        assert outcome.ok  # existence checks pass
+        assert outcome.unverified == ["chunk-00000", "chunk-00001"]
+        # ... but missing files are still caught without checksums
+        (store_path / "chunk-00001.times.npy").unlink()
+        assert store.verify().missing == ["chunk-00001.times.npy"]
+
+
+class TestQuarantine:
+    def test_partial_chunk_quarantined_on_open(self, store_path):
+        stray = store_path / "chunk-00002.traces.npy"
+        np.save(stray, np.zeros(4))
+        store = ChunkedTraceStore.open(store_path)
+        assert not stray.exists()
+        assert (store_path / QUARANTINE_DIR / stray.name).exists()
+        assert store.quarantined_files == [stray.name]
+        assert store.verify().ok
+
+    def test_quarantine_opt_out_reports_orphans(self, store_path):
+        stray = store_path / "chunk-00002.traces.npy"
+        np.save(stray, np.zeros(4))
+        store = ChunkedTraceStore.open(store_path, quarantine=False)
+        assert stray.exists()
+        assert store.quarantined_files == []
+        assert store.verify().orphaned == [stray.name]
+
+    def test_manifest_owned_files_never_quarantined(self, store_path):
+        before = sorted(p.name for p in store_path.iterdir())
+        ChunkedTraceStore.open(store_path)
+        assert sorted(p.name for p in store_path.iterdir()) == before
+
+
+class TestManifestValidation:
+    def test_truncated_manifest_chains_json_error(self, store_path):
+        drop_manifest_tail(store_path)
+        with pytest.raises(AcquisitionError) as excinfo:
+            ChunkedTraceStore.open(store_path)
+        assert "corrupt store manifest" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda m: m.pop("n_samples"), "missing 'n_samples'"),
+            (lambda m: m.pop("key"), "missing 'key'"),
+            (lambda m: m.update(key="abc123"), "malformed key"),
+            (lambda m: m.update(key="zz" * 16), "non-hex key"),
+            (lambda m: m.update(chunks={"0": {}}), "must be a list"),
+            (lambda m: m["chunks"][0].pop("stem"), "missing 'stem'"),
+            (
+                lambda m: m["chunks"][0].update(n_traces="fifty"),
+                "malformed n_traces",
+            ),
+        ],
+        ids=[
+            "no-n_samples", "no-key", "short-key", "non-hex-key",
+            "chunks-not-list", "no-stem", "bad-n_traces",
+        ],
+    )
+    def test_malformed_manifest_rejected(self, store_path, mutate, message):
+        manifest_file = store_path / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        mutate(manifest)
+        manifest_file.write_text(json.dumps(manifest))
+        with pytest.raises(AcquisitionError, match=message):
+            ChunkedTraceStore.open(store_path)
+
+    def test_future_version_rejected(self, store_path):
+        manifest_file = store_path / MANIFEST_NAME
+        manifest = json.loads(manifest_file.read_text())
+        manifest["version"] = STORE_FORMAT_VERSION + 1
+        manifest_file.write_text(json.dumps(manifest))
+        with pytest.raises(AcquisitionError, match="reads up to"):
+            ChunkedTraceStore.open(store_path)

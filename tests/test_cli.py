@@ -16,6 +16,8 @@ class TestParser:
                     "campaign"):
             args = parser.parse_args([cmd])
             assert callable(args.func)
+        args = parser.parse_args(["store", "verify", "somewhere"])
+        assert callable(args.func)
 
 
 class TestCommands:
@@ -110,6 +112,53 @@ class TestCommands:
         )
         assert rc == 0
         assert "TVLA: max |t|" in capsys.readouterr().out
+
+    def test_campaign_crash_resume_and_store_verify(self, capsys, tmp_path):
+        """The operator recovery workflow, end to end through the CLI."""
+        from repro.errors import InjectedCrashError
+
+        store = str(tmp_path / "store")
+        ckpt = str(tmp_path / "campaign.npz")
+        base = [
+            "campaign", "--target", "unprotected", "--traces", "400",
+            "--chunk-size", "100", "--quiet", "--out", store,
+            "--checkpoint", ckpt,
+        ]
+        with pytest.raises(InjectedCrashError):
+            main(base + ["--inject-fault", "crash@1"])
+        capsys.readouterr()
+        rc = main(["campaign", "--resume", "--checkpoint", ckpt,
+                   "--out", store, "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resume  : continued at chunk 2" in out
+        assert "CPA byte 0" in out
+        assert main(["store", "info", store]) == 0
+        assert "400" in capsys.readouterr().out
+        assert main(["store", "verify", store]) == 0
+        assert "all checksums match" in capsys.readouterr().out
+
+    def test_store_verify_flags_damage(self, capsys, tmp_path):
+        from repro.testing.faults import corrupt_chunk_file
+
+        store = str(tmp_path / "store")
+        assert main(["campaign", "--target", "unprotected", "--traces", "100",
+                     "--chunk-size", "100", "--quiet", "--out", store]) == 0
+        corrupt_chunk_file(store, "chunk-00000.traces.npy")
+        capsys.readouterr()
+        assert main(["store", "verify", store]) == 1
+        assert "DAMAGED" in capsys.readouterr().out
+        assert main(["store", "verify", str(tmp_path / "nowhere")]) == 1
+
+    def test_campaign_rejects_bad_fault_plan(self, capsys):
+        rc = main(["campaign", "--inject-fault", "meteor@1"])
+        assert rc == 2
+        assert "bad --inject-fault" in capsys.readouterr().err
+
+    def test_campaign_resume_requires_checkpoint(self, capsys):
+        rc = main(["campaign", "--resume"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
 
     def test_fig3_small_run(self, capsys):
         rc = main(["fig3", "--encryptions", "20000"])

@@ -5,10 +5,15 @@ import pytest
 from repro.errors import (
     AcquisitionError,
     AttackError,
+    CheckpointError,
     ConfigurationError,
     FrequencyRangeError,
+    InjectedCrashError,
+    InjectedFaultError,
+    IntegrityError,
     LockError,
     PlanningError,
+    PoolBrokenError,
     ReconfigurationError,
     ReproError,
 )
@@ -20,15 +25,31 @@ class TestHierarchy:
         [
             AcquisitionError,
             AttackError,
+            CheckpointError,
             ConfigurationError,
             FrequencyRangeError,
+            InjectedCrashError,
+            InjectedFaultError,
+            IntegrityError,
             LockError,
             PlanningError,
+            PoolBrokenError,
             ReconfigurationError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
+
+    def test_robustness_errors_are_acquisition_errors(self):
+        """Campaign-level handlers catch the whole recovery family ..."""
+        for exc in (CheckpointError, IntegrityError, PoolBrokenError,
+                    InjectedFaultError):
+            assert issubclass(exc, AcquisitionError)
+
+    def test_injected_crash_is_not_recoverable(self):
+        """... except the simulated hard crash, which must kill retry loops."""
+        assert not issubclass(InjectedCrashError, AcquisitionError)
+        assert issubclass(InjectedCrashError, RuntimeError)
 
     def test_configuration_is_value_error(self):
         """Callers using stdlib idioms still catch config mistakes."""

@@ -1,0 +1,117 @@
+"""The fault-injection harness itself: plans, parsing, file corruption."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InjectedCrashError,
+    InjectedFaultError,
+    PoolBrokenError,
+)
+from repro.testing.faults import (
+    ALWAYS,
+    FaultPlan,
+    corrupt_chunk_file,
+    drop_manifest_tail,
+    truncate_chunk_file,
+)
+
+
+class TestFaultPlanHooks:
+    def test_worker_fault_fires_on_scheduled_attempts_only(self):
+        plan = FaultPlan(worker_errors=((2, 2),))
+        with pytest.raises(InjectedFaultError):
+            plan.check_worker(2, 1)
+        with pytest.raises(InjectedFaultError):
+            plan.check_worker(2, 2)
+        plan.check_worker(2, 3)  # third attempt succeeds
+        plan.check_worker(0, 1)  # other chunks untouched
+
+    def test_always_failing_chunk(self):
+        plan = FaultPlan(worker_errors=((1, ALWAYS),))
+        for attempt in (1, 10, 1000):
+            with pytest.raises(InjectedFaultError):
+                plan.check_worker(1, attempt)
+
+    def test_pool_and_crash_hooks(self):
+        plan = FaultPlan(pool_breaks=(3,), crash_after=5)
+        plan.check_pool(2)
+        with pytest.raises(PoolBrokenError):
+            plan.check_pool(3)
+        plan.check_crash(4)
+        with pytest.raises(InjectedCrashError):
+            plan.check_crash(5)
+
+    def test_deterministic_across_calls(self):
+        plan = FaultPlan(worker_errors=((0, 1),))
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                plan.check_worker(0, 1)
+            plan.check_worker(0, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(worker_errors=((-1, 1),))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(worker_errors=((0, 0),))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(pool_breaks=(-2,))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(crash_after=-1)
+
+    def test_picklable(self):
+        import pickle
+
+        plan = FaultPlan(worker_errors=((1, 2),), pool_breaks=(0,), crash_after=4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestFaultPlanParse:
+    def test_full_mini_language(self):
+        plan = FaultPlan.parse("worker@1x2, pool@0, crash@4, worker@7")
+        assert plan.worker_errors == ((1, 2), (7, ALWAYS))
+        assert plan.pool_breaks == (0,)
+        assert plan.crash_after == 4
+
+    def test_empty_and_garbage(self):
+        assert FaultPlan.parse("") == FaultPlan()
+        for bad in ("worker", "worker@", "oven@3", "crash@1x2", "pool@2x9"):
+            with pytest.raises(ConfigurationError):
+                FaultPlan.parse(bad)
+
+    def test_single_crash_only(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("crash@1,crash@2")
+
+
+class TestFileCorruptionHelpers:
+    def test_corrupt_flips_exactly_one_byte(self, tmp_path):
+        file = tmp_path / "chunk-00000.traces.npy"
+        file.write_bytes(bytes(range(64)))
+        corrupt_chunk_file(tmp_path, file.name, byte_offset=10)
+        data = file.read_bytes()
+        assert data[10] == 10 ^ 0xFF
+        assert len(data) == 64
+        assert bytes(data[:10]) == bytes(range(10))
+
+    def test_truncate_keeps_prefix(self, tmp_path):
+        file = tmp_path / "chunk-00000.traces.npy"
+        file.write_bytes(bytes(range(64)))
+        truncate_chunk_file(tmp_path, file.name, keep_bytes=8)
+        assert file.read_bytes() == bytes(range(8))
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            corrupt_chunk_file(tmp_path, "chunk-00042.traces.npy")
+        with pytest.raises(ConfigurationError):
+            truncate_chunk_file(tmp_path, "chunk-00042.traces.npy")
+        with pytest.raises(ConfigurationError):
+            drop_manifest_tail(tmp_path)
+
+    def test_drop_manifest_tail(self, tmp_path):
+        from repro.store import MANIFEST_NAME
+
+        manifest = tmp_path / MANIFEST_NAME
+        manifest.write_text("x" * 100)
+        drop_manifest_tail(tmp_path, drop_chars=30)
+        assert manifest.read_text() == "x" * 70
