@@ -8,7 +8,6 @@ correlation on the unprotected core and DTW-CPA's key rank against
 RFTC(1, 4) at three scope bandwidths.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.cpa import cpa_byte

@@ -7,7 +7,6 @@ concrete trace restores the attack against small-P RFTC.  This is the
 design choice behind DtwAligner's default and is worth a number.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.cpa import cpa_byte

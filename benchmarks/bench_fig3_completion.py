@@ -7,7 +7,6 @@ the concentrated peaks of (b), and (c)'s "<130 identical completion times
 per million encryptions".
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.experiments.figures import figure3_data

@@ -12,7 +12,6 @@ target is the *ordering*: small P falls to the preprocessed attacks first,
 large P resists everything, DTW/FFT dominate plain CPA.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.experiments.figures import figure4_data

@@ -13,7 +13,6 @@ RFTC(1, 4) and RFTC(3, 64):
   in algorithmic noise long before they span RFTC's completion spread.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.cpa import cpa_byte

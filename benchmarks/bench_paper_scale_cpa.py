@@ -12,7 +12,6 @@ same order, with the gap explained by the synthetic channel's sharper
 class structure (DESIGN.md §6).
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.incremental import IncrementalCpa

@@ -7,25 +7,187 @@ consumer — at 1 worker and at a small pool, printing traces/sec and the
 per-stage wall-clock split.  On multi-core hosts the pool column should
 approach linear scaling; the numbers also confirm the engine's memory
 stays bounded by the chunk size at any campaign length.
+
+Two modes (mirroring ``bench_kernels.py``):
+
+* ``pytest benchmarks/bench_pipeline_throughput.py --benchmark-only`` —
+  the worker-scaling table via pytest-benchmark.
+* ``python benchmarks/bench_pipeline_throughput.py [--quick] [--out F]``
+  — a machine-readable throughput report, including the observability
+  overhead: the measured per-chunk obs cost as a fraction of the
+  per-chunk wall (the obs layer's <2% acceptance bound, checked with
+  ``--check-obs-overhead``; see ``docs/observability.md``).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 
-from benchmarks._budget import run_once, scaled
 from repro.experiments.reporting import format_table
 from repro.pipeline import CampaignSpec, CpaStreamConsumer, StreamingCampaign
 
 CHUNK = 2000
 WORKER_COUNTS = (1, 2, 4)
 
+SCHEMA = "rftc-bench-pipeline/1"
 
-def _run_campaign(workers: int, n: int):
+
+def _run_campaign(workers: int, n: int, obs=None):
     spec = CampaignSpec(target="rftc", m_outputs=1, p_configs=16, plan_seed=7)
-    engine = StreamingCampaign(spec, chunk_size=CHUNK, workers=workers, seed=3)
+    engine = StreamingCampaign(
+        spec, chunk_size=CHUNK, workers=workers, seed=3, obs=obs
+    )
     return engine.run(n, consumers=[CpaStreamConsumer(byte_index=0)])
 
 
+# --------------------------------------------------------------------------
+# Script mode: JSON throughput report + observability overhead check.
+# --------------------------------------------------------------------------
+
+
+def _best_wall(workers: int, n: int, rounds: int, obs_factory=None):
+    """Best-of-``rounds`` wall seconds for one campaign configuration."""
+    best = float("inf")
+    for _ in range(rounds):
+        obs = obs_factory() if obs_factory is not None else None
+        t0 = time.perf_counter()
+        _run_campaign(workers, n, obs=obs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _per_chunk_obs_seconds(reps: int = 200) -> float:
+    """Best-of-5 cost of one chunk's worth of observability work.
+
+    Replays the exact per-chunk sequence the instrumented engine and
+    worker run — worker bundle, five stage spans with latency observes,
+    snapshot + drain, parent fold/consume spans, snapshot merge and the
+    per-chunk counters — in a tight loop.  Unlike an end-to-end A/B of
+    two campaign walls, this stays stable on noisy shared runners, so
+    it is what ``--check-obs-overhead`` gates.
+    """
+    from repro.obs import Observability
+
+    stages = ("schedule", "crypto", "leakage", "synth", "capture")
+    best = float("inf")
+    for _ in range(5):
+        parent = Observability.create()
+        t0 = time.perf_counter()
+        for index in range(reps):
+            worker = Observability.create(origin=f"worker:chunk-{index}")
+            for stage in stages:
+                with worker.tracer.span("acquire_stage", stage=stage):
+                    pass
+                worker.metrics.observe(
+                    "acquisition_stage_seconds", 1e-3, stage=stage
+                )
+            worker.metrics.inc("acquisition_traces_total", CHUNK)
+            payload = {"metrics": worker.metrics.snapshot(),
+                       "events": worker.tracer.drain()}
+            with parent.tracer.span("fold_chunk", chunk=index,
+                                    traces=CHUNK, replayed=False):
+                with parent.tracer.span("consume", consumer="cpa[0]"):
+                    pass
+                parent.metrics.observe("campaign_consume_seconds", 1e-3)
+            parent.metrics.merge_snapshot(payload["metrics"])
+            parent.tracer.extend(payload["events"])
+            parent.metrics.inc("campaign_chunks_total", phase="fresh")
+            parent.metrics.inc("campaign_traces_total", CHUNK)
+            parent.metrics.observe("campaign_chunk_acquire_seconds", 1e-2)
+            parent.metrics.set_gauge("campaign_done_traces", CHUNK * index)
+        best = min(best, (time.perf_counter() - t0) / reps)
+    return best
+
+
+def run_suite(n: int, rounds: int) -> dict:
+    """Measure worker scaling and the observability overhead."""
+    from repro.obs import Observability
+
+    report = {"schema": SCHEMA, "n_traces": n, "chunk_size": CHUNK,
+              "throughput": {}}
+    for workers in WORKER_COUNTS:
+        wall = _best_wall(workers, n, rounds)
+        report["throughput"][str(workers)] = {
+            "wall_seconds": wall,
+            "traces_per_second": n / wall,
+        }
+        print(f"workers={workers}: {n / wall:,.0f} traces/s")
+    # End-to-end A/B walls are reported for humans, but run-to-run noise
+    # on shared machines dwarfs the true cost, so the gated number is
+    # the measured per-chunk obs cost over the per-chunk wall.
+    obs_rounds = max(rounds, 3)
+    base = _best_wall(1, n, obs_rounds)
+    observed = _best_wall(1, n, obs_rounds, obs_factory=Observability.create)
+    per_chunk_obs = _per_chunk_obs_seconds()
+    per_chunk_wall = base / max(1, -(-n // CHUNK))
+    report["observability"] = {
+        "disabled_wall_seconds": base,
+        "enabled_wall_seconds": observed,
+        "enabled_overhead_fraction": (observed - base) / base,
+        "per_chunk_obs_seconds": per_chunk_obs,
+        "per_chunk_wall_seconds": per_chunk_wall,
+        "obs_cost_fraction": per_chunk_obs / per_chunk_wall,
+    }
+    print(
+        f"observability: {per_chunk_obs * 1e6:.0f} us per chunk "
+        f"= {per_chunk_obs / per_chunk_wall:.3%} of the "
+        f"{per_chunk_wall * 1e3:.0f} ms chunk wall "
+        f"(end-to-end A/B: {(observed - base) / base:+.2%}, noisy)"
+    )
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Streaming-pipeline throughput benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI budget: fewer traces, single timing round",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=None,
+        help="traces per campaign (default 20000, quick 4000)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--check-obs-overhead", type=float, default=None, metavar="FRAC",
+        help="fail (exit 1) when the per-chunk observability cost exceeds "
+             "this fraction of the per-chunk wall (the acceptance bound "
+             "is 0.02)",
+    )
+    args = parser.parse_args(argv)
+    n = args.traces if args.traces else (4000 if args.quick else 20_000)
+    rounds = 1 if args.quick else 3
+    report = run_suite(n, rounds)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.check_obs_overhead is not None:
+        overhead = report["observability"]["obs_cost_fraction"]
+        if overhead > args.check_obs_overhead:
+            print(
+                f"REGRESSION: observability overhead {overhead:.2%} exceeds "
+                f"{args.check_obs_overhead:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+        print("observability overhead gate: ok")
+    return 0
+
+
 def test_pipeline_throughput_vs_workers(benchmark):
+    # Imported here so script mode works without the benchmarks package
+    # on sys.path (``python benchmarks/bench_pipeline_throughput.py``).
+    from benchmarks._budget import run_once, scaled
+
     n = scaled(20_000)
 
     def run():
@@ -67,3 +229,7 @@ def test_pipeline_throughput_vs_workers(benchmark):
     for other in peaks[1:]:
         np.testing.assert_array_equal(peaks[0], other)
     print("consumer results identical across worker counts: yes")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

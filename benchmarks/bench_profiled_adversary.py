@@ -12,7 +12,6 @@ the unprotected core and RFTC(2, 16):
   misalignment starves *any* per-sample statistic.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.mia import mia_byte

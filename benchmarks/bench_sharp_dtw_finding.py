@@ -15,7 +15,6 @@ same direction — which is the most plausible reconciliation of this model
 result with the paper's measured one.
 """
 
-import numpy as np
 
 from benchmarks._budget import run_once, scaled
 from repro.attacks.cpa import cpa_byte

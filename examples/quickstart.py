@@ -11,7 +11,6 @@ Builds the two ends of the paper's story on the synthetic bench:
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.attacks import cpa_attack
 from repro.attacks.models import (

@@ -9,7 +9,6 @@ leakage shrinks as more clock outputs randomize within each encryption.
 Run:  python examples/tvla_assessment.py
 """
 
-import numpy as np
 
 from repro.experiments import build_rftc, build_unprotected
 from repro.experiments.figures import TVLA_FIXED_PLAINTEXT

@@ -11,6 +11,7 @@ test suite checks.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
 from repro.attacks.models import last_round_hd_predictions
 from repro.errors import AttackError, CheckpointError
+from repro.obs.metrics import NULL_METRICS
 
 _SUM_FIELDS = ("sum_t", "sum_t2", "sum_p", "sum_p2", "sum_pt")
 
@@ -70,14 +72,20 @@ class IncrementalCpa:
         self.byte_index = int(byte_index)
         self.model = model
         self.n_traces = 0
+        self._metrics = NULL_METRICS
         self._sum_t: Optional[np.ndarray] = None  # (S,)
         self._sum_t2: Optional[np.ndarray] = None  # (S,)
         self._sum_p: Optional[np.ndarray] = None  # (256,)
         self._sum_p2: Optional[np.ndarray] = None  # (256,)
         self._sum_pt: Optional[np.ndarray] = None  # (256, S)
 
+    def set_metrics(self, metrics) -> None:
+        """Report fold cost into ``metrics`` (a MetricsRegistry)."""
+        self._metrics = metrics
+
     def update(self, traces: np.ndarray, data: np.ndarray) -> None:
         """Fold a batch of traces and their known data into the sums."""
+        started = time.perf_counter() if self._metrics.enabled else 0.0
         traces = np.asarray(traces, dtype=np.float64)
         if traces.ndim != 2:
             raise AttackError("traces must be (n, S)")
@@ -99,6 +107,16 @@ class IncrementalCpa:
         self._sum_p += predictions.sum(axis=0)
         self._sum_p2 += (predictions * predictions).sum(axis=0)
         self._sum_pt += predictions.T @ traces
+        if self._metrics.enabled:
+            label = f"cpa[{self.byte_index}]"
+            self._metrics.observe(
+                "cpa_update_seconds",
+                time.perf_counter() - started,
+                accumulator=label,
+            )
+            self._metrics.inc(
+                "cpa_traces_folded_total", traces.shape[0], accumulator=label
+            )
 
     def merge(self, other: "IncrementalCpa") -> None:
         """Fold another accumulator's sums into this one.
@@ -210,12 +228,17 @@ class IncrementalCpaBank:
         self.byte_indices = tuple(int(b) for b in byte_indices)
         self.model = model
         self.n_traces = 0
+        self._metrics = NULL_METRICS
         self._n_hyp = 256 * len(self.byte_indices)
         self._sum_t: Optional[np.ndarray] = None  # (S,)
         self._sum_t2: Optional[np.ndarray] = None  # (S,)
         self._sum_p: Optional[np.ndarray] = None  # (B*256,)
         self._sum_p2: Optional[np.ndarray] = None  # (B*256,)
         self._sum_pt: Optional[np.ndarray] = None  # (B*256, S)
+
+    def set_metrics(self, metrics) -> None:
+        """Report fold cost into ``metrics`` (a MetricsRegistry)."""
+        self._metrics = metrics
 
     def _predictions(self, data: np.ndarray) -> np.ndarray:
         return np.concatenate(
@@ -225,6 +248,7 @@ class IncrementalCpaBank:
 
     def update(self, traces: np.ndarray, data: np.ndarray) -> None:
         """Fold a batch of traces and their known data into the sums."""
+        started = time.perf_counter() if self._metrics.enabled else 0.0
         traces = np.asarray(traces, dtype=np.float64)
         if traces.ndim != 2:
             raise AttackError("traces must be (n, S)")
@@ -246,6 +270,17 @@ class IncrementalCpaBank:
         self._sum_p += predictions.sum(axis=0)
         self._sum_p2 += (predictions * predictions).sum(axis=0)
         self._sum_pt += predictions.T @ traces
+        if self._metrics.enabled:
+            self._metrics.observe(
+                "cpa_update_seconds",
+                time.perf_counter() - started,
+                accumulator="cpa_bank",
+            )
+            self._metrics.inc(
+                "cpa_traces_folded_total",
+                traces.shape[0],
+                accumulator="cpa_bank",
+            )
 
     def merge(self, other: "IncrementalCpaBank") -> None:
         """Fold another bank's sums into this one (shard-parallel CPA)."""

@@ -10,8 +10,9 @@ Installed as ``repro-rftc`` (see pyproject), or run via
 * ``table1``   — regenerate the comparison table
 * ``fig3``     — completion-time histogram statistics
 * ``campaign`` — streaming chunked campaign (bounded memory, worker pool,
-  checkpoint/resume, fault injection)
+  checkpoint/resume, fault injection, ``--metrics-out``/``--trace-out``)
 * ``store``    — inspect or integrity-check a ChunkedTraceStore
+* ``obs``      — render a saved metrics snapshot for the terminal
 
 Every subcommand prints plain text and exits 0 on success; budgets are
 deliberately small so each command finishes in seconds to a few minutes.
@@ -186,6 +187,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except Exception as exc:
             print(f"bad --inject-fault spec: {exc}", file=sys.stderr)
             return 2
+    obs = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import Observability
+
+        obs = Observability.create()
     retry = RetryPolicy(max_attempts=args.retries)
     consumers = [CompletionTimeConsumer()]
     if args.mode == "cpa":
@@ -216,6 +222,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             retry=retry,
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
+            obs=obs,
         )
         spec = report.spec
     else:
@@ -238,6 +245,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             retry=retry,
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
+            obs=obs,
         )
         print(f"streaming {args.traces} traces from {spec.label()} "
               f"({args.workers} workers, chunks of {args.chunk_size}) ...")
@@ -262,6 +270,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         verdict = "PASS" if tvla.max_abs_t < TVLA_THRESHOLD else "LEAK"
         print(f"TVLA: max |t| = {tvla.max_abs_t:.2f} -> {verdict} "
               f"(threshold {TVLA_THRESHOLD})")
+    if obs is not None:
+        if args.metrics_out:
+            snapshot = obs.metrics.snapshot()
+            if args.metrics_out.endswith(".json"):
+                text = snapshot.to_json()
+            else:
+                text = snapshot.to_prometheus()
+            with open(args.metrics_out, "w") as handle:
+                handle.write(text)
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace_out:
+            from repro.obs import write_trace_jsonl
+
+            lines = write_trace_jsonl(obs.tracer.events, args.trace_out)
+            print(f"trace written to {args.trace_out} ({lines - 1} events)")
     return 0
 
 
@@ -286,6 +309,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
     verification = store.verify()
     print(verification.summary())
     return 0 if verification.ok else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.obs import MetricsSnapshot, render_metrics
+
+    with open(args.path) as handle:
+        text = handle.read()
+    try:
+        snapshot = MetricsSnapshot.from_json(text)
+    except ConfigurationError as exc:
+        print(
+            f"cannot render {args.path}: {exc}\n"
+            "(obs render reads the JSON snapshot format — save metrics "
+            "with --metrics-out <file>.json)",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_metrics(snapshot, width=args.width))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -380,12 +423,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", default=None, metavar="PLAN",
                    help="deterministic fault plan for testing, e.g. "
                         "'worker@1x2,crash@3' (see repro.testing.faults)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a metrics snapshot after the run "
+                        "(.json -> JSON, anything else -> Prometheus text)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write the span trace as JSON Lines")
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("store", help="inspect or verify a ChunkedTraceStore")
     p.add_argument("action", choices=("info", "verify"))
     p.add_argument("path", help="store directory")
     p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser("obs", help="render a saved metrics snapshot")
+    p.add_argument("action", choices=("render",))
+    p.add_argument("path", help="JSON metrics snapshot (--metrics-out x.json)")
+    p.add_argument("--width", type=int, default=40,
+                   help="histogram bar width in characters")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("report", help="generate a full markdown report")
     p.add_argument("--profile", choices=("smoke", "quick"), default="smoke")

@@ -1,0 +1,158 @@
+"""Opt-in profiling hooks for the library's hot kernels.
+
+Two layers, both strictly opt-in (nothing here runs unless attached):
+
+* :class:`KernelProfiler` — accumulates per-kernel call counts and
+  ``perf_counter`` seconds; with ``use_cprofile=True`` it additionally
+  drives one :class:`cProfile.Profile` per kernel so
+  :meth:`KernelProfiler.top_functions` can name the actual hot frames.
+* :func:`attach_kernels` — a context manager that wraps the three
+  documented hot paths (``TraceSynthesizer.synthesize``,
+  ``CpaEngine.attack``, ``ChunkedTraceStore.append``) with a profiler
+  for the duration of a ``with`` block, then restores the originals.
+
+The wrappers live *outside* the kernels so the unprofiled call path is
+byte-for-byte the shipped code — profiling can never perturb a
+campaign it is not watching.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The documented hot kernels: profile key -> (module path, class, method).
+KERNEL_HOOKS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("synthesize", "repro.power.synth", "TraceSynthesizer", "synthesize"),
+    ("cpa_attack", "repro.attacks.cpa", "CpaEngine", "attack"),
+    ("store_append", "repro.store.chunked", "ChunkedTraceStore", "append"),
+)
+
+
+@dataclass
+class KernelStats:
+    """Accumulated timing of one profiled kernel."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class KernelProfiler:
+    """Accumulating per-kernel profiler (perf_counter, optional cProfile)."""
+
+    use_cprofile: bool = False
+    stats: Dict[str, KernelStats] = field(default_factory=dict)
+    _profiles: Dict[str, cProfile.Profile] = field(default_factory=dict)
+
+    @contextmanager
+    def profile(self, name: str) -> Iterator[None]:
+        """Time one call under ``name`` (nesting different names is fine).
+
+        ``cProfile`` cannot nest enable() calls, so with ``use_cprofile``
+        an inner profiled region inside an already-profiled one falls
+        back to plain timing rather than raising mid-kernel.
+        """
+        entry = self.stats.setdefault(name, KernelStats())
+        profiler = None
+        if self.use_cprofile:
+            profiler = self._profiles.setdefault(name, cProfile.Profile())
+            try:
+                profiler.enable()
+            except ValueError:  # another profiler is already active
+                profiler = None
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            if profiler is not None:
+                profiler.disable()
+            entry.calls += 1
+            entry.seconds += elapsed
+            entry.max_seconds = max(entry.max_seconds, elapsed)
+
+    def wrap(self, name: str, fn):
+        """``fn`` wrapped so every call runs under :meth:`profile`."""
+
+        def profiled(*args, **kwargs):
+            with self.profile(name):
+                return fn(*args, **kwargs)
+
+        profiled.__name__ = getattr(fn, "__name__", name)
+        profiled.__doc__ = getattr(fn, "__doc__", None)
+        profiled.__wrapped__ = fn
+        return profiled
+
+    def top_functions(self, name: str, n: int = 10) -> str:
+        """The kernel's ``n`` hottest frames by cumulative time (cProfile).
+
+        Requires ``use_cprofile=True`` and at least one profiled call.
+        """
+        if not self.use_cprofile:
+            raise ConfigurationError(
+                "top_functions needs use_cprofile=True"
+            )
+        profiler = self._profiles.get(name)
+        if profiler is None:
+            raise ConfigurationError(f"kernel {name!r} was never profiled")
+        buffer = io.StringIO()
+        pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(n)
+        return buffer.getvalue()
+
+    def summary(self) -> str:
+        """One line per kernel: calls, total/mean/max seconds."""
+        if not self.stats:
+            return "no kernels profiled"
+        width = max(len(name) for name in self.stats)
+        lines = []
+        for name in sorted(self.stats):
+            entry = self.stats[name]
+            lines.append(
+                f"{name:{width}s}  calls {entry.calls:6d}  "
+                f"total {entry.seconds:8.3f} s  "
+                f"mean {entry.mean_seconds * 1e3:8.3f} ms  "
+                f"max {entry.max_seconds * 1e3:8.3f} ms"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def attach_kernels(
+    profiler: KernelProfiler,
+    hooks: Optional[Tuple[Tuple[str, str, str, str], ...]] = None,
+) -> Iterator[KernelProfiler]:
+    """Wrap the hot kernels with ``profiler`` for the ``with`` block.
+
+    Imports lazily so attaching (an operator action) never changes
+    library import order; on exit the original unbound methods are
+    restored even if the block raises.
+    """
+    import importlib
+
+    installed: List[Tuple[type, str, object]] = []
+    try:
+        for name, module_path, class_name, method_name in (
+            hooks if hooks is not None else KERNEL_HOOKS
+        ):
+            module = importlib.import_module(module_path)
+            cls = getattr(module, class_name)
+            original = getattr(cls, method_name)
+            setattr(cls, method_name, profiler.wrap(name, original))
+            installed.append((cls, method_name, original))
+        yield profiler
+    finally:
+        for cls, method_name, original in reversed(installed):
+            setattr(cls, method_name, original)

@@ -1,0 +1,66 @@
+"""Terminal rendering of metrics snapshots (``repro-rftc obs render``).
+
+Turns a :class:`~repro.obs.metrics.MetricsSnapshot` into the operator
+view: counters and gauges as aligned key/value lines, histograms as
+per-bucket bars plus a one-line :func:`~repro.utils.asciiplot.sparkline`
+of the bucket distribution.  No plotting dependency — same constraint as
+the rest of the library (see :mod:`repro.utils.asciiplot`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.utils.asciiplot import sparkline
+
+
+def _series_label(name: str, pairs: Tuple[Tuple[str, str], ...]) -> str:
+    if not pairs:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in pairs)
+    return f"{name}{{{body}}}"
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_metrics(snapshot: MetricsSnapshot, width: int = 40) -> str:
+    """Pretty-print a snapshot: scalars first, then histogram sketches."""
+    lines: List[str] = []
+    scalars: List[Tuple[str, str]] = []
+    for (name, pairs), value in sorted(snapshot.counters.items()):
+        scalars.append((_series_label(name, pairs), _format_value(value)))
+    for (name, pairs), (_, value) in sorted(snapshot.gauges.items()):
+        scalars.append((_series_label(name, pairs), _format_value(value)))
+    if scalars:
+        label_width = max(len(label) for label, _ in scalars)
+        lines.append("scalars:")
+        lines.extend(
+            f"  {label:{label_width}s}  {value}" for label, value in scalars
+        )
+    for (name, pairs), (edges, counts, total, count) in sorted(
+        snapshot.histograms.items()
+    ):
+        lines.append("")
+        mean = total / count if count else 0.0
+        lines.append(
+            f"histogram {_series_label(name, pairs)}: "
+            f"{count} samples, sum {total:.4g} s, mean {mean * 1e3:.3g} ms"
+        )
+        if count:
+            lines.append(f"  buckets  {sparkline(counts)}")
+        peak = max(1, max(counts)) if counts else 1
+        labels = [f"<= {edge:g}" for edge in edges] + ["+Inf"]
+        label_width = max(len(label) for label in labels)
+        for label, bucket in zip(labels, counts):
+            if bucket == 0:
+                continue
+            bar = "#" * max(1, int(round(width * bucket / peak)))
+            lines.append(f"  {label:>{label_width}s} |{bar} {bucket}")
+    if not lines:
+        return "empty metrics snapshot"
+    return "\n".join(lines)

@@ -87,6 +87,10 @@ class CpaStreamConsumer:
     def n_traces(self) -> int:
         return self._inc.n_traces
 
+    def set_metrics(self, metrics) -> None:
+        """Report per-chunk fold cost into an observed campaign's registry."""
+        self._inc.set_metrics(metrics)
+
     def consume(self, chunk: TraceSet) -> None:
         self._inc.update(chunk.traces, chunk.ciphertexts)
 
@@ -126,6 +130,10 @@ class CpaBankConsumer:
     @property
     def n_traces(self) -> int:
         return self._bank.n_traces
+
+    def set_metrics(self, metrics) -> None:
+        """Report per-chunk fold cost into an observed campaign's registry."""
+        self._bank.set_metrics(metrics)
 
     def consume(self, chunk: TraceSet) -> None:
         self._bank.update(chunk.traces, chunk.ciphertexts)

@@ -35,6 +35,17 @@ The same purity is what makes multi-hour campaigns *restartable*:
   re-deriving the rest — with bit-identical final results.
 
 See ``docs/robustness.md`` for the guarantees and their tests.
+
+Observability
+-------------
+Pass an :class:`~repro.obs.Observability` bundle and the engine reports
+itself while running: per-chunk acquire/fold/store/checkpoint spans,
+retry and degradation counters, throughput gauges (see
+``docs/observability.md`` for the full catalogue).  Workers trace into
+per-chunk buffers that ride home with each chunk result, so one JSONL
+file covers both sides of the pool.  Instrumentation never touches the
+chunk RNG streams or persisted bytes: results are bit-identical with
+observability on or off (``tests/pipeline/test_observability.py``).
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from repro.errors import (
     ConfigurationError,
     PoolBrokenError,
 )
+from repro.obs import NULL_OBS, Observability
 from repro.pipeline.checkpoint import CampaignCheckpoint
 from repro.pipeline.consumers import TraceConsumer
 from repro.pipeline.retry import RetryPolicy
@@ -62,11 +74,21 @@ from repro.power.acquisition import TraceSet
 from repro.store import ChunkedTraceStore
 from repro.testing.faults import FaultPlan
 
-#: A unit of worker work:
-#: (chunk index, trace count, chunk seed, spec, retry policy, fault plan).
+#: A unit of worker work: (chunk index, trace count, chunk seed, spec,
+#: retry policy, fault plan, observe flag).
 _ChunkTask = Tuple[
-    int, int, np.random.SeedSequence, CampaignSpec, RetryPolicy, Optional[FaultPlan]
+    int,
+    int,
+    np.random.SeedSequence,
+    CampaignSpec,
+    RetryPolicy,
+    Optional[FaultPlan],
+    bool,
 ]
+
+#: What a worker ships home besides the chunk: its private metrics
+#: snapshot and drained trace events (``None`` when not observing).
+_ObsPayload = Optional[dict]
 
 #: Exceptions from collecting a pool result that mean "the pool is gone",
 #: not "the chunk is bad" — the engine degrades to inline execution on
@@ -98,7 +120,9 @@ def _abandon_pool(pool) -> None:
     threading.Thread(target=reap, name="pool-reaper", daemon=True).start()
 
 
-def _acquire_chunk(task: _ChunkTask) -> Tuple[int, TraceSet, float, int]:
+def _acquire_chunk(
+    task: _ChunkTask,
+) -> Tuple[int, TraceSet, float, int, _ObsPayload]:
     """Worker entry point: build a fresh device and acquire one chunk.
 
     Runs in the parent when ``workers == 1`` (or after pool degradation)
@@ -108,35 +132,55 @@ def _acquire_chunk(task: _ChunkTask) -> Tuple[int, TraceSet, float, int]:
     :class:`RetryPolicy` **from the same seed children** — the seeds are
     spawned once, before the first attempt — so a chunk that needed
     three attempts is bit-identical to one that succeeded immediately.
+
+    When the task's observe flag is set, the worker opens a *private*
+    observability bundle (perf_counter clocks are per-process, so worker
+    spans never share the parent timebase), instruments the device, and
+    ships the metrics snapshot + drained trace events home in the fifth
+    tuple slot for the parent to fold.  Observation reads clocks only —
+    the chunk's RNG streams and bytes are untouched.
     """
-    index, n, chunk_seed, spec, retry, faults = task
+    index, n, chunk_seed, spec, retry, faults, observe = task
+    obs = Observability.create(origin=f"worker:chunk-{index}") if observe else NULL_OBS
     started = time.perf_counter()
     device_seq, data_seq = chunk_seed.spawn(2)
     attempt = 0
-    while True:
-        attempt += 1
-        try:
-            if faults is not None:
-                faults.check_worker(index, attempt)
-            device = spec.build_device(np.random.default_rng(device_seq))
-            rng = np.random.default_rng(data_seq)
-            plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
-            if spec.fixed_plaintext is not None:
-                plaintexts[0::2] = np.frombuffer(
-                    spec.fixed_plaintext, dtype=np.uint8
+    with obs.tracer.span("acquire_chunk", chunk=index, traces=n):
+        while True:
+            attempt += 1
+            try:
+                if faults is not None:
+                    faults.check_worker(index, attempt)
+                device = spec.build_device(np.random.default_rng(device_seq))
+                device.obs = obs
+                rng = np.random.default_rng(data_seq)
+                plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+                if spec.fixed_plaintext is not None:
+                    plaintexts[0::2] = np.frombuffer(
+                        spec.fixed_plaintext, dtype=np.uint8
+                    )
+                chunk = device.run(plaintexts, rng)
+            except Exception:
+                if attempt >= retry.max_attempts:
+                    raise
+                obs.metrics.inc("campaign_attempt_failures_total")
+                delay = retry.backoff_seconds(
+                    attempt, chunk_seed, metrics=obs.metrics
                 )
-            chunk = device.run(plaintexts, rng)
-        except Exception:
-            if attempt >= retry.max_attempts:
-                raise
-            delay = retry.backoff_seconds(attempt, chunk_seed)
-            if delay > 0.0:
-                time.sleep(delay)
-            continue
-        chunk.metadata["chunk_index"] = index
-        if spec.fixed_plaintext is not None:
-            chunk.metadata["tvla_interleaved"] = True
-        return index, chunk, time.perf_counter() - started, attempt
+                if delay > 0.0:
+                    time.sleep(delay)
+                continue
+            break
+    chunk.metadata["chunk_index"] = index
+    if spec.fixed_plaintext is not None:
+        chunk.metadata["tvla_interleaved"] = True
+    payload: _ObsPayload = None
+    if observe:
+        payload = {
+            "metrics": obs.metrics.snapshot(),
+            "events": obs.tracer.drain(),
+        }
+    return index, chunk, time.perf_counter() - started, attempt, payload
 
 
 @dataclass
@@ -275,6 +319,11 @@ class StreamingCampaign:
     faults:
         Optional :class:`~repro.testing.faults.FaultPlan` driving the
         deterministic fault-injection harness (tests / ``--inject-fault``).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle; when given,
+        the engine records metrics and spans into it (CLI
+        ``--metrics-out``/``--trace-out``).  Defaults to the zero-cost
+        null bundle — instrumentation disabled.
     """
 
     def __init__(
@@ -287,6 +336,7 @@ class StreamingCampaign:
         retry: Optional[RetryPolicy] = None,
         chunk_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
     ):
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
@@ -302,6 +352,7 @@ class StreamingCampaign:
         self.retry = retry if retry is not None else RetryPolicy()
         self.chunk_timeout_s = chunk_timeout_s
         self.faults = faults
+        self.obs = obs if obs is not None else NULL_OBS
 
     def chunk_layout(self, n_traces: int) -> List[int]:
         """Chunk sizes for a campaign of ``n_traces`` (last may be short)."""
@@ -315,8 +366,12 @@ class StreamingCampaign:
     def _tasks(self, n_traces: int) -> List[_ChunkTask]:
         sizes = self.chunk_layout(n_traces)
         seeds = np.random.SeedSequence(self.seed).spawn(len(sizes))
+        observe = self.obs.enabled
         return [
-            (index, size, seeds[index], self.spec, self.retry, self.faults)
+            (
+                index, size, seeds[index], self.spec, self.retry, self.faults,
+                observe,
+            )
             for index, size in enumerate(sizes)
         ]
 
@@ -362,6 +417,7 @@ class StreamingCampaign:
         retry: Optional[RetryPolicy] = None,
         chunk_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
     ) -> PipelineReport:
         """Continue an interrupted campaign from its checkpoint.
 
@@ -394,6 +450,7 @@ class StreamingCampaign:
             retry=retry,
             chunk_timeout_s=chunk_timeout_s,
             faults=faults,
+            obs=obs,
         )
         ckpt.restore_consumers(consumers)
         tasks = engine._tasks(ckpt.n_traces)
@@ -465,6 +522,17 @@ class StreamingCampaign:
             )
         self.spec.warm_caches()
 
+        obs = self.obs
+        if obs.enabled:
+            # Consumers that expose a metrics hook report their own fold
+            # cost (e.g. the incremental CPA accumulators).
+            for consumer in consumers:
+                set_metrics = getattr(consumer, "set_metrics", None)
+                if callable(set_metrics):
+                    set_metrics(obs.metrics)
+            obs.metrics.set_gauge("campaign_total_traces", n_traces)
+            obs.metrics.set_gauge("campaign_workers", self.workers)
+
         started = time.perf_counter()
         acquire_s = consume_s = store_s = 0.0
         stage_s: Dict[str, float] = {}
@@ -487,6 +555,7 @@ class StreamingCampaign:
                         "chunk_size": self.chunk_size,
                     },
                 )
+            store.metrics = obs.metrics
             store.append(chunk)
 
         def fold(index: int, chunk: TraceSet, persist: bool) -> None:
@@ -499,20 +568,45 @@ class StreamingCampaign:
                 "stage_seconds", {}
             ).items():
                 stage_s[stage] = stage_s.get(stage, 0.0) + float(seconds)
-            if persist and (store is not None or store_path is not None):
+            with obs.tracer.span(
+                "fold_chunk", chunk=index, traces=chunk.n_traces,
+                replayed=not persist,
+            ):
+                if persist and (store is not None or store_path is not None):
+                    t0 = time.perf_counter()
+                    with obs.tracer.span("store_append", chunk=index):
+                        _store_chunk(chunk)
+                    elapsed = time.perf_counter() - t0
+                    store_s += elapsed
+                    obs.metrics.observe("campaign_store_append_seconds", elapsed)
                 t0 = time.perf_counter()
-                _store_chunk(chunk)
-                store_s += time.perf_counter() - t0
-            t0 = time.perf_counter()
-            for consumer in consumers:
-                consumer.consume(chunk)
-            consume_s += time.perf_counter() - t0
-            done += chunk.n_traces
-            if checkpoint_path is not None:
-                CampaignCheckpoint.capture(
-                    self.spec, self.seed, self.chunk_size, n_traces,
-                    index + 1, consumers,
-                ).save(checkpoint_path)
+                for consumer in consumers:
+                    with obs.tracer.span(
+                        "consume", chunk=index, consumer=consumer.name
+                    ):
+                        consumer.consume(chunk)
+                elapsed = time.perf_counter() - t0
+                consume_s += elapsed
+                obs.metrics.observe("campaign_consume_seconds", elapsed)
+                done += chunk.n_traces
+                if checkpoint_path is not None:
+                    t0 = time.perf_counter()
+                    with obs.tracer.span("checkpoint", chunk=index):
+                        CampaignCheckpoint.capture(
+                            self.spec, self.seed, self.chunk_size, n_traces,
+                            index + 1, consumers,
+                        ).save(checkpoint_path)
+                    obs.metrics.observe(
+                        "campaign_checkpoint_seconds",
+                        time.perf_counter() - t0,
+                    )
+                    obs.metrics.inc("campaign_checkpoints_total")
+            obs.metrics.inc(
+                "campaign_chunks_total",
+                phase="fresh" if persist else "replayed",
+            )
+            obs.metrics.inc("campaign_traces_total", chunk.n_traces)
+            obs.metrics.set_gauge("campaign_done_traces", done)
             if progress is not None:
                 progress(
                     ChunkProgress(
@@ -559,23 +653,39 @@ class StreamingCampaign:
                     try:
                         if self.faults is not None:
                             self.faults.check_pool(task[0])
-                        index, chunk, chunk_acquire_s, attempts = async_results[
-                            position
-                        ].get(self.chunk_timeout_s)
+                        (
+                            index, chunk, chunk_acquire_s, attempts, payload,
+                        ) = async_results[position].get(self.chunk_timeout_s)
                     except _POOL_FAILURES:
                         # The pool (not the chunk) failed: abandon it and
                         # limp home inline rather than losing the campaign.
                         degraded = True
+                        obs.metrics.inc("campaign_pool_failures_total")
+                        obs.tracer.instant(
+                            "pool_degraded", chunk=task[0],
+                            remaining=len(fresh) - position,
+                        )
                         _abandon_pool(pool)
                         pool = None
                 if pool is None:
-                    index, chunk, chunk_acquire_s, attempts = _acquire_chunk(task)
+                    index, chunk, chunk_acquire_s, attempts, payload = (
+                        _acquire_chunk(task)
+                    )
                     if degraded:
                         degraded_chunks += 1
+                        obs.metrics.inc("campaign_degraded_chunks_total")
+                if payload is not None:
+                    obs.metrics.merge_snapshot(payload["metrics"])
+                    obs.tracer.extend(payload["events"])
                 acquire_s += chunk_acquire_s
+                obs.metrics.observe(
+                    "campaign_chunk_acquire_seconds", chunk_acquire_s
+                )
                 if attempts > 1:
                     retried_chunks += 1
                     total_retries += attempts - 1
+                    obs.metrics.inc("campaign_retried_chunks_total")
+                    obs.metrics.inc("campaign_retries_total", attempts - 1)
                 fold(index, chunk, persist=True)
         except BaseException:
             # Workers may still be mid-chunk; close()+join() would block
@@ -590,6 +700,9 @@ class StreamingCampaign:
                 pool.close()
                 pool.join()
 
+        obs.metrics.set_gauge(
+            "campaign_wall_seconds", time.perf_counter() - started
+        )
         return PipelineReport(
             spec=self.spec,
             n_traces=done,

@@ -68,21 +68,27 @@ class RetryPolicy:
         self,
         attempt: int,
         chunk_seed: Optional[np.random.SeedSequence] = None,
+        metrics=None,
     ) -> float:
         """Delay before retrying after failed ``attempt`` (1-based).
 
         Pure function of ``(policy, attempt, chunk seed)`` — no global
         RNG, no wall clock — so a replayed campaign backs off identically.
+        ``metrics`` (a :class:`~repro.obs.MetricsRegistry`, optional)
+        records each computed wait without influencing it.
         """
         if attempt < 1:
             raise ConfigurationError("attempt is 1-based")
         delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
         delay = min(delay, self.backoff_max_s)
-        if delay <= 0.0 or self.jitter_fraction == 0.0 or chunk_seed is None:
-            return delay
-        draw_seq = np.random.SeedSequence(
-            entropy=chunk_seed.entropy,
-            spawn_key=(*chunk_seed.spawn_key, _JITTER_KEY, attempt),
-        )
-        unit = draw_seq.generate_state(1, np.uint64)[0] / float(2**64)
-        return delay * (1.0 + self.jitter_fraction * (unit - 0.5))
+        if delay > 0.0 and self.jitter_fraction != 0.0 and chunk_seed is not None:
+            draw_seq = np.random.SeedSequence(
+                entropy=chunk_seed.entropy,
+                spawn_key=(*chunk_seed.spawn_key, _JITTER_KEY, attempt),
+            )
+            unit = draw_seq.generate_state(1, np.uint64)[0] / float(2**64)
+            delay = delay * (1.0 + self.jitter_fraction * (unit - 0.5))
+        if metrics is not None:
+            metrics.inc("retry_waits_total")
+            metrics.observe("retry_backoff_seconds", delay)
+        return delay

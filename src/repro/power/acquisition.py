@@ -21,6 +21,7 @@ import numpy as np
 from repro.crypto.datapath import AesDatapath
 from repro.errors import AcquisitionError, ConfigurationError
 from repro.hw.clock import ClockSchedule
+from repro.obs import NULL_OBS
 from repro.power.leakage import HammingDistanceLeakage, LeakageModel
 from repro.power.scope import Oscilloscope
 from repro.power.synth import TraceSynthesizer
@@ -263,6 +264,10 @@ class ProtectedAesDevice:
             raise ConfigurationError(
                 "scope and synthesizer must agree on the sample rate"
             )
+        #: Optional :class:`~repro.obs.Observability` bundle; workers of
+        #: an observed campaign swap in their private one.  Observation
+        #: reads the stage clocks only — never the RNG streams.
+        self.obs = NULL_OBS
 
     @property
     def key(self) -> bytes:
@@ -282,25 +287,33 @@ class ProtectedAesDevice:
         if plaintexts.ndim != 2 or plaintexts.shape[1] != 16:
             raise AcquisitionError("plaintexts must be (n, 16) uint8")
         n = plaintexts.shape[0]
+        tracer = self.obs.tracer
         t0 = time.perf_counter()
-        schedule = self.countermeasure.schedule(n)
+        with tracer.span("acquire_stage", stage="schedule"):
+            schedule = self.countermeasure.schedule(n)
         if schedule.n_encryptions != n:
             raise AcquisitionError(
                 "countermeasure returned a schedule of the wrong length"
             )
         t1 = time.perf_counter()
-        ciphertexts = self.datapath.batch_ciphertexts(plaintexts)
+        with tracer.span("acquire_stage", stage="crypto"):
+            ciphertexts = self.datapath.batch_ciphertexts(plaintexts)
         t2 = time.perf_counter()
         # Back-to-back encryptions: the register holds the previous
         # ciphertext when the next plaintext loads (Fig. 2 timeline).
-        previous = np.vstack([np.zeros((1, 16), dtype=np.uint8), ciphertexts[:-1]])
-        amplitudes = self.leakage.cycle_amplitudes(
-            schedule, self.datapath, plaintexts, previous, rng
-        )
+        with tracer.span("acquire_stage", stage="leakage"):
+            previous = np.vstack(
+                [np.zeros((1, 16), dtype=np.uint8), ciphertexts[:-1]]
+            )
+            amplitudes = self.leakage.cycle_amplitudes(
+                schedule, self.datapath, plaintexts, previous, rng
+            )
         t3 = time.perf_counter()
-        analog = self.synthesizer.synthesize(schedule, amplitudes, rng=rng)
+        with tracer.span("acquire_stage", stage="synth"):
+            analog = self.synthesizer.synthesize(schedule, amplitudes, rng=rng)
         t4 = time.perf_counter()
-        traces = self.scope.capture(analog, rng)
+        with tracer.span("acquire_stage", stage="capture"):
+            traces = self.scope.capture(analog, rng)
         t5 = time.perf_counter()
         metadata = dict(schedule.metadata)
         metadata["stage_seconds"] = {
@@ -310,6 +323,13 @@ class ProtectedAesDevice:
             "synth": t4 - t3,
             "capture": t5 - t4,
         }
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            for stage, seconds in metadata["stage_seconds"].items():
+                metrics.observe(
+                    "acquisition_stage_seconds", seconds, stage=stage
+                )
+            metrics.inc("acquisition_traces_total", n)
         return TraceSet(
             traces=traces,
             plaintexts=plaintexts,

@@ -212,9 +212,9 @@ def _batch_dtw_chunk(
         row = acc[:, i, :]
         vls = ls[valid]
         running = row[:, vls[0] - 1] if vls[0] >= 1 else np.full(n, inf)
-        for k, l in enumerate(vls):
+        for k, slot in enumerate(vls):
             cell = np.minimum(cand[:, k], running) + cost[:, k]
-            row[:, l] = cell
+            row[:, slot] = cell
             running = cell
     # Backtrack all traces simultaneously.
     warped = np.zeros((n, s), dtype=np.float64)
@@ -249,11 +249,11 @@ def _batch_dtw_chunk(
 
 
 def _banded_get(
-    acc: np.ndarray, rows: np.ndarray, i: np.ndarray, l: np.ndarray, width: int
+    acc: np.ndarray, rows: np.ndarray, i: np.ndarray, slot: np.ndarray, width: int
 ) -> np.ndarray:
-    """Read acc[row, i, l] treating out-of-band local indices as +inf."""
-    ok = (l >= 0) & (l < width) & (i >= 0)
-    li = np.clip(l, 0, width - 1)
+    """Read acc[row, i, slot] treating out-of-band local indices as +inf."""
+    ok = (slot >= 0) & (slot < width) & (i >= 0)
+    li = np.clip(slot, 0, width - 1)
     ii = np.clip(i, 0, acc.shape[1] - 1)
     values = acc[rows, ii, li]
     return np.where(ok, values, np.inf)

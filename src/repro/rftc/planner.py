@@ -38,7 +38,6 @@ import numpy as np
 
 from repro.errors import ConfigurationError, PlanningError
 from repro.hw.mmcm import (
-    KINTEX7_SPEC,
     MmcmConfig,
     MmcmTimingSpec,
     OutputDivider,

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
@@ -46,6 +47,7 @@ from typing import Iterator, List, Optional, Union
 import numpy as np
 
 from repro.errors import AcquisitionError, ConfigurationError, IntegrityError
+from repro.obs.metrics import NULL_METRICS
 from repro.power.acquisition import TraceSet, sanitize_metadata
 
 MANIFEST_NAME = "manifest.json"
@@ -177,6 +179,10 @@ class ChunkedTraceStore:
         #: Files moved aside by quarantine-on-open (names under
         #: ``quarantine/``); empty for cleanly-closed stores.
         self.quarantined_files: List[str] = []
+        #: Where :meth:`append`/:meth:`verify` report their I/O cost; the
+        #: campaign engine swaps in its live registry.  Metrics read
+        #: clocks and file sizes only — persisted bytes are untouched.
+        self.metrics = NULL_METRICS
 
     # -- lifecycle -----------------------------------------------------
 
@@ -324,18 +330,22 @@ class ChunkedTraceStore:
             raise AcquisitionError(
                 f"chunk has {chunk.n_samples} samples, store has {self.n_samples}"
             )
+        started = time.perf_counter()
         index = self.n_chunks
         stem = f"chunk-{index:05d}"
         checksums = {}
+        bytes_written = 0
         for suffix, attr in _CHUNK_FIELDS:
             file = self.path / f"{stem}.{suffix}.npy"
             np.save(file, getattr(chunk, attr))
             checksums[file.name] = _sha256(file)
+            bytes_written += file.stat().st_size
         plain_meta, array_meta = _split_metadata(chunk.metadata)
         if array_meta:
             sidecar = self.path / f"{stem}.meta.npz"
             np.savez_compressed(sidecar, **array_meta)
             checksums[sidecar.name] = _sha256(sidecar)
+            bytes_written += sidecar.stat().st_size
         self._manifest["chunks"].append(
             {
                 "index": index,
@@ -347,6 +357,12 @@ class ChunkedTraceStore:
             }
         )
         self._write_manifest()
+        if self.metrics.enabled:
+            self.metrics.inc("store_chunks_written_total")
+            self.metrics.inc("store_bytes_written_total", bytes_written)
+            self.metrics.observe(
+                "store_append_seconds", time.perf_counter() - started
+            )
         return index
 
     # -- integrity -----------------------------------------------------
@@ -369,6 +385,8 @@ class ChunkedTraceStore:
         by pre-checksum stores land in ``unverified``.  Never raises on
         damage — operators want the full report, not the first failure.
         """
+        started = time.perf_counter()
+        files_checked = 0
         outcome = StoreVerification(n_chunks=self.n_chunks)
         for position, entry in enumerate(self._manifest["chunks"]):
             checksums = entry.get("files")
@@ -377,11 +395,26 @@ class ChunkedTraceStore:
                 checksums = {name: None for name in self.expected_files(position)}
             for name, digest in checksums.items():
                 file = self.path / name
+                files_checked += 1
                 if not file.is_file():
                     outcome.missing.append(name)
                 elif digest is not None and _sha256(file) != digest:
                     outcome.corrupt.append(name)
         outcome.orphaned.extend(file.name for file in self._stray_chunk_files())
+        if self.metrics.enabled:
+            self.metrics.observe(
+                "store_verify_seconds", time.perf_counter() - started
+            )
+            self.metrics.inc("store_files_verified_total", files_checked)
+            for kind, names in (
+                ("missing", outcome.missing),
+                ("corrupt", outcome.corrupt),
+                ("orphaned", outcome.orphaned),
+            ):
+                if names:
+                    self.metrics.inc(
+                        "store_verify_failures_total", len(names), kind=kind
+                    )
         return outcome
 
     def require_intact(self) -> None:

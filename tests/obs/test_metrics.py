@@ -1,0 +1,161 @@
+"""MetricsRegistry: series semantics, deterministic merge, exporters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+def test_counter_accumulates_with_labels():
+    reg = MetricsRegistry()
+    reg.inc("requests_total")
+    reg.inc("requests_total", 2.0)
+    reg.inc("requests_total", 5.0, phase="replay")
+    assert reg.counter_value("requests_total") == 3.0
+    assert reg.counter_value("requests_total", phase="replay") == 5.0
+    assert reg.counter_value("never_touched_total") == 0.0
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.inc("requests_total", -1.0)
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.set_gauge("done_traces", 100)
+    reg.set_gauge("done_traces", 50)
+    assert reg.gauge_value("done_traces") == 50
+    assert reg.gauge_value("never_set") is None
+
+
+def test_metric_names_are_validated():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.inc("bad name")
+    with pytest.raises(ConfigurationError):
+        reg.inc("ok_total", **{"0bad": "x"})
+
+
+def test_histogram_bucket_edges_are_cumulative_in_prometheus():
+    reg = MetricsRegistry()
+    edges = (0.1, 1.0, 10.0)
+    for value in (0.05, 0.5, 5.0, 50.0):
+        reg.observe("latency_seconds", value, buckets=edges)
+    snap = reg.snapshot()
+    _, counts, total, count = snap.histograms[("latency_seconds", ())]
+    # Per-bucket (non-cumulative) internal counts: one value per band.
+    assert counts == (1, 1, 1, 1)
+    assert count == 4
+    assert total == pytest.approx(55.55)
+    prom = snap.to_prometheus()
+    # Prometheus export is cumulative, terminated by +Inf == _count.
+    assert 'latency_seconds_bucket{le="0.1"} 1' in prom
+    assert 'latency_seconds_bucket{le="1"} 2' in prom
+    assert 'latency_seconds_bucket{le="10"} 3' in prom
+    assert 'latency_seconds_bucket{le="+Inf"} 4' in prom
+    assert "latency_seconds_count 4" in prom
+
+
+def test_histogram_boundary_value_lands_in_le_bucket():
+    reg = MetricsRegistry()
+    reg.observe("x_seconds", 0.1, buckets=(0.1, 1.0))
+    _, counts, _, _ = reg.snapshot().histograms[("x_seconds", ())]
+    assert counts == (1, 0, 0)  # le: boundary belongs to its edge bucket
+
+
+def test_histogram_edges_must_increase():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.observe("x_seconds", 0.5, buckets=(1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        reg.observe("y_seconds", 0.5, buckets=(2.0, 1.0))
+    reg.observe("z_seconds", 0.5, buckets=DEFAULT_BUCKETS)
+
+
+def test_histogram_edges_fixed_at_first_observation():
+    reg = MetricsRegistry()
+    reg.observe("x_seconds", 0.5, buckets=(0.1, 1.0))
+    with pytest.raises(ConfigurationError):
+        reg.observe("x_seconds", 0.5, buckets=(0.2, 2.0))
+
+
+def _registry(values):
+    reg = MetricsRegistry()
+    for value in values:
+        reg.inc("ops_total", value)
+        reg.set_gauge("level", value)
+        reg.observe("dur_seconds", value / 10.0)
+    return reg
+
+
+def test_merge_is_associative_and_commutative_for_counters_and_histograms():
+    a, b, c = _registry([1, 2]), _registry([4]), _registry([8, 16, 32])
+    left = MetricsRegistry()
+    left.merge_snapshot(a.snapshot())
+    left.merge_snapshot(b.snapshot())
+    left.merge_snapshot(c.snapshot())
+    mid = MetricsRegistry()
+    bc = MetricsRegistry()
+    bc.merge_snapshot(c.snapshot())
+    bc.merge_snapshot(b.snapshot())
+    mid.merge_snapshot(bc.snapshot())
+    mid.merge_snapshot(a.snapshot())
+    assert left.snapshot().counters == mid.snapshot().counters
+    assert left.snapshot().histograms == mid.snapshot().histograms
+    # Gauges resolve by (version, value) order — also merge-order free.
+    assert left.snapshot().gauges == mid.snapshot().gauges
+    assert left.counter_value("ops_total") == 63
+
+
+def test_merged_histogram_sums_buckets_exactly():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.observe("x_seconds", 0.05, buckets=(0.1, 1.0))
+    b.observe("x_seconds", 0.5, buckets=(0.1, 1.0))
+    b.observe("x_seconds", 5.0, buckets=(0.1, 1.0))
+    a.merge_snapshot(b.snapshot())
+    edges, counts, total, count = a.snapshot().histograms[("x_seconds", ())]
+    assert edges == (0.1, 1.0)
+    assert counts == (1, 1, 1)
+    assert count == 3
+    assert total == pytest.approx(5.55)
+
+
+def test_merge_rejects_mismatched_bucket_edges():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.observe("x_seconds", 0.5, buckets=(0.1, 1.0))
+    b.observe("x_seconds", 0.5, buckets=(0.2, 2.0))
+    with pytest.raises(ConfigurationError):
+        a.merge_snapshot(b.snapshot())
+
+
+def test_json_roundtrip_is_exact():
+    reg = _registry([3, 1, 4])
+    reg.inc("tagged_total", 2, phase="fresh")
+    snap = reg.snapshot()
+    back = MetricsSnapshot.from_json(snap.to_json())
+    assert back == snap
+
+
+def test_from_json_rejects_non_snapshot_documents():
+    with pytest.raises(ConfigurationError):
+        MetricsSnapshot.from_json("not json at all {")
+    with pytest.raises(ConfigurationError):
+        MetricsSnapshot.from_json('{"schema": "something-else"}')
+
+
+def test_null_registry_is_disabled_and_inert():
+    assert NULL_METRICS.enabled is False
+    NULL_METRICS.inc("ops_total", 5)
+    NULL_METRICS.set_gauge("level", 1)
+    NULL_METRICS.observe("dur_seconds", 0.5)
+    snap = NULL_METRICS.snapshot()
+    assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}

@@ -1,0 +1,99 @@
+"""KernelProfiler and the attach/detach lifecycle of the kernel hooks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import KernelProfiler, attach_kernels
+
+
+def test_profile_accumulates_calls_and_seconds():
+    prof = KernelProfiler()
+    for _ in range(3):
+        with prof.profile("work"):
+            pass
+    stats = prof.stats["work"]
+    assert stats.calls == 3
+    assert stats.seconds >= 0.0
+    assert stats.max_seconds >= stats.mean_seconds
+
+
+def test_wrap_preserves_return_value_and_identity():
+    prof = KernelProfiler()
+
+    def kernel(x):
+        """docs"""
+        return x * 2
+
+    wrapped = prof.wrap("kernel", kernel)
+    assert wrapped(21) == 42
+    assert wrapped.__wrapped__ is kernel
+    assert prof.stats["kernel"].calls == 1
+
+
+def test_cprofile_names_hot_frames():
+    prof = KernelProfiler(use_cprofile=True)
+
+    def busy():
+        return sum(range(2000))
+
+    with prof.profile("busy"):
+        busy()
+    report = prof.top_functions("busy", n=5)
+    assert "busy" in report
+
+
+def test_top_functions_requires_cprofile_and_a_profiled_kernel():
+    with pytest.raises(ConfigurationError):
+        KernelProfiler().top_functions("anything")
+    prof = KernelProfiler(use_cprofile=True)
+    with pytest.raises(ConfigurationError):
+        prof.top_functions("never_ran")
+
+
+def test_summary_lists_each_kernel_once():
+    prof = KernelProfiler()
+    with prof.profile("a"):
+        pass
+    with prof.profile("b"):
+        pass
+    summary = prof.summary()
+    assert "a" in summary and "b" in summary
+    assert KernelProfiler().summary() == "no kernels profiled"
+
+
+def test_attach_kernels_wraps_then_restores_the_hot_paths():
+    from repro.power.synth import TraceSynthesizer
+    from repro.store.chunked import ChunkedTraceStore
+
+    original_synth = TraceSynthesizer.synthesize
+    original_append = ChunkedTraceStore.append
+    prof = KernelProfiler()
+    with attach_kernels(prof):
+        assert TraceSynthesizer.synthesize is not original_synth
+        assert ChunkedTraceStore.append is not original_append
+        assert TraceSynthesizer.synthesize.__wrapped__ is original_synth
+    assert TraceSynthesizer.synthesize is original_synth
+    assert ChunkedTraceStore.append is original_append
+
+
+def test_attach_kernels_records_real_kernel_calls():
+    from repro.experiments.scenarios import build_unprotected
+
+    prof = KernelProfiler()
+    device = build_unprotected().device
+    rng = np.random.default_rng(0)
+    plaintexts = rng.integers(0, 256, size=(8, 16), dtype=np.uint8)
+    with attach_kernels(prof):
+        device.run(plaintexts, rng)
+    assert prof.stats["synthesize"].calls == 1
+
+
+def test_attach_kernels_restores_on_error():
+    from repro.power.synth import TraceSynthesizer
+
+    original = TraceSynthesizer.synthesize
+    with pytest.raises(RuntimeError):
+        with attach_kernels(KernelProfiler()):
+            raise RuntimeError("boom")
+    assert TraceSynthesizer.synthesize is original

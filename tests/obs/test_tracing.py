@@ -1,0 +1,114 @@
+"""Tracer: span nesting, cross-process handoff, JSONL roundtrip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    read_trace_jsonl,
+    span_tree,
+    write_trace_jsonl,
+)
+from repro.obs.tracing import EVENT_FIELDS, TRACE_SCHEMA
+
+
+def test_spans_nest_via_parent_id():
+    tracer = Tracer()
+    with tracer.span("outer", chunk=0):
+        with tracer.span("inner", step="a"):
+            pass
+        tracer.instant("marker")
+    events = tracer.events
+    by_name = {e["name"]: e for e in events}
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["marker"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["parent_id"] is None
+    assert by_name["marker"]["dur_s"] == 0.0
+    assert all(e["origin"] == "parent" for e in events)
+    roots = span_tree(events)[None]
+    assert [e["name"] for e in roots] == ["outer"]
+
+
+def test_span_records_even_when_body_raises():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    (event,) = tracer.events
+    assert event["attrs"]["error"] == "ValueError"
+
+
+def test_timestamps_are_monotonic_per_origin():
+    tracer = Tracer()
+    for k in range(3):
+        tracer.instant("tick", k=k)
+    starts = [e["start_s"] for e in tracer.events]
+    assert starts == sorted(starts)
+    assert all(s >= 0.0 for s in starts)
+
+
+def test_drain_and_extend_model_the_worker_handoff():
+    worker = Tracer(origin="worker:chunk-3")
+    with worker.span("acquire_chunk", chunk=3):
+        pass
+    shipped = worker.drain()
+    assert worker.events == []
+    parent = Tracer()
+    with parent.span("fold_chunk", chunk=3):
+        pass
+    parent.extend(shipped)
+    origins = {e["origin"] for e in parent.events}
+    assert origins == {"parent", "worker:chunk-3"}
+
+
+def test_jsonl_roundtrip_is_exact(tmp_path):
+    tracer = Tracer()
+    with tracer.span("fold_chunk", chunk=np.int64(2), note="x"):
+        tracer.instant("checkpoint", path=None)
+    path = tmp_path / "trace.jsonl"
+    lines = write_trace_jsonl(tracer.events, path)
+    assert lines == 3  # header + 2 events
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {"schema": TRACE_SCHEMA, "n_events": 2}
+    events = read_trace_jsonl(path)
+    assert len(events) == 2
+    for event in events:
+        assert set(EVENT_FIELDS) <= set(event)
+    # numpy attr values were sanitized to plain JSON scalars.
+    fold = next(e for e in events if e["name"] == "fold_chunk")
+    assert fold["attrs"]["chunk"] == 2
+    assert isinstance(fold["attrs"]["chunk"], int)
+
+
+def test_read_rejects_non_trace_files(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("")
+    with pytest.raises(ConfigurationError):
+        read_trace_jsonl(path)
+    path.write_text('{"schema": "other/1"}\n')
+    with pytest.raises(ConfigurationError):
+        read_trace_jsonl(path)
+    path.write_text(
+        '{"schema": "%s", "n_events": 1}\n{"name": "x"}\n' % TRACE_SCHEMA
+    )
+    with pytest.raises(ConfigurationError):
+        read_trace_jsonl(path)
+
+
+def test_read_rejects_event_count_mismatch(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    path.write_text('{"schema": "%s", "n_events": 2}\n' % TRACE_SCHEMA)
+    with pytest.raises(ConfigurationError):
+        read_trace_jsonl(path)
+
+
+def test_null_tracer_buffers_nothing():
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("ignored"):
+        NULL_TRACER.instant("also_ignored")
+    NULL_TRACER.extend([{"name": "dropped"}])
+    assert NULL_TRACER.events == []

@@ -1,0 +1,155 @@
+"""Observability must never perturb the science.
+
+The acceptance criterion of the obs layer, as tests: a campaign run with
+metrics + tracing + checkpointing enabled produces **bit-identical**
+consumer results and store bytes to an uninstrumented run, at any worker
+count — while the collected metrics and spans actually cover every chunk
+on both sides of the process pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability, read_trace_jsonl, write_trace_jsonl
+from repro.pipeline import (
+    CampaignSpec,
+    CompletionTimeConsumer,
+    CpaStreamConsumer,
+    StreamingCampaign,
+)
+
+N_TRACES = 120
+CHUNK = 40
+N_CHUNKS = 3
+
+
+def _spec():
+    return CampaignSpec(target="unprotected", plan_seed=5)
+
+
+def _run(root, workers, obs):
+    engine = StreamingCampaign(
+        _spec(), chunk_size=CHUNK, workers=workers, seed=11, obs=obs
+    )
+    report = engine.run(
+        N_TRACES,
+        consumers=[CpaStreamConsumer(byte_index=0), CompletionTimeConsumer()],
+        store=root / "store",
+        checkpoint=root / "ckpt.json",
+    )
+    return report
+
+
+def _store_bytes(root):
+    store = root / "store"
+    return {
+        str(path.relative_to(store)): path.read_bytes()
+        for path in sorted(store.rglob("*"))
+        if path.is_file()
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The uninstrumented single-worker ground truth."""
+    root = tmp_path_factory.mktemp("baseline")
+    report = _run(root, workers=1, obs=None)
+    return report, _store_bytes(root)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_observed_campaign_is_bit_identical(tmp_path, baseline, workers):
+    base_report, base_bytes = baseline
+    obs = Observability.create()
+    report = _run(tmp_path, workers=workers, obs=obs)
+    assert _store_bytes(tmp_path) == base_bytes
+    base_cpa = base_report.results["cpa[0]"]
+    cpa = report.results["cpa[0]"]
+    assert np.array_equal(cpa.peak_corr, base_cpa.peak_corr)
+    assert cpa.best_guess == base_cpa.best_guess
+    base_times = base_report.results["completion"]
+    times = report.results["completion"]
+    assert times.counts == base_times.counts
+
+
+def test_metrics_cover_every_chunk_across_the_pool(tmp_path):
+    obs = Observability.create()
+    _run(tmp_path, workers=2, obs=obs)
+    m = obs.metrics
+    assert m.counter_value("campaign_chunks_total", phase="fresh") == N_CHUNKS
+    assert m.counter_value("campaign_traces_total") == N_TRACES
+    # Worker-side counters merged home through the chunk payloads.
+    assert m.counter_value("acquisition_traces_total") == N_TRACES
+    assert m.counter_value("campaign_checkpoints_total") == N_CHUNKS
+    assert m.counter_value("store_chunks_written_total") == N_CHUNKS
+    assert m.counter_value("store_bytes_written_total") > 0
+    assert (
+        m.counter_value("cpa_traces_folded_total", accumulator="cpa[0]")
+        == N_TRACES
+    )
+    assert m.gauge_value("campaign_done_traces") == N_TRACES
+    assert m.gauge_value("campaign_wall_seconds") > 0.0
+    snap = m.snapshot()
+    key = ("campaign_consume_seconds", ())
+    _, _, _, count = snap.histograms[key]
+    assert count == N_CHUNKS
+
+
+def test_trace_covers_every_chunk_and_both_clock_domains(tmp_path):
+    obs = Observability.create()
+    _run(tmp_path, workers=2, obs=obs)
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(obs.tracer.events, path)
+    events = read_trace_jsonl(path)
+    folds = [e for e in events if e["name"] == "fold_chunk"]
+    assert sorted(e["attrs"]["chunk"] for e in folds) == list(range(N_CHUNKS))
+    acquires = [e for e in events if e["name"] == "acquire_chunk"]
+    assert {e["origin"] for e in acquires} == {
+        f"worker:chunk-{k}" for k in range(N_CHUNKS)
+    }
+    stages = {
+        e["attrs"]["stage"] for e in events if e["name"] == "acquire_stage"
+    }
+    assert stages == {"schedule", "crypto", "leakage", "synth", "capture"}
+
+
+def test_resume_with_observability_stays_bit_identical(tmp_path, baseline):
+    from repro.errors import AttackError
+
+    _, base_bytes = baseline
+
+    class ExplodingCpa(CpaStreamConsumer):
+        """Dies folding chunk 1 — after its store append (replay setup)."""
+
+        def consume(self, chunk):
+            if chunk.metadata["chunk_index"] == 1:
+                raise AttackError("boom mid-fold")
+            super().consume(chunk)
+
+    crashing = StreamingCampaign(
+        _spec(), chunk_size=CHUNK, workers=1, seed=11,
+        obs=Observability.create(),
+    )
+    with pytest.raises(AttackError):
+        crashing.run(
+            N_TRACES,
+            consumers=[ExplodingCpa(byte_index=0), CompletionTimeConsumer()],
+            store=tmp_path / "store",
+            checkpoint=tmp_path / "ckpt.json",
+        )
+    obs = Observability.create()
+    report = StreamingCampaign.resume(
+        tmp_path / "store",
+        tmp_path / "ckpt.json",
+        consumers=[CpaStreamConsumer(byte_index=0), CompletionTimeConsumer()],
+        workers=2,
+        obs=obs,
+    )
+    assert _store_bytes(tmp_path) == base_bytes
+    assert report.replayed_chunks == 1
+    assert obs.metrics.counter_value(
+        "campaign_chunks_total", phase="replayed"
+    ) == 1
+    assert obs.metrics.counter_value(
+        "campaign_chunks_total", phase="fresh"
+    ) == 1

@@ -99,6 +99,43 @@ class TestCommands:
         assert "CPA byte 0" in out
         assert ChunkedTraceStore.open(store_dir).n_traces == 400
 
+    def test_campaign_observed_writes_metrics_and_trace(self, capsys, tmp_path):
+        """--metrics-out/--trace-out cover every chunk of a 2-worker run."""
+        from repro.obs import read_trace_jsonl
+
+        metrics_txt = tmp_path / "metrics.prom"
+        metrics_json = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        base = [
+            "campaign", "--target", "unprotected", "--traces", "300",
+            "--chunk-size", "100", "--workers", "2", "--quiet",
+            "--checkpoint", str(tmp_path / "ckpt.npz"),
+            "--trace-out", str(trace),
+        ]
+        assert main(base + ["--metrics-out", str(metrics_txt)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics written to" in out and "trace written to" in out
+        prom = metrics_txt.read_text()
+        assert "# TYPE campaign_chunks_total counter" in prom
+        assert 'campaign_chunks_total{phase="fresh"} 3' in prom
+        assert "campaign_traces_total 300" in prom
+        events = read_trace_jsonl(trace)
+        folds = [e for e in events if e["name"] == "fold_chunk"]
+        assert sorted(e["attrs"]["chunk"] for e in folds) == [0, 1, 2]
+        # .json extension selects the JSON snapshot; obs render reads it.
+        assert main(base + ["--metrics-out", str(metrics_json)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "render", str(metrics_json)]) == 0
+        rendered = capsys.readouterr().out
+        assert "campaign_traces_total" in rendered
+        assert "histogram" in rendered
+
+    def test_obs_render_rejects_prometheus_text(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text("# TYPE x counter\nx 1\n")
+        assert main(["obs", "render", str(path)]) == 1
+        assert "--metrics-out <file>.json" in capsys.readouterr().err
+
     def test_campaign_tvla_mode(self, capsys):
         rc = main(
             [

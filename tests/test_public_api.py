@@ -17,6 +17,10 @@ PACKAGES = [
     "repro.preprocess",
     "repro.leakage_assessment",
     "repro.baselines",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.profiling",
     "repro.pipeline",
     "repro.pipeline.engine",
     "repro.pipeline.consumers",
@@ -50,6 +54,7 @@ class TestImports:
             "repro.utils",
             "repro.pipeline",
             "repro.store",
+            "repro.obs",
         ],
     )
     def test_all_entries_resolve(self, name):
