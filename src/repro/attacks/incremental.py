@@ -91,6 +91,8 @@ class IncrementalCpa:
             raise AttackError("traces must be (n, S)")
         if traces.shape[0] != np.asarray(data).shape[0]:
             raise AttackError("traces and data disagree on the batch size")
+        if traces.shape[0] == 0:
+            return  # zero traces: exact no-op, nothing to allocate or fold
         predictions = self.model(data, self.byte_index).astype(np.float64)
         if self._sum_t is None:
             s = traces.shape[1]
@@ -131,8 +133,8 @@ class IncrementalCpa:
             raise AttackError(
                 "merge requires matching byte_index and prediction model"
             )
-        if other._sum_t is None:
-            return
+        if other._sum_t is None or other.n_traces == 0:
+            return  # empty shard (even width-pinned): exact no-op
         if self._sum_t is None:
             s = other._sum_t.shape[0]
             self._sum_t = np.zeros(s)
@@ -254,6 +256,8 @@ class IncrementalCpaBank:
             raise AttackError("traces must be (n, S)")
         if traces.shape[0] != np.asarray(data).shape[0]:
             raise AttackError("traces and data disagree on the batch size")
+        if traces.shape[0] == 0:
+            return  # zero traces: exact no-op, nothing to allocate or fold
         predictions = self._predictions(data)
         if self._sum_t is None:
             s = traces.shape[1]
@@ -293,8 +297,8 @@ class IncrementalCpaBank:
             raise AttackError(
                 "merge requires matching byte_indices and prediction model"
             )
-        if other._sum_t is None:
-            return
+        if other._sum_t is None or other.n_traces == 0:
+            return  # empty shard (even width-pinned): exact no-op
         if self._sum_t is None:
             s = other._sum_t.shape[0]
             self._sum_t = np.zeros(s)

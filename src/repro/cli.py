@@ -13,14 +13,18 @@ Installed as ``repro-rftc`` (see pyproject), or run via
   checkpoint/resume, fault injection, ``--metrics-out``/``--trace-out``)
 * ``store``    — inspect or integrity-check a ChunkedTraceStore
 * ``obs``      — render a saved metrics snapshot for the terminal
+* ``verify``   — differential verification suites (``repro.verify``)
 
-Every subcommand prints plain text and exits 0 on success; budgets are
-deliberately small so each command finishes in seconds to a few minutes.
+Every subcommand prints plain text and exits with an explicit code: 0 on
+success, 1 on a failed check or run, 2 on bad invocation, 130 on Ctrl-C.
+Budgets are deliberately small so each command finishes in seconds to a
+few minutes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -292,6 +296,11 @@ def _cmd_store(args: argparse.Namespace) -> int:
     from repro.errors import AcquisitionError
     from repro.store import ChunkedTraceStore
 
+    if not os.path.isdir(args.path):
+        # A path that was never a store is a usage error (exit 2), distinct
+        # from a store that exists but fails to open or verify (exit 1).
+        print(f"store path does not exist: {args.path}", file=sys.stderr)
+        return 2
     try:
         store = ChunkedTraceStore.open(args.path, quarantine=False)
     except AcquisitionError as exc:
@@ -329,6 +338,22 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 1
     print(render_metrics(snapshot, width=args.width))
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import run_suites
+
+    report = run_suites(
+        names=args.suite or None,
+        seed=args.seed,
+        schedules=args.schedules,
+        plan_sets=args.plan_sets,
+        drift_out=args.drift_out,
+    )
+    print(report.summary(verbose=args.verbose))
+    if args.drift_out and any(s.name == "drift" for s in report.suites):
+        print(f"drift manifest written to {args.drift_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -442,6 +467,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="histogram bar width in characters")
     p.set_defaults(func=_cmd_obs)
 
+    p = sub.add_parser(
+        "verify",
+        help="run the differential verification suites (repro.verify)",
+    )
+    p.add_argument(
+        "--suite",
+        action="append",
+        choices=("aes", "accumulators", "drp", "planner", "drift", "lint"),
+        help="suite to run (repeatable; default: all six)",
+    )
+    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--schedules", type=int, default=50,
+                   help="randomized accumulator schedules per kind")
+    p.add_argument("--plan-sets", type=int, default=1024,
+                   help="plan size for the DRP round-trip audit")
+    p.add_argument("--drift-out", default=None, metavar="FILE",
+                   help="write the drift budgets + observed values as JSON")
+    p.add_argument("--verbose", action="store_true",
+                   help="list passing checks, not just failures")
+    p.set_defaults(func=_cmd_verify)
+
     p = sub.add_parser("report", help="generate a full markdown report")
     p.add_argument("--profile", choices=("smoke", "quick"), default="smoke")
     p.add_argument("--seed", type=int, default=2019)
@@ -453,7 +499,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Conventional 128 + SIGINT, and no traceback spray at the shell.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -20,7 +20,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ReconfigurationError
-from repro.hw.mmcm import Mmcm, MmcmConfig, OutputDivider, lock_time_seconds
+from repro.hw.mmcm import (
+    KINTEX7_SPEC,
+    Mmcm,
+    MmcmConfig,
+    MmcmTimingSpec,
+    OutputDivider,
+    lock_time_seconds,
+)
 
 #: DRP addresses of the ClkReg1/ClkReg2 pairs (XAPP888 table 2).
 CLKOUT_REG_ADDRS: Dict[int, Tuple[int, int]] = {
@@ -194,9 +201,19 @@ def encode_config(config: MmcmConfig) -> List[DrpTransaction]:
 
 
 def decode_transactions(
-    writes: Sequence[DrpTransaction], f_in_mhz: float, n_outputs: int
+    writes: Sequence[DrpTransaction],
+    f_in_mhz: float,
+    n_outputs: int,
+    spec: MmcmTimingSpec = KINTEX7_SPEC,
 ) -> MmcmConfig:
-    """Rebuild an :class:`MmcmConfig` from a DRP write burst (encode inverse)."""
+    """Rebuild an :class:`MmcmConfig` from a DRP write burst (encode inverse).
+
+    ``spec`` must be the timing spec the encoded configuration was built
+    against: the registers carry no device identity, and the rebuilt config
+    re-validates its VCO/PFD ranges on construction, so decoding e.g. a
+    Virtex-7 -3 burst (VCO up to 1600 MHz) against the default Kintex-7 -1
+    limits would spuriously reject a perfectly valid register image.
+    """
     regs = {w.addr: w.data for w in writes}
     outputs = []
     for idx in range(n_outputs):
@@ -219,7 +236,11 @@ def decode_transactions(
         raise ReconfigurationError("write burst lacks the DIVCLK register")
     divclk = _decode_divclk(regs[DIVCLK_REG_ADDR])
     return MmcmConfig(
-        f_in_mhz=f_in_mhz, mult=mult, divclk=divclk, outputs=tuple(outputs)
+        f_in_mhz=f_in_mhz,
+        mult=mult,
+        divclk=divclk,
+        outputs=tuple(outputs),
+        spec=spec,
     )
 
 

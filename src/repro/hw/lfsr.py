@@ -23,6 +23,13 @@ MAXIMAL_TAPS = {
     6: (6, 5),
     7: (7, 6),
     8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
     16: (16, 15, 13, 4),
     32: (32, 22, 2, 1),
     64: (64, 63, 61, 60),
@@ -112,11 +119,31 @@ class FibonacciLfsr:
                 return value
 
 
+def reflected_taps(width: int, taps: Sequence[int]) -> Tuple[int, ...]:
+    """Tap set of the reciprocal polynomial: ``{width} ∪ {width - t}``.
+
+    A Galois LFSR with taps ``T`` steps through the *reciprocal* polynomial
+    of the Fibonacci LFSR with the same ``T`` — so with identical taps the
+    two forms generate different (time-reversed) sequences.  To obtain the
+    *same* output stream, build one form with ``taps`` and the other with
+    ``reflected_taps(width, taps)``, then seed the Fibonacci register with
+    the first ``width`` output bits of the Galois one (packed MSB-first).
+    The reciprocal of a primitive polynomial is primitive, so reflection
+    preserves maximality.
+    """
+    taps = _check_taps(int(width), taps)
+    return tuple(
+        sorted({width} | {width - t for t in taps if t != width}, reverse=True)
+    )
+
+
 class GaloisLfsr:
     """Galois (one-to-many) LFSR — the cheap-in-fabric form.
 
-    Equivalent sequence to the Fibonacci form with the same polynomial but
-    shifted taps; one XOR per tap directly inside the register chain.
+    With the *same* tap set this form realizes the reciprocal polynomial of
+    :class:`FibonacciLfsr`, hence an equivalent (maximal-length) but not
+    identical sequence; see :func:`reflected_taps` for the exact mapping.
+    One XOR per tap sits directly inside the register chain.
     """
 
     def __init__(self, width: int, taps: Sequence[int] = (), seed: int = 1):

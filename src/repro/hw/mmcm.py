@@ -33,6 +33,11 @@ from repro.utils.validation import check_positive
 #: cascade path.
 MAX_OUTPUTS = 7
 
+#: Largest output phase the DRP encoding can carry, in eighths of a VCO
+#: period: the sub-cycle part uses PHASE_MUX (3 bits) and whole VCO cycles
+#: the 6-bit DELAY_TIME field, so 0x3F * 8 + 7 = 511 eighths total.
+MAX_PHASE_VCO_EIGHTHS = 0x3F * 8 + 7
+
 
 @dataclass(frozen=True)
 class MmcmTimingSpec:
@@ -139,6 +144,15 @@ class OutputDivider:
             raise ConfigurationError(
                 f"phase {self.phase_degrees} deg is not a multiple of the "
                 f"{step:.4f} deg resolution at divide {self.divide}"
+            )
+        # Large dividers can push an in-range phase beyond what the DRP
+        # registers can express (6-bit whole-cycle delay + 3-bit mux);
+        # reject at construction instead of failing later in encode_config.
+        if round(eighths) > MAX_PHASE_VCO_EIGHTHS:
+            raise ConfigurationError(
+                f"phase {self.phase_degrees} deg at divide {self.divide} "
+                f"needs {round(eighths)} VCO eighths of delay, beyond the "
+                f"DRP encoding limit of {MAX_PHASE_VCO_EIGHTHS}"
             )
 
     @property

@@ -104,7 +104,14 @@ class IncrementalTvla:
         self._random.update(traces)
 
     def merge(self, other: "IncrementalTvla") -> None:
-        """Fold another accumulator in (exact parallel-shard combine)."""
+        """Fold another accumulator in (exact parallel-shard combine).
+
+        A fresh ``other`` (no traces in either population) is an exact
+        no-op; merging *into* a fresh ``self`` adopts ``other`` verbatim —
+        both via the :class:`~repro.utils.stats.RunningMoments` guards.
+        """
+        if not isinstance(other, IncrementalTvla):
+            raise ConfigurationError("can only merge another IncrementalTvla")
         if other.exclude_prefix_samples != self.exclude_prefix_samples:
             raise ConfigurationError(
                 "merge requires matching exclude_prefix_samples"

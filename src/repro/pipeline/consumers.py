@@ -43,9 +43,12 @@ class TraceConsumer(Protocol):
     ``snapshot()`` returns a dict of JSON-safe scalars and numpy arrays
     capturing the accumulator exactly, and ``restore(state)`` overwrites
     a freshly-constructed consumer with it such that continuing the fold
-    is bit-identical to never having stopped.  Consumers without them
-    still stream fine — they just cannot take part in checkpointed
-    (resumable) campaigns.
+    is bit-identical to never having stopped.  ``merge`` is the
+    shard-parallel half: folding a consumer built from a disjoint shard of
+    chunks into this one must equal having consumed those chunks here, and
+    merging a fresh (zero-trace) consumer must be an exact no-op.  The
+    ``repro.verify.lint`` suite enforces that every consumer in ``src/``
+    implements all three.
     """
 
     name: str
@@ -64,6 +67,10 @@ class TraceConsumer(Protocol):
 
     def restore(self, state: dict) -> None:
         """Overwrite this consumer with a :meth:`snapshot` state."""
+        ...
+
+    def merge(self, other: "TraceConsumer") -> None:
+        """Fold another consumer's accumulated state into this one."""
         ...
 
 
@@ -102,6 +109,12 @@ class CpaStreamConsumer:
 
     def restore(self, state: dict) -> None:
         self._inc.restore(state)
+
+    def merge(self, other: "CpaStreamConsumer") -> None:
+        """Fold a disjoint shard's accumulator in (exact additive sums)."""
+        if not isinstance(other, CpaStreamConsumer):
+            raise AttackError("can only merge another CpaStreamConsumer")
+        self._inc.merge(other._inc)
 
 
 class CpaBankConsumer:
@@ -147,6 +160,12 @@ class CpaBankConsumer:
     def restore(self, state: dict) -> None:
         self._bank.restore(state)
 
+    def merge(self, other: "CpaBankConsumer") -> None:
+        """Fold a disjoint shard's bank in (exact additive sums)."""
+        if not isinstance(other, CpaBankConsumer):
+            raise AttackError("can only merge another CpaBankConsumer")
+        self._bank.merge(other._bank)
+
 
 class TvlaStreamConsumer:
     """Streaming fixed-vs-random Welch t over interleaved chunks.
@@ -178,6 +197,12 @@ class TvlaStreamConsumer:
 
     def restore(self, state: dict) -> None:
         self._inc.restore(state)
+
+    def merge(self, other: "TvlaStreamConsumer") -> None:
+        """Fold a disjoint shard's populations in (Chan pooled moments)."""
+        if not isinstance(other, TvlaStreamConsumer):
+            raise AttackError("can only merge another TvlaStreamConsumer")
+        self._inc.merge(other._inc)
 
 
 @dataclass
@@ -266,3 +291,14 @@ class CompletionTimeConsumer:
         self._counts = Counter(
             {float(t): int(c) for t, c in zip(times, counts)}
         )
+
+    def merge(self, other: "CompletionTimeConsumer") -> None:
+        """Add a disjoint shard's histogram (exact integer counts)."""
+        if not isinstance(other, CompletionTimeConsumer):
+            raise AttackError("can only merge another CompletionTimeConsumer")
+        if other.resolution_ns != self.resolution_ns:
+            raise ConfigurationError(
+                f"cannot merge histograms at {other.resolution_ns} ns into "
+                f"{self.resolution_ns} ns resolution"
+            )
+        self._counts.update(other._counts)

@@ -46,8 +46,11 @@ from repro.hw.mmcm import (
 from repro.rftc.completion import enumerate_compositions
 from repro.rftc.config import RFTCParams
 
-#: Grid spacing of the paper's MATLAB study: 3,072 frequencies across
-#: 12..48 MHz at 0.012 MHz (well, 36 MHz / 3,071 ~ 0.0117) increments.
+#: Grid spacing of the paper's MATLAB study.  The paper quotes "0.012 MHz
+#: increments" for 3,072 frequencies across 12..48 MHz; an inclusive grid of
+#: 3,072 points would actually step 36 MHz / 3,071 ~ 0.011722 MHz.  We use
+#: the paper's rounded figure, so the inclusive 12..48 MHz grid built from
+#: this constant has 3,001 points, not 3,072.
 DEFAULT_GRID_STEP_MHZ = 0.012
 
 #: Resolution at which completion times are considered "identical" during

@@ -169,8 +169,18 @@ class RunningMoments:
     _m2: Optional[np.ndarray] = field(default=None, repr=False)
 
     def update(self, traces: np.ndarray) -> None:
-        """Fold a ``(n, n_samples)`` batch (or a single trace) into the stats."""
-        batch = np.atleast_2d(np.asarray(traces, dtype=np.float64))
+        """Fold a ``(n, n_samples)`` batch (or a single trace) into the stats.
+
+        A zero-trace batch — ``(0, S)`` or an empty 1-D array — is an exact
+        no-op: it neither bumps ``count`` nor pins the accumulator width
+        (an empty 1-D array carries no sample-count information at all).
+        """
+        batch = np.asarray(traces, dtype=np.float64)
+        if batch.ndim <= 1 and batch.size == 0:
+            return
+        batch = np.atleast_2d(batch)
+        if batch.shape[0] == 0:
+            return
         if self._mean is None:
             self._mean = np.zeros(batch.shape[1])
             self._m2 = np.zeros(batch.shape[1])
@@ -191,9 +201,13 @@ class RunningMoments:
         TVLA matches the sequential fold bit-for-bit up to float
         associativity.
         """
+        if not isinstance(other, RunningMoments):
+            raise ConfigurationError("can only merge another RunningMoments")
         if other._mean is None or other.count == 0:
             return
-        if self._mean is None:
+        if self._mean is None or self.count == 0:
+            # Fresh (or width-pinned but still empty) accumulator: adopt the
+            # other side verbatim.  Covers resume-before-first-chunk merges.
             self.count = other.count
             self._mean = other._mean.copy()
             self._m2 = other._m2.copy()

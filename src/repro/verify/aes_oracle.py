@@ -1,0 +1,181 @@
+"""AES differential oracle: RT model vs. table AES vs. FIPS-197 vectors.
+
+Three independent implementations of the cipher live in this library —
+the byte-oriented reference (:mod:`repro.crypto.aes`), the vectorized
+batch schedule/round-state kernels, and the register-transfer datapath
+model whose Hamming distances feed every synthesized trace.  This oracle
+pins all of them to the official FIPS-197 test vectors and to each
+other, across every key size the standard defines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import (
+    AES,
+    aes128_decrypt,
+    aes128_encrypt,
+    batch_expand_key,
+    expand_key,
+)
+from repro.crypto.datapath import AesDatapath, batch_round_states
+from repro.verify import Checks
+
+#: FIPS-197 Appendix C "Example Vectors": (key, plaintext, ciphertext) hex.
+FIPS197_APPENDIX_C = (
+    (
+        "aes-128",
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "aes-192",
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "aes-256",
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+)
+
+#: FIPS-197 Appendix B worked example (the Rijndael paper's vector).
+APPENDIX_B_KEY = "2b7e151628aed2a6abf7158809cf4f3c"
+APPENDIX_B_PLAINTEXT = "3243f6a8885a308d313198a2e0370734"
+APPENDIX_B_CIPHERTEXT = "3925841d02dc09fbdc118597196a0b32"
+
+#: FIPS-197 Appendix A.1: final round key of the Appendix B key schedule.
+APPENDIX_A1_LAST_ROUND_KEY = "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+
+def run_aes_checks(checks: Checks, seed: int = 2019) -> None:
+    """Append the AES oracle's verdicts to ``checks``."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xAE5]))
+
+    # --- embedded NIST/FIPS-197 vectors, all key sizes ------------------
+    for label, key_hex, pt_hex, ct_hex in FIPS197_APPENDIX_C:
+        key = bytes.fromhex(key_hex)
+        pt = bytes.fromhex(pt_hex)
+        ct = bytes.fromhex(ct_hex)
+        cipher = AES(key)
+        got_ct = cipher.encrypt(pt)
+        got_pt = cipher.decrypt(ct)
+        checks.record(
+            f"fips197:{label}:encrypt",
+            got_ct == ct,
+            f"got {got_ct.hex()}, expected {ct_hex}",
+        )
+        checks.record(
+            f"fips197:{label}:decrypt",
+            got_pt == pt,
+            f"got {got_pt.hex()}, expected {pt_hex}",
+        )
+
+    b_key = bytes.fromhex(APPENDIX_B_KEY)
+    got = aes128_encrypt(b_key, bytes.fromhex(APPENDIX_B_PLAINTEXT))
+    checks.record(
+        "fips197:appendix-b:encrypt",
+        got == bytes.fromhex(APPENDIX_B_CIPHERTEXT),
+        f"got {got.hex()}, expected {APPENDIX_B_CIPHERTEXT}",
+    )
+    last_rk = expand_key(b_key)[-1]
+    checks.record(
+        "fips197:appendix-a1:last-round-key",
+        last_rk == bytes.fromhex(APPENDIX_A1_LAST_ROUND_KEY),
+        f"got {last_rk.hex()}, expected {APPENDIX_A1_LAST_ROUND_KEY}",
+    )
+
+    # --- encrypt/decrypt round trips on random blocks, all key sizes ----
+    for key_len in (16, 24, 32):
+        key = bytes(rng.integers(0, 256, size=key_len, dtype=np.uint8))
+        cipher = AES(key)
+        blocks = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+        ok = all(
+            cipher.decrypt(cipher.encrypt(bytes(b))) == bytes(b)
+            for b in blocks
+        )
+        checks.record(
+            f"roundtrip:aes-{key_len * 8}",
+            ok,
+            "decrypt(encrypt(x)) == x over 32 random blocks",
+        )
+
+    # --- vectorized key schedule vs. the reference schedule -------------
+    keys = rng.integers(0, 256, size=(128, 16), dtype=np.uint8)
+    batch_rk = batch_expand_key(keys)
+    ref_rk = np.array(
+        [[list(rk) for rk in expand_key(bytes(k))] for k in keys],
+        dtype=np.uint8,
+    )
+    checks.record(
+        "batch-expand-key:vs-reference",
+        bool(np.array_equal(batch_rk, ref_rk)),
+        "128 random AES-128 keys, byte-identical schedules",
+    )
+
+    # --- vectorized round states vs. the reference cipher ---------------
+    shared_key = bytes(rng.integers(0, 256, size=16, dtype=np.uint8))
+    pts = rng.integers(0, 256, size=(48, 16), dtype=np.uint8)
+    batch_states = batch_round_states(
+        np.frombuffer(shared_key, dtype=np.uint8), pts
+    )
+    cipher = AES(shared_key)
+    ref_states = np.array(
+        [[list(s) for s in cipher.round_states(bytes(p))] for p in pts],
+        dtype=np.uint8,
+    )
+    checks.record(
+        "batch-round-states:shared-key",
+        bool(np.array_equal(batch_states, ref_states)),
+        "48 encryptions, all 11 round registers byte-identical",
+    )
+
+    per_keys = rng.integers(0, 256, size=(24, 16), dtype=np.uint8)
+    per_pts = rng.integers(0, 256, size=(24, 16), dtype=np.uint8)
+    batch_states = batch_round_states(per_keys, per_pts)
+    ref_states = np.array(
+        [
+            [list(s) for s in AES(bytes(k)).round_states(bytes(p))]
+            for k, p in zip(per_keys, per_pts)
+        ],
+        dtype=np.uint8,
+    )
+    checks.record(
+        "batch-round-states:per-trace-keys",
+        bool(np.array_equal(batch_states, ref_states)),
+        "24 encryptions under per-trace keys",
+    )
+
+    # --- RT datapath vs. the per-trace transition model -----------------
+    datapath = AesDatapath(shared_key)
+    pts = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+    prev = rng.integers(0, 256, size=(32, 16), dtype=np.uint8)
+    batch_hd = datapath.batch_hamming_distances(pts, previous_ciphertexts=prev)
+    ref_hd = np.array(
+        [
+            datapath.hamming_distances(bytes(p), previous_ciphertext=bytes(c))
+            for p, c in zip(pts, prev)
+        ],
+        dtype=np.float64,
+    )
+    checks.record(
+        "datapath:batch-vs-scalar-hamming",
+        bool(np.array_equal(batch_hd, ref_hd)),
+        "32 encryptions with chained previous ciphertexts, all 11 edges",
+    )
+
+    batch_ct = datapath.batch_ciphertexts(pts)
+    ref_ct = np.array(
+        [list(aes128_encrypt(shared_key, bytes(p))) for p in pts],
+        dtype=np.uint8,
+    )
+    checks.record(
+        "datapath:batch-ciphertexts",
+        bool(np.array_equal(batch_ct, ref_ct)),
+        "vectorized ciphertexts match the table cipher",
+    )

@@ -1,0 +1,190 @@
+"""Numeric-drift sentinel: hot-path reductions vs. compensated references.
+
+The CPA/TVLA kernels compute correlations from naive float64 running sums
+(``sum_t2 - sum_t**2/n`` style), which lose digits to cancellation as the
+trace count grows.  This suite recomputes each kernel's output with
+compensated summation (``math.fsum``, exact until the final rounding) on a
+fixed seeded workload and asserts the observed drift stays inside the
+per-kernel budgets committed in ``drift_manifest.json``.  The budgets sit
+~two orders of magnitude above the measured drift, so the suite only
+fires on a real regression (a reordered reduction, a dtype downcast, a
+"harmless" refactor of the sums) — not on FP noise.
+
+Pass ``manifest_out`` to also write the observed values next to the
+budgets, which CI uploads as an artifact for trend inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.models import last_round_hd_predictions
+from repro.leakage_assessment.tvla import IncrementalTvla
+from repro.rftc.completion import enumerate_compositions
+from repro.rftc.config import RFTCParams
+from repro.rftc.planner import FrequencyPlan
+from repro.utils.stats import RunningMoments, column_pearson, welch_t
+from repro.verify import Checks
+
+MANIFEST_PATH = Path(__file__).parent / "drift_manifest.json"
+
+#: The workload is pinned — budgets in the manifest are calibrated to it.
+_SEED = 2019
+_N_TRACES = 2000
+_N_SAMPLES = 6
+_N_HYPOTHESES = 16  # correlation rows compared against the fsum reference
+
+
+def _fsum_pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson via compensated sums (exact up to one final rounding each)."""
+    n = len(x)
+    mx = math.fsum(x) / n
+    my = math.fsum(y) / n
+    cov = math.fsum((xi - mx) * (yi - my) for xi, yi in zip(x, y))
+    vx = math.fsum((xi - mx) ** 2 for xi in x)
+    vy = math.fsum((yi - my) ** 2 for yi in y)
+    denom = math.sqrt(vx * vy)
+    return cov / denom if denom > 0.0 else 0.0
+
+
+def _fsum_welch_t(a_col: np.ndarray, b_col: np.ndarray) -> float:
+    na, nb = len(a_col), len(b_col)
+    ma = math.fsum(a_col) / na
+    mb = math.fsum(b_col) / nb
+    va = math.fsum((x - ma) ** 2 for x in a_col) / (na - 1)
+    vb = math.fsum((x - mb) ** 2 for x in b_col) / (nb - 1)
+    denom = math.sqrt(va / na + vb / nb)
+    diff = ma - mb
+    if denom > 0.0:
+        return diff / denom
+    return 0.0 if diff == 0.0 else math.copysign(math.inf, diff)
+
+
+def measure_drift() -> Dict[str, float]:
+    """Max |kernel - compensated reference| per kernel, on the pinned load."""
+    rng = np.random.default_rng(np.random.SeedSequence([_SEED, 0xD81F]))
+    traces = rng.normal(50.0, 6.0, size=(_N_TRACES, _N_SAMPLES))
+    data = rng.integers(0, 256, size=(_N_TRACES, 16), dtype=np.uint8)
+    predictions = last_round_hd_predictions(data, 0).astype(np.float64)
+
+    ref = np.empty((_N_HYPOTHESES, _N_SAMPLES))
+    for h in range(_N_HYPOTHESES):
+        for s in range(_N_SAMPLES):
+            ref[h, s] = _fsum_pearson(predictions[:, h], traces[:, s])
+
+    drift: Dict[str, float] = {}
+
+    batch = column_pearson(predictions, traces)
+    drift["column_pearson"] = float(
+        np.abs(batch[:_N_HYPOTHESES] - ref).max()
+    )
+
+    acc = IncrementalCpa(byte_index=0)
+    for lo in range(0, _N_TRACES, 250):
+        acc.update(traces[lo : lo + 250], data[lo : lo + 250])
+    drift["incremental_cpa_correlation"] = float(
+        np.abs(acc.correlation()[:_N_HYPOTHESES] - ref).max()
+    )
+
+    fixed = rng.normal(48.0, 5.0, size=(_N_TRACES, _N_SAMPLES))
+    random_ = rng.normal(50.0, 5.0, size=(_N_TRACES, _N_SAMPLES))
+    t_ref = np.array(
+        [
+            _fsum_welch_t(fixed[:, s], random_[:, s])
+            for s in range(_N_SAMPLES)
+        ]
+    )
+    drift["welch_t"] = float(np.abs(welch_t(fixed, random_) - t_ref).max())
+
+    inc = IncrementalTvla()
+    for lo in range(0, _N_TRACES, 250):
+        inc.update_fixed(fixed[lo : lo + 250])
+        inc.update_random(random_[lo : lo + 250])
+    drift["incremental_tvla_t"] = float(
+        np.abs(inc.result().t_values - t_ref).max()
+    )
+
+    moments = RunningMoments()
+    for lo in range(0, _N_TRACES, 250):
+        moments.update(traces[lo : lo + 250])
+    mean_ref = np.array(
+        [math.fsum(traces[:, s]) / _N_TRACES for s in range(_N_SAMPLES)]
+    )
+    var_ref = np.array(
+        [
+            math.fsum((x - mean_ref[s]) ** 2 for x in traces[:, s])
+            / (_N_TRACES - 1)
+            for s in range(_N_SAMPLES)
+        ]
+    )
+    drift["running_moments"] = max(
+        float(np.abs(moments.mean - mean_ref).max()),
+        float(np.abs(moments.variance - var_ref).max()),
+    )
+
+    freqs = rng.uniform(12.0, 48.0, size=(64, 3))
+    plan = FrequencyPlan(
+        params=RFTCParams(m_outputs=3, p_configs=64),
+        sets_mhz=freqs,
+        method="naive-grid",
+    )
+    table = plan.completion_table_ns()
+    periods = 1000.0 / freqs
+    comps = enumerate_compositions(3, 10).astype(np.float64)
+    table_ref = np.array(
+        [
+            [
+                math.fsum(p * c for p, c in zip(periods[i], comps[j]))
+                for j in range(comps.shape[0])
+            ]
+            for i in range(freqs.shape[0])
+        ]
+    )
+    drift["completion_table"] = float(np.abs(table - table_ref).max())
+    return drift
+
+
+def load_manifest() -> Dict[str, float]:
+    payload = json.loads(MANIFEST_PATH.read_text())
+    return {k: float(v) for k, v in payload["budgets"].items()}
+
+
+def run_drift_checks(
+    checks: Checks, manifest_out: Optional[str] = None
+) -> None:
+    """Append the drift sentinel's verdicts to ``checks``."""
+    budgets = load_manifest()
+    observed = measure_drift()
+
+    checks.record(
+        "manifest:kernels",
+        sorted(budgets) == sorted(observed),
+        f"manifest budgets {sorted(budgets)} vs measured {sorted(observed)}",
+    )
+    for kernel in sorted(observed):
+        budget = budgets.get(kernel)
+        if budget is None:
+            continue  # already flagged by manifest:kernels
+        checks.record(
+            f"drift:{kernel}",
+            observed[kernel] <= budget,
+            f"observed {observed[kernel]:.3e}, budget {budget:.0e}",
+        )
+
+    if manifest_out:
+        Path(manifest_out).write_text(
+            json.dumps(
+                {
+                    "format": "repro-drift-manifest-v1",
+                    "budgets": budgets,
+                    "observed": observed,
+                },
+                indent=1,
+            )
+        )

@@ -10,11 +10,12 @@ from repro.hw.lfsr import (
     GaloisLfsr,
     Lfsr128,
     bit_stream_to_array,
+    reflected_taps,
 )
 
 
 class TestFibonacci:
-    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("width", range(3, 17))
     def test_maximal_period(self, width):
         lfsr = FibonacciLfsr(width, seed=1)
         seen = {lfsr.state}
@@ -41,8 +42,8 @@ class TestFibonacci:
 
     def test_unknown_width_needs_taps(self):
         with pytest.raises(ConfigurationError):
-            FibonacciLfsr(9)
-        FibonacciLfsr(9, taps=(9, 5))  # explicit taps accepted
+            FibonacciLfsr(17)
+        FibonacciLfsr(17, taps=(17, 14))  # explicit taps accepted
 
     def test_tap_validation(self):
         with pytest.raises(ConfigurationError):
@@ -65,7 +66,7 @@ class TestFibonacci:
 
 
 class TestGalois:
-    @pytest.mark.parametrize("width", [3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("width", range(3, 17))
     def test_maximal_period(self, width):
         lfsr = GaloisLfsr(width, seed=1)
         seen = {lfsr.state}
@@ -79,6 +80,60 @@ class TestGalois:
     def test_zero_seed_rejected(self):
         with pytest.raises(ConfigurationError):
             GaloisLfsr(8, seed=0)
+
+    @pytest.mark.parametrize("width", range(3, 17))
+    def test_reflected_taps_also_maximal(self, width):
+        """The reciprocal of a primitive polynomial is primitive."""
+        lfsr = GaloisLfsr(width, taps=reflected_taps(width, MAXIMAL_TAPS[width]))
+        seen = {lfsr.state}
+        for _ in range(2**width):
+            lfsr.step()
+            if lfsr.state in seen:
+                break
+            seen.add(lfsr.state)
+        assert len(seen) == 2**width - 1
+
+
+class TestFormEquivalence:
+    """Fibonacci and Galois realize the same stream via reflected taps."""
+
+    def test_reflection_is_an_involution(self):
+        for width, taps in MAXIMAL_TAPS.items():
+            assert reflected_taps(width, reflected_taps(width, taps)) == taps
+
+    def test_same_taps_diverge(self):
+        """With identical taps the two forms are reciprocal, not equal."""
+        fib = FibonacciLfsr(8, seed=1)
+        gal = GaloisLfsr(8, seed=1)
+        assert [fib.step() for _ in range(64)] != [
+            gal.step() for _ in range(64)
+        ]
+
+    @staticmethod
+    def _aligned_pair(width, seed):
+        """Galois with reflected taps and a phase-aligned Fibonacci twin.
+
+        A Fibonacci register's state bits *are* its next ``width`` output
+        bits (MSB first), so seeding it with a probe copy's first outputs
+        aligns both streams from step 0.
+        """
+        reflected = reflected_taps(width, MAXIMAL_TAPS[width])
+        probe = GaloisLfsr(width, taps=reflected, seed=seed)
+        fib = FibonacciLfsr(width, seed=probe.next_bits(width))
+        gal = GaloisLfsr(width, taps=reflected, seed=seed)
+        return fib, gal
+
+    @pytest.mark.parametrize("width,steps", [(8, 1024), (16, 4096)])
+    def test_reflected_streams_match_small_widths(self, width, steps):
+        fib, gal = self._aligned_pair(width, seed=0x5A)
+        assert all(fib.step() == gal.step() for _ in range(steps))
+
+    def test_reflected_streams_match_width_128(self):
+        """The paper's 128-bit register: both fabric forms, 10^5 steps."""
+        fib, gal = self._aligned_pair(
+            128, seed=0x1234_5678_9ABC_DEF0_0FED_CBA9_8765_4321
+        )
+        assert all(fib.step() == gal.step() for _ in range(100_000))
 
     def test_bit_output_binary(self):
         lfsr = GaloisLfsr(8, seed=0x5A)

@@ -1,0 +1,234 @@
+"""Zero-sample edge cases: empty updates and empty-shard merges are no-ops.
+
+Regression tests for the accumulator bugs the verification subsystem was
+built to catch: a ``(0, S)`` update used to allocate (and, for
+``RunningMoments`` fed an empty 1-D array, poison) accumulator state, and
+merging a width-pinned but zero-count shard was not guarded.  Every case
+is asserted in *both* directions: empty-into-populated and
+populated-into-empty.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
+from repro.errors import ConfigurationError
+from repro.leakage_assessment.tvla import IncrementalTvla
+from repro.pipeline.consumers import (
+    CompletionTimeConsumer,
+    CpaBankConsumer,
+    CpaStreamConsumer,
+    TvlaStreamConsumer,
+)
+from repro.utils.stats import RunningMoments
+from repro.verify.accumulators import states_equal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def _cpa_data(rng, n):
+    return (
+        rng.normal(50.0, 5.0, size=(n, 8)),
+        rng.integers(0, 256, size=(n, 16), dtype=np.uint8),
+    )
+
+
+class TestZeroSampleUpdates:
+    def test_cpa_zero_update_is_noop(self, rng):
+        traces, data = _cpa_data(rng, 40)
+        acc = IncrementalCpa(byte_index=0)
+        acc.update(traces, data)
+        before = acc.snapshot()
+        acc.update(np.empty((0, 8)), np.empty((0, 16), dtype=np.uint8))
+        assert states_equal(acc.snapshot(), before)
+
+    def test_cpa_zero_update_on_fresh_allocates_nothing(self):
+        acc = IncrementalCpa(byte_index=0)
+        acc.update(np.empty((0, 8)), np.empty((0, 16), dtype=np.uint8))
+        assert acc.n_traces == 0
+        assert acc._sum_t is None
+
+    def test_bank_zero_update_is_noop(self, rng):
+        traces, data = _cpa_data(rng, 40)
+        acc = IncrementalCpaBank(byte_indices=(0, 5))
+        acc.update(traces, data)
+        before = acc.snapshot()
+        acc.update(np.empty((0, 8)), np.empty((0, 16), dtype=np.uint8))
+        assert states_equal(acc.snapshot(), before)
+
+    def test_running_moments_zero_2d_update_is_noop(self, rng):
+        acc = RunningMoments()
+        acc.update(rng.normal(size=(10, 4)))
+        before = acc.snapshot()
+        acc.update(np.empty((0, 4)))
+        assert states_equal(acc.snapshot(), before)
+
+    def test_running_moments_empty_1d_update_does_not_poison(self):
+        """`np.array([])` used to pin the width to 0 via atleast_2d."""
+        acc = RunningMoments()
+        acc.update(np.array([]))
+        assert acc.count == 0
+        acc.update(np.ones((3, 5)))  # width 5 must still be accepted
+        assert acc.count == 3
+        assert acc.mean.shape == (5,)
+
+    def test_tvla_zero_updates_are_noops(self, rng):
+        acc = IncrementalTvla()
+        acc.update_fixed(rng.normal(size=(10, 4)))
+        acc.update_random(rng.normal(size=(10, 4)))
+        before = acc.snapshot()
+        acc.update_fixed(np.empty((0, 4)))
+        acc.update_random(np.array([]))
+        assert states_equal(acc.snapshot(), before)
+
+
+class TestEmptyMergesBothDirections:
+    def test_cpa_merge_empty_into_populated(self, rng):
+        traces, data = _cpa_data(rng, 40)
+        acc = IncrementalCpa(byte_index=0)
+        acc.update(traces, data)
+        before = acc.snapshot()
+        acc.merge(IncrementalCpa(byte_index=0))
+        assert states_equal(acc.snapshot(), before)
+
+    def test_cpa_merge_populated_into_empty(self, rng):
+        traces, data = _cpa_data(rng, 40)
+        shard = IncrementalCpa(byte_index=0)
+        shard.update(traces, data)
+        acc = IncrementalCpa(byte_index=0)
+        acc.merge(shard)
+        assert states_equal(acc.snapshot(), shard.snapshot())
+
+    def test_cpa_merge_width_pinned_zero_count_shard(self, rng):
+        """A restored zero-count snapshot with allocated sums is a no-op."""
+        traces, data = _cpa_data(rng, 40)
+        acc = IncrementalCpa(byte_index=0)
+        acc.update(traces, data)
+        hollow = IncrementalCpa(byte_index=0)
+        hollow.restore(
+            {
+                "byte_index": 0,
+                "n_traces": 0,
+                "sum_t": np.zeros(8),
+                "sum_t2": np.zeros(8),
+                "sum_p": np.zeros(256),
+                "sum_p2": np.zeros(256),
+                "sum_pt": np.zeros((256, 8)),
+            }
+        )
+        before = acc.snapshot()
+        acc.merge(hollow)
+        assert states_equal(acc.snapshot(), before)
+
+    def test_bank_merge_both_directions(self, rng):
+        traces, data = _cpa_data(rng, 40)
+        shard = IncrementalCpaBank(byte_indices=(0, 5))
+        shard.update(traces, data)
+        fresh = IncrementalCpaBank(byte_indices=(0, 5))
+        fresh.merge(shard)
+        assert states_equal(fresh.snapshot(), shard.snapshot())
+        before = shard.snapshot()
+        shard.merge(IncrementalCpaBank(byte_indices=(0, 5)))
+        assert states_equal(shard.snapshot(), before)
+
+    def test_tvla_merge_both_directions(self, rng):
+        shard = IncrementalTvla()
+        shard.update_fixed(rng.normal(size=(10, 4)))
+        shard.update_random(rng.normal(size=(10, 4)))
+        fresh = IncrementalTvla()
+        fresh.merge(shard)
+        assert states_equal(fresh.snapshot(), shard.snapshot())
+        before = shard.snapshot()
+        shard.merge(IncrementalTvla())
+        assert states_equal(shard.snapshot(), before)
+
+    def test_running_moments_merge_both_directions(self, rng):
+        shard = RunningMoments()
+        shard.update(rng.normal(size=(10, 4)))
+        fresh = RunningMoments()
+        fresh.merge(shard)
+        assert states_equal(fresh.snapshot(), shard.snapshot())
+        before = shard.snapshot()
+        shard.merge(RunningMoments())
+        assert states_equal(shard.snapshot(), before)
+
+    def test_running_moments_merge_rejects_non_moments(self):
+        with pytest.raises(ConfigurationError):
+            RunningMoments().merge({"count": 3})
+
+    def test_tvla_merge_rejects_non_tvla(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalTvla().merge(RunningMoments())
+
+
+class TestConsumerMerge:
+    """The consumer-level merge wrappers added for the shard contract."""
+
+    def _chunk(self, rng, n, interleaved=False):
+        from repro.power.acquisition import TraceSet
+
+        return TraceSet(
+            traces=rng.normal(50.0, 5.0, size=(n, 8)),
+            plaintexts=rng.integers(0, 256, size=(n, 16), dtype=np.uint8),
+            ciphertexts=rng.integers(0, 256, size=(n, 16), dtype=np.uint8),
+            key=bytes(range(16)),
+            sample_period_ns=1.0,
+            completion_times_ns=rng.choice([200.0, 210.0, 220.0], size=n),
+            metadata={"tvla_interleaved": True} if interleaved else {},
+        )
+
+    def test_cpa_stream_consumer_merge_equals_sequential(self, rng):
+        chunk_a = self._chunk(rng, 30)
+        chunk_b = self._chunk(rng, 20)
+        seq = CpaStreamConsumer(byte_index=0)
+        seq.consume(chunk_a)
+        seq.consume(chunk_b)
+        left = CpaStreamConsumer(byte_index=0)
+        left.consume(chunk_a)
+        right = CpaStreamConsumer(byte_index=0)
+        right.consume(chunk_b)
+        left.merge(right)
+        assert left.n_traces == seq.n_traces
+        assert np.allclose(
+            left.result().peak_corr, seq.result().peak_corr, rtol=1e-10
+        )
+
+    def test_cpa_stream_consumer_merge_validates_type(self):
+        from repro.errors import AttackError
+
+        with pytest.raises(AttackError):
+            CpaStreamConsumer().merge(CpaBankConsumer())
+
+    def test_bank_consumer_merge(self, rng):
+        chunk = self._chunk(rng, 30)
+        left = CpaBankConsumer(byte_indices=(0, 3))
+        right = CpaBankConsumer(byte_indices=(0, 3))
+        right.consume(chunk)
+        left.merge(right)
+        assert left.n_traces == 30
+
+    def test_tvla_consumer_merge(self, rng):
+        chunk = self._chunk(rng, 30, interleaved=True)
+        left = TvlaStreamConsumer()
+        right = TvlaStreamConsumer()
+        right.consume(chunk)
+        left.merge(right)
+        assert states_equal(left.snapshot(), right.snapshot())
+
+    def test_completion_consumer_merge_adds_counts(self, rng):
+        left = CompletionTimeConsumer()
+        right = CompletionTimeConsumer()
+        left.consume(self._chunk(rng, 30))
+        right.consume(self._chunk(rng, 20))
+        total_before = left.result().n_encryptions
+        left.merge(right)
+        assert left.result().n_encryptions == total_before + 20
+
+    def test_completion_consumer_merge_rejects_resolution_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CompletionTimeConsumer(resolution_ns=0.01).merge(
+                CompletionTimeConsumer(resolution_ns=0.1)
+            )

@@ -1,8 +1,17 @@
 """Command-line interface."""
 
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestParser:
@@ -185,7 +194,12 @@ class TestCommands:
         capsys.readouterr()
         assert main(["store", "verify", store]) == 1
         assert "DAMAGED" in capsys.readouterr().out
-        assert main(["store", "verify", str(tmp_path / "nowhere")]) == 1
+
+    def test_store_missing_path_is_usage_error(self, capsys, tmp_path):
+        """A path that never was a store exits 2, not the damage code 1."""
+        assert main(["store", "verify", str(tmp_path / "nowhere")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert main(["store", "info", str(tmp_path / "nowhere")]) == 2
 
     def test_campaign_rejects_bad_fault_plan(self, capsys):
         rc = main(["campaign", "--inject-fault", "meteor@1"])
@@ -203,3 +217,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "unprotected 48 MHz" in out
         assert "overlap-free" in out
+
+    def test_verify_single_suite(self, capsys):
+        assert main(["verify", "--suite", "aes"]) == 0
+        out = capsys.readouterr().out
+        assert "aes" in out
+        assert "verify: PASS" in out
+
+    def test_verify_verbose_lists_checks(self, capsys):
+        assert main(["verify", "--suite", "lint", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:no-global-np-random" in out
+
+    def test_verify_writes_drift_manifest(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "drift.json"
+        assert main(["verify", "--suite", "drift",
+                     "--drift-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-drift-manifest-v1"
+        assert set(payload["observed"]) == set(payload["budgets"])
+        assert "drift manifest written" in capsys.readouterr().out
+
+    def test_verify_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--suite", "astrology"])
+
+
+class TestSignalHandling:
+    def test_sigint_exits_130_without_traceback(self, tmp_path):
+        """Ctrl-C during a long campaign exits 130 with no traceback spray."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "campaign",
+                "--target", "unprotected", "--traces", "100000",
+                "--chunk-size", "500", "--workers", "1", "--quiet",
+            ],
+            cwd=tmp_path,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            time.sleep(2.0)  # let it get past imports and into the run
+            proc.send_signal(signal.SIGINT)
+            _, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130
+        assert "interrupted" in err
+        assert "Traceback" not in err

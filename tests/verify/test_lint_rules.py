@@ -1,0 +1,143 @@
+"""Unit tests for the AST lint rules on synthetic snippets."""
+
+import ast
+import textwrap
+
+from repro.verify.lint import (
+    find_cli_exit_violations,
+    find_global_random,
+    find_incomplete_consumers,
+    find_metric_names,
+)
+
+
+def _tree(source):
+    return ast.parse(textwrap.dedent(source))
+
+
+class TestGlobalRandomRule:
+    def test_flags_global_state(self):
+        src = """
+        import numpy as np
+        np.random.seed(1)
+        x = np.random.normal(0, 1, 10)
+        y = numpy.random.randint(4)
+        """
+        hits = find_global_random(_tree(src), "f.py")
+        assert len(hits) == 3
+        assert "f.py:3 np.random.seed" in hits
+
+    def test_allows_generator_api(self):
+        src = """
+        import numpy as np
+        rng = np.random.default_rng(np.random.SeedSequence([1, 2]))
+        g = np.random.Generator(np.random.PCG64(7))
+        """
+        assert find_global_random(_tree(src), "f.py") == []
+
+    def test_docstrings_and_comments_exempt(self):
+        src = '''
+        def f():
+            """Never call np.random.seed here."""
+            # np.random.normal would be wrong
+            return 0
+        '''
+        assert find_global_random(_tree(src), "f.py") == []
+
+
+class TestConsumerProtocolRule:
+    def test_flags_missing_merge(self):
+        src = """
+        class Partial:
+            def consume(self, chunk): ...
+            def result(self): ...
+            def snapshot(self): ...
+            def restore(self, state): ...
+        """
+        hits = find_incomplete_consumers(_tree(src), "f.py")
+        assert hits == ["f.py:2 Partial lacks merge"]
+
+    def test_full_contract_passes(self):
+        src = """
+        class Full:
+            def consume(self, chunk): ...
+            def result(self): ...
+            def snapshot(self): ...
+            def restore(self, state): ...
+            def merge(self, other): ...
+        """
+        assert find_incomplete_consumers(_tree(src), "f.py") == []
+
+    def test_non_consumer_classes_ignored(self):
+        src = """
+        class Unrelated:
+            def consume(self, chunk): ...
+        """
+        assert find_incomplete_consumers(_tree(src), "f.py") == []
+
+
+class TestMetricNamesRule:
+    def test_collects_literal_names(self):
+        src = """
+        metrics.inc("campaign_chunks_total", 1)
+        metrics.observe("fold_seconds", 0.1, worker=3)
+        metrics.set_gauge("workers", 4)
+        """
+        names = [n for n, _ in find_metric_names(_tree(src))]
+        assert names == ["campaign_chunks_total", "fold_seconds", "workers"]
+
+    def test_skips_dynamic_names(self):
+        src = """
+        series.observe(float(value))
+        metrics.inc(name, 1)
+        """
+        assert find_metric_names(_tree(src)) == []
+
+
+class TestCliExitRule:
+    def test_flags_bare_return_and_fall_through(self):
+        src = """
+        def _cmd_bad(args):
+            if args.x:
+                return
+            print("hi")
+        """
+        hits = find_cli_exit_violations(_tree(src), "cli.py")
+        assert any("bare return" in h for h in hits)
+        assert any("fall off the end" in h for h in hits)
+
+    def test_flags_return_none(self):
+        src = """
+        def _cmd_none(args):
+            return None
+        """
+        hits = find_cli_exit_violations(_tree(src), "cli.py")
+        assert any("returns None" in h for h in hits)
+
+    def test_if_else_both_returning_passes(self):
+        src = """
+        def _cmd_ok(args):
+            if args.x:
+                return 0
+            else:
+                return 1
+        """
+        assert find_cli_exit_violations(_tree(src), "cli.py") == []
+
+    def test_trailing_return_after_try_passes(self):
+        src = """
+        def _cmd_try(args):
+            try:
+                do()
+            except ValueError:
+                return 1
+            return 0
+        """
+        assert find_cli_exit_violations(_tree(src), "cli.py") == []
+
+    def test_non_command_functions_ignored(self):
+        src = """
+        def helper(args):
+            return
+        """
+        assert find_cli_exit_violations(_tree(src), "cli.py") == []
