@@ -1,0 +1,200 @@
+"""Campaign-service load test: queue 1000+ campaigns, drain, measure.
+
+Drives a real :class:`repro.service.CampaignService` behind its HTTP
+front-end the way a busy lab would: four tenants flood the queue with
+distinct small campaigns, the scheduler drains them over a shared worker
+budget, and the harness reports submit latency, queue wait, run time and
+submit-to-done latency as p50/p99 — the numbers ``BENCH_service.json``
+commits so service regressions show up in review diffs.
+
+A second phase resubmits a slice of the identical specs and *requires*
+every one to be answered from the result cache (exit 1 otherwise), so
+the committed benchmark doubles as an end-to-end cache correctness gate.
+
+Modes::
+
+    python benchmarks/bench_service_load.py            # 1000 jobs
+    python benchmarks/bench_service_load.py --quick    # CI budget
+    python benchmarks/bench_service_load.py --out BENCH_service.json
+"""
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+import time
+
+from repro.pipeline import CampaignSpec
+from repro.service import CampaignService
+from repro.service.client import ServiceClient
+from repro.service.server import CampaignServer
+
+SCHEMA = "rftc-bench-service/1"
+TENANTS = ("alice", "bob", "carol", "dave")
+
+
+def percentile(values, q):
+    """Nearest-rank percentile of ``values`` (None when empty)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(values):
+    return {
+        "p50_seconds": percentile(values, 0.50),
+        "p99_seconds": percentile(values, 0.99),
+        "max_seconds": max(values) if values else None,
+    }
+
+
+def run_load(n_jobs, worker_budget, n_traces, chunk_size, data_dir):
+    spec = CampaignSpec(target="rftc", m_outputs=1, p_configs=16, plan_seed=7)
+    service = CampaignService(data_dir, worker_budget=worker_budget)
+    service.start()
+    server = CampaignServer(service)
+    host, port = server.start()
+    client = ServiceClient(host, port)
+    try:
+        # Phase 1: flood the queue.  Distinct seeds -> no cache hits, so
+        # every job exercises the full dispatch -> engine -> finalize path.
+        job_ids = []
+        submit_latency = []
+        t0 = time.perf_counter()
+        for i in range(n_jobs):
+            t = time.perf_counter()
+            doc = client.submit(
+                spec, n_traces, chunk_size=chunk_size, seed=i,
+                tenant=TENANTS[i % len(TENANTS)],
+            )
+            submit_latency.append(time.perf_counter() - t)
+            job_ids.append(doc["job_id"])
+        submit_wall = time.perf_counter() - t0
+        print(
+            f"queued {n_jobs} campaigns in {submit_wall:.2f} s "
+            f"({n_jobs / submit_wall:,.0f} submits/s over HTTP)"
+        )
+
+        # Phase 2: drain.
+        if not service.join(timeout=max(600.0, n_jobs)):
+            raise RuntimeError("drain timed out")
+        drain_wall = time.perf_counter() - t0
+
+        jobs = [service.store.get(job_id) for job_id in job_ids]
+        bad = [j.job_id for j in jobs if j.state != "done"]
+        if bad:
+            raise RuntimeError(f"{len(bad)} jobs did not finish done: {bad[:5]}")
+        queue_s = [j.queue_seconds() for j in jobs]
+        run_s = [j.wall_seconds() for j in jobs]
+        e2e_s = [j.submit_to_done_seconds() for j in jobs]
+        print(
+            f"drained {n_jobs} campaigns in {drain_wall:.2f} s "
+            f"({n_jobs / drain_wall:,.0f} jobs/s, workers={worker_budget}); "
+            f"queue p50={percentile(queue_s, 0.5):.3f}s "
+            f"p99={percentile(queue_s, 0.99):.3f}s"
+        )
+
+        # Phase 3: identical resubmissions must all be cache hits.
+        n_resubmit = min(n_jobs, 200)
+        hit_latency = []
+        for i in range(n_resubmit):
+            t = time.perf_counter()
+            doc = client.submit(
+                spec, n_traces, chunk_size=chunk_size, seed=i,
+                tenant=TENANTS[i % len(TENANTS)],
+            )
+            hit_latency.append(time.perf_counter() - t)
+            if not (doc["cached"] and doc["state"] == "done"):
+                raise RuntimeError(
+                    f"resubmission {doc['job_id']} missed the cache"
+                )
+        hits = client.counter_value("service_cache_hits_total")
+        if hits != n_resubmit:
+            raise RuntimeError(
+                f"service_cache_hits_total={hits}, expected {n_resubmit}"
+            )
+        print(
+            f"resubmitted {n_resubmit} identical specs: all cache hits, "
+            f"p50={percentile(hit_latency, 0.5) * 1e3:.1f} ms"
+        )
+
+        return {
+            "schema": SCHEMA,
+            "n_jobs": n_jobs,
+            "n_tenants": len(TENANTS),
+            "worker_budget": worker_budget,
+            "traces_per_job": n_traces,
+            "chunk_size": chunk_size,
+            "submit": {
+                "wall_seconds": submit_wall,
+                "submits_per_second": n_jobs / submit_wall,
+                "http_latency": summarize(submit_latency),
+            },
+            "drain": {
+                "wall_seconds": drain_wall,
+                "jobs_per_second": n_jobs / drain_wall,
+                "queue_seconds": summarize(queue_s),
+                "run_seconds": summarize(run_s),
+                "submit_to_done_seconds": summarize(e2e_s),
+            },
+            "cache": {
+                "resubmitted": n_resubmit,
+                "hits": int(hits),
+                "hit_latency": summarize(hit_latency),
+            },
+        }
+    finally:
+        server.stop()
+        service.shutdown()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Campaign-service load-test harness"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI budget: 120 jobs instead of 1000",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="campaigns to queue (default 1000, quick 120)",
+    )
+    parser.add_argument(
+        "--worker-budget", type=int, default=4,
+        help="concurrent campaign executions (default 4)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=200,
+        help="traces per campaign (default 200)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=100,
+        help="engine chunk size (default 100)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+    n_jobs = args.jobs if args.jobs else (120 if args.quick else 1000)
+    with tempfile.TemporaryDirectory(prefix="rftc-service-load-") as tmp:
+        try:
+            report = run_load(
+                n_jobs, args.worker_budget, args.traces, args.chunk_size, tmp
+            )
+        except RuntimeError as exc:
+            print(f"FAILED: {exc}", file=sys.stderr)
+            return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Installed as ``repro-rftc`` (see pyproject), or run via
 * ``fig3``     — completion-time histogram statistics
 * ``campaign`` — streaming chunked campaign (bounded memory, worker pool,
   checkpoint/resume, fault injection, ``--metrics-out``/``--trace-out``)
+* ``serve``    — multi-tenant campaign service daemon (``repro.service``)
 * ``store``    — inspect or integrity-check a ChunkedTraceStore
 * ``obs``      — render a saved metrics snapshot for the terminal
 * ``verify``   — differential verification suites (``repro.verify``)
@@ -184,6 +185,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.pipeline import campaign_targets
     from repro.testing.faults import FaultPlan
 
+    from repro.errors import CheckpointError
+    from repro.pipeline.checkpoint import CampaignCheckpoint
+
     faults = None
     if args.inject_fault:
         try:
@@ -197,11 +201,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
         obs = Observability.create()
     retry = RetryPolicy(max_attempts=args.retries)
-    consumers = [CompletionTimeConsumer()]
-    if args.mode == "cpa":
-        consumers.append(CpaStreamConsumer(byte_index=0))
-    else:
-        consumers.append(TvlaStreamConsumer())
+
+    def build_consumers(mode: str) -> list:
+        consumers = [CompletionTimeConsumer()]
+        if mode == "cpa":
+            consumers.append(CpaStreamConsumer(byte_index=0))
+        else:
+            consumers.append(TvlaStreamConsumer())
+        return consumers
 
     def show_progress(p) -> None:
         print(
@@ -216,13 +223,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if not args.checkpoint:
             print("--resume needs --checkpoint <file>", file=sys.stderr)
             return 2
+        try:
+            ckpt = CampaignCheckpoint.load(args.checkpoint)
+        except CheckpointError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        ckpt_spec = ckpt.spec()
+        mode = "tvla" if ckpt_spec.fixed_plaintext is not None else "cpa"
+        # The checkpoint defines the campaign; flags the user *explicitly*
+        # passed must agree with it (unset flags inherit the checkpoint).
+        requested = {
+            "target": args.target, "mode": args.mode, "m": args.m,
+            "p": args.p, "seed": args.seed, "traces": args.traces,
+            "chunk-size": args.chunk_size,
+        }
+        checkpointed = {
+            "target": ckpt_spec.target, "mode": mode,
+            "m": ckpt_spec.m_outputs, "p": ckpt_spec.p_configs,
+            "seed": ckpt.seed, "traces": ckpt.n_traces,
+            "chunk-size": ckpt.chunk_size,
+        }
+        mismatched = [
+            f"--{flag} {requested[flag]} != {checkpointed[flag]}"
+            for flag in requested
+            if requested[flag] is not None
+            and requested[flag] != checkpointed[flag]
+        ]
+        if mismatched:
+            print(
+                f"cannot resume from {args.checkpoint}: flags contradict "
+                f"the checkpointed campaign: {', '.join(mismatched)} "
+                "(drop them, or rerun with the original flags)",
+                file=sys.stderr,
+            )
+            return 2
         print(f"resuming campaign from {args.checkpoint} ...")
         report = StreamingCampaign.resume(
             args.out,
-            args.checkpoint,
-            consumers=consumers,
+            ckpt,
+            consumers=build_consumers(mode),
             workers=args.workers,
             progress=progress,
+            checkpoint_path=args.checkpoint,
             retry=retry,
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
@@ -230,32 +272,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         spec = report.spec
     else:
-        if args.target not in campaign_targets():
-            print(f"unknown target {args.target!r}; "
+        target = args.target if args.target is not None else "rftc"
+        mode = args.mode if args.mode is not None else "cpa"
+        seed = args.seed if args.seed is not None else 2019
+        if target not in campaign_targets():
+            print(f"unknown target {target!r}; "
                   f"available: {campaign_targets()}", file=sys.stderr)
             return 2
         spec = CampaignSpec(
-            target=args.target,
-            m_outputs=args.m,
-            p_configs=args.p,
-            plan_seed=args.seed,
-            fixed_plaintext=TVLA_FIXED_PLAINTEXT if args.mode == "tvla" else None,
+            target=target,
+            m_outputs=args.m if args.m is not None else 1,
+            p_configs=args.p if args.p is not None else 16,
+            plan_seed=seed,
+            fixed_plaintext=TVLA_FIXED_PLAINTEXT if mode == "tvla" else None,
         )
+        n_traces = args.traces if args.traces is not None else 8000
+        chunk_size = args.chunk_size if args.chunk_size is not None else 2000
         engine = StreamingCampaign(
             spec,
-            chunk_size=args.chunk_size,
+            chunk_size=chunk_size,
             workers=args.workers,
-            seed=args.seed,
+            seed=seed,
             retry=retry,
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
             obs=obs,
         )
-        print(f"streaming {args.traces} traces from {spec.label()} "
-              f"({args.workers} workers, chunks of {args.chunk_size}) ...")
+        print(f"streaming {n_traces} traces from {spec.label()} "
+              f"({args.workers} workers, chunks of {chunk_size}) ...")
         report = engine.run(
-            args.traces,
-            consumers=consumers,
+            n_traces,
+            consumers=build_consumers(mode),
             store=args.out,
             progress=progress,
             checkpoint=args.checkpoint,
@@ -264,7 +311,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     times = report.results["completion"]
     print(f"completion times: {times.min_ns:.2f}-{times.max_ns:.2f} ns, "
           f"{times.distinct_times} distinct, max identical {times.max_identical}")
-    if args.mode == "cpa":
+    if mode == "cpa":
         cpa = report.results["cpa[0]"]
         true_byte = int(expand_last_round_key(spec.key)[0])
         print(f"CPA byte 0: best guess 0x{cpa.best_guess:02x}, "
@@ -289,6 +336,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
             lines = write_trace_jsonl(obs.tracer.events, args.trace_out)
             print(f"trace written to {args.trace_out} ({lines - 1} events)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.errors import ConfigurationError, ServiceError
+    from repro.service import CampaignService, TenantPolicy
+    from repro.service.server import CampaignServer
+
+    policies = {}
+    for text in args.tenant or ():
+        try:
+            name, policy = TenantPolicy.parse(text)
+        except ConfigurationError as exc:
+            print(f"bad --tenant spec {text!r}: {exc}", file=sys.stderr)
+            return 2
+        if name in policies:
+            print(f"--tenant {name!r} given twice", file=sys.stderr)
+            return 2
+        policies[name] = policy
+    try:
+        service = CampaignService(
+            args.data_dir,
+            worker_budget=args.worker_budget,
+            policies=policies,
+            cache_entries=args.cache_entries,
+        )
+    except ServiceError as exc:
+        print(f"cannot open service state: {exc}", file=sys.stderr)
+        return 1
+    server = CampaignServer(service, host=args.host, port=args.port)
+    service.start()
+    try:
+        host, port = server.start()
+    except ServiceError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        service.shutdown()
+        return 1
+    print(
+        f"campaign service listening on http://{host}:{port} "
+        f"(data: {args.data_dir}, workers: {args.worker_budget})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, request_stop)
+    signal.signal(signal.SIGINT, request_stop)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        service.shutdown()
+        print("campaign service shut down cleanly", flush=True)
     return 0
 
 
@@ -422,14 +527,23 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign",
         help="streaming chunked campaign through repro.pipeline",
     )
-    common(p, m=1, pc=16, traces=8000)
-    p.add_argument("--target", default="rftc",
-                   help="unprotected, rftc, or a baseline name")
-    p.add_argument("--mode", choices=("cpa", "tvla"), default="cpa")
+    # Sentinel defaults (None) so --resume can tell "flag omitted" from
+    # "flag passed": omitted flags inherit the checkpointed campaign,
+    # contradicting flags are a usage error (exit 2).
+    p.add_argument("--m", type=int, default=None,
+                   help="MMCM outputs used (M; default 1)")
+    p.add_argument("--p", type=int, default=None,
+                   help="stored sets (P; default 16)")
+    p.add_argument("--seed", type=int, default=None, help="default 2019")
+    p.add_argument("--traces", type=int, default=None, help="default 8000")
+    p.add_argument("--target", default=None,
+                   help="unprotected, rftc, or a baseline name (default rftc)")
+    p.add_argument("--mode", choices=("cpa", "tvla"), default=None,
+                   help="default cpa")
     p.add_argument("--workers", type=int, default=1,
                    help="acquisition worker processes")
-    p.add_argument("--chunk-size", type=int, default=2000,
-                   help="traces per chunk (memory granularity)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="traces per chunk (memory granularity; default 2000)")
     p.add_argument("--out", default=None,
                    help="directory for a ChunkedTraceStore (default: no store)")
     p.add_argument("--quiet", action="store_true",
@@ -454,6 +568,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write the span trace as JSON Lines")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service daemon (repro.service)",
+    )
+    p.add_argument("--data-dir", required=True,
+                   help="durable state root: job journal, checkpoints, stores")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--worker-budget", type=int, default=2,
+                   help="campaigns run concurrently")
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   help="result-cache capacity (FIFO eviction)")
+    p.add_argument("--tenant", action="append", metavar="SPEC",
+                   help="tenant policy, e.g. 'alice:share=2,max_queued=8,"
+                        "store_quota_mb=64' (repeatable)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("store", help="inspect or verify a ChunkedTraceStore")
     p.add_argument("action", choices=("info", "verify"))

@@ -63,3 +63,23 @@ class InjectedCrashError(ReproError, RuntimeError):
     retries acquisition failures must still die on a simulated crash,
     exactly like a real ``SIGKILL`` would end the process.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The campaign service refused or could not complete a request."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id that the service has never journaled."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant hit its queue or store quota; the job was not accepted."""
+
+
+class JobCancelledError(ServiceError):
+    """Raised inside a running campaign to abort it after a cancel request.
+
+    Control flow, not failure: the scheduler catches it and finalises the
+    job as ``cancelled`` rather than ``failed``.
+    """

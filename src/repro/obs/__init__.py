@@ -33,6 +33,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     NullMetricsRegistry,
+    quantile_from_histogram,
 )
 from repro.obs.profiling import KernelProfiler, KernelStats, attach_kernels
 from repro.obs.render import render_metrics
@@ -92,6 +93,7 @@ __all__ = [
     "Observability",
     "Tracer",
     "attach_kernels",
+    "quantile_from_histogram",
     "read_trace_jsonl",
     "render_metrics",
     "span_tree",

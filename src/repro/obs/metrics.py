@@ -334,6 +334,32 @@ class MetricsRegistry:
         """Alias of :meth:`observe` that reads well at timing call sites."""
         self.observe(name, seconds, **labels)
 
+    def ensure_histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> None:
+        """Declare a histogram series without observing a sample.
+
+        Long-lived processes (the campaign service daemon) call this at
+        boot so their latency histograms appear on ``/metrics`` — with
+        zero counts and ``p50=–`` in the rendered view — before the
+        first sample arrives.  Declaring an existing series is a no-op,
+        but the bucket edges must match.
+        """
+        key = _series_key(name, labels)
+        series = self._histograms.get(key)
+        edges = _check_buckets(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if series is None:
+            self._histograms[key] = _HistogramSeries(
+                edges=edges, counts=[0] * (len(edges) + 1)
+            )
+        elif series.edges != edges:
+            raise ConfigurationError(
+                f"histogram {name!r} was created with different bucket edges"
+            )
+
     # -- folding / reading ---------------------------------------------
 
     def snapshot(self) -> MetricsSnapshot:
@@ -378,6 +404,37 @@ class MetricsRegistry:
         return stamped[1] if stamped is not None else None
 
 
+def quantile_from_histogram(
+    edges: Sequence[float], counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q`` quantile of a fixed-bucket histogram.
+
+    Returns the upper edge of the first bucket whose cumulative count
+    reaches ``q`` of the total — the usual conservative bucketed
+    estimate.  Samples in the ``+Inf`` bucket resolve to the largest
+    finite edge (there is no better bound), and an **empty histogram
+    returns None** rather than raising, so renderers can show ``p50=–``
+    for a series that was declared but never observed.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError("quantile must be in [0, 1]")
+    edges = _check_buckets(edges)
+    if len(counts) != len(edges) + 1:
+        raise ConfigurationError(
+            f"expected {len(edges) + 1} bucket counts, got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for edge, count in zip(edges, counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            return float(edge)
+    return float(edges[-1])
+
+
 class NullMetricsRegistry(MetricsRegistry):
     """The disabled fast path: every mutator is a no-op.
 
@@ -399,6 +456,14 @@ class NullMetricsRegistry(MetricsRegistry):
         self,
         name: str,
         value: float,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> None:
+        pass
+
+    def ensure_histogram(
+        self,
+        name: str,
         buckets: Optional[Sequence[float]] = None,
         **labels: object,
     ) -> None:

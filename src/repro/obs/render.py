@@ -11,8 +11,14 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.obs.metrics import MetricsSnapshot
+from repro.obs.metrics import MetricsSnapshot, quantile_from_histogram
 from repro.utils.asciiplot import sparkline
+
+
+def _quantile_text(edges, counts, q: float) -> str:
+    """``<= 0.25 s`` for a populated histogram, ``–`` for an empty one."""
+    value = quantile_from_histogram(edges, counts, q)
+    return "–" if value is None else f"<= {value:g} s"
 
 
 def _series_label(name: str, pairs: Tuple[Tuple[str, str], ...]) -> str:
@@ -50,6 +56,10 @@ def render_metrics(snapshot: MetricsSnapshot, width: int = 40) -> str:
         lines.append(
             f"histogram {_series_label(name, pairs)}: "
             f"{count} samples, sum {total:.4g} s, mean {mean * 1e3:.3g} ms"
+        )
+        lines.append(
+            f"  p50={_quantile_text(edges, counts, 0.50)}  "
+            f"p99={_quantile_text(edges, counts, 0.99)}"
         )
         if count:
             lines.append(f"  buckets  {sparkline(counts)}")

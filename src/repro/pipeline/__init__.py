@@ -30,12 +30,19 @@ from repro.pipeline.engine import (
     StreamingCampaign,
 )
 from repro.pipeline.retry import RetryPolicy
-from repro.pipeline.spec import CampaignSpec, campaign_targets
+from repro.pipeline.spec import (
+    CampaignSpec,
+    campaign_targets,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 __all__ = [
     "CampaignCheckpoint",
     "CampaignSpec",
     "campaign_targets",
+    "spec_from_dict",
+    "spec_to_dict",
     "ChunkProgress",
     "CompletionTimeConsumer",
     "CompletionTimeStats",

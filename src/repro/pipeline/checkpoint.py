@@ -30,47 +30,19 @@ from typing import Dict, Sequence, Union
 import numpy as np
 
 from repro.errors import CheckpointError, ConfigurationError
-from repro.pipeline.spec import CampaignSpec
+
+# The canonical spec codecs live next to CampaignSpec; re-exported here
+# because checkpoint files are where they first appeared publicly.
+from repro.pipeline.spec import (  # noqa: F401  (re-export)
+    CampaignSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 CHECKPOINT_FORMAT_VERSION = 1
 
 _META_KEY = "__meta__"
 _SEP = "::"
-
-
-def spec_to_dict(spec: CampaignSpec) -> dict:
-    """JSON-safe description of a :class:`CampaignSpec` (bytes as hex)."""
-    return {
-        "target": spec.target,
-        "m_outputs": spec.m_outputs,
-        "p_configs": spec.p_configs,
-        "key": spec.key.hex(),
-        "noise_std": spec.noise_std,
-        "plan_seed": spec.plan_seed,
-        "fixed_plaintext": (
-            spec.fixed_plaintext.hex() if spec.fixed_plaintext is not None else None
-        ),
-    }
-
-
-def spec_from_dict(fields: dict) -> CampaignSpec:
-    """Rebuild the :class:`CampaignSpec` a checkpoint describes."""
-    try:
-        return CampaignSpec(
-            target=str(fields["target"]),
-            m_outputs=int(fields["m_outputs"]),
-            p_configs=int(fields["p_configs"]),
-            key=bytes.fromhex(fields["key"]),
-            noise_std=float(fields["noise_std"]),
-            plan_seed=int(fields["plan_seed"]),
-            fixed_plaintext=(
-                bytes.fromhex(fields["fixed_plaintext"])
-                if fields.get("fixed_plaintext") is not None
-                else None
-            ),
-        )
-    except (KeyError, ValueError, TypeError) as exc:
-        raise CheckpointError(f"checkpoint spec is malformed: {exc}") from exc
 
 
 def _split_state(state: dict) -> "tuple[dict, dict]":
@@ -239,7 +211,9 @@ class CampaignCheckpoint:
         if spec_to_dict(spec) != self.spec_fields:
             raise CheckpointError(
                 "checkpoint was written by a different campaign spec "
-                f"({self.spec_fields.get('target')!r})"
+                f"({self.spec_fields.get('target')!r}, digest "
+                f"{self.spec().spec_digest()[:12]}; requested "
+                f"{spec.target!r}, digest {spec.spec_digest()[:12]})"
             )
         if int(seed) != self.seed or int(chunk_size) != self.chunk_size:
             raise CheckpointError(

@@ -11,15 +11,57 @@ chunk size)`` and independent of the worker count.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 
 #: Non-baseline target names (baselines come from ``baseline_names()``).
 _CORE_TARGETS = ("unprotected", "rftc")
+
+#: Version tag folded into every :meth:`CampaignSpec.spec_digest` — bump
+#: when the canonical field set changes, so old digests can never
+#: collide with new ones.
+SPEC_DIGEST_SCHEMA = "rftc-campaign-spec/1"
+
+
+def spec_to_dict(spec: "CampaignSpec") -> dict:
+    """JSON-safe description of a :class:`CampaignSpec` (bytes as hex)."""
+    return {
+        "target": spec.target,
+        "m_outputs": spec.m_outputs,
+        "p_configs": spec.p_configs,
+        "key": spec.key.hex(),
+        "noise_std": spec.noise_std,
+        "plan_seed": spec.plan_seed,
+        "fixed_plaintext": (
+            spec.fixed_plaintext.hex() if spec.fixed_plaintext is not None else None
+        ),
+    }
+
+
+def spec_from_dict(fields: dict) -> "CampaignSpec":
+    """Rebuild the :class:`CampaignSpec` a :func:`spec_to_dict` describes."""
+    try:
+        return CampaignSpec(
+            target=str(fields["target"]),
+            m_outputs=int(fields["m_outputs"]),
+            p_configs=int(fields["p_configs"]),
+            key=bytes.fromhex(fields["key"]),
+            noise_std=float(fields["noise_std"]),
+            plan_seed=int(fields["plan_seed"]),
+            fixed_plaintext=(
+                bytes.fromhex(fields["fixed_plaintext"])
+                if fields.get("fixed_plaintext") is not None
+                else None
+            ),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(f"checkpoint spec is malformed: {exc}") from exc
 
 
 def campaign_targets() -> Tuple[str, ...]:
@@ -113,6 +155,27 @@ class CampaignSpec:
                 self.target, key=self.key, noise_std=self.noise_std, rng=rng
             )
         return scenario.device
+
+    def spec_digest(self) -> str:
+        """Canonical SHA-256 of the spec (hex) — the cache/identity key.
+
+        The digest hashes the :func:`spec_to_dict` fields serialised as
+        canonical JSON (sorted keys, no whitespace) behind the
+        :data:`SPEC_DIGEST_SCHEMA` version tag, so it is stable across
+        processes and Python versions, survives a
+        ``spec_from_dict(spec_to_dict(s))`` round trip unchanged, and
+        changes whenever *any* field changes (asserted by
+        ``tests/pipeline/test_spec_digest.py``).  ``repro.service`` keys
+        its :class:`~repro.service.cache.ResultCache` on it, and
+        checkpoint mismatch errors quote it so an operator can compare
+        two campaigns at a glance.
+        """
+        canonical = json.dumps(
+            {"schema": SPEC_DIGEST_SCHEMA, "spec": spec_to_dict(self)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
 
     def label(self) -> str:
         if self.target == "rftc":

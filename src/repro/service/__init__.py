@@ -1,0 +1,46 @@
+"""Campaign service: multi-tenant async jobs over the streaming engine.
+
+``repro.service`` turns the library's one-shot
+:class:`~repro.pipeline.StreamingCampaign` into a long-running,
+multi-tenant daemon: tenants submit campaign *jobs* over a small HTTP
+API (or in-process via :class:`CampaignService`), a deterministic
+fair-share :class:`~repro.service.scheduler.Scheduler` multiplexes them
+over one worker budget, identical submissions are answered from a
+spec-hash :class:`~repro.service.cache.ResultCache` without recompute,
+and every transition is journaled so a restarted daemon resumes exactly
+where it died.  Stdlib only — asyncio sockets, threads, JSON.
+
+Layers (see ``docs/service.md``):
+
+* :mod:`repro.service.tenancy` — tenant policies, quotas, seed namespaces
+* :mod:`repro.service.jobs` — :class:`CampaignJob` + the JSONL journal
+* :mod:`repro.service.cache` — spec-digest result cache
+* :mod:`repro.service.scheduler` — deterministic fair-share dispatch
+* :mod:`repro.service.execution` — running one job bit-identically
+* :mod:`repro.service.service` — the :class:`CampaignService` facade
+* :mod:`repro.service.server` / :mod:`repro.service.client` — HTTP layer
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.jobs import CampaignJob, JobStore
+from repro.service.scheduler import Scheduler
+from repro.service.service import CampaignService
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantPolicy,
+    tenant_seed,
+    validate_tenant,
+)
+
+__all__ = [
+    "CampaignJob",
+    "CampaignService",
+    "DEFAULT_TENANT",
+    "JobStore",
+    "ResultCache",
+    "Scheduler",
+    "TenantPolicy",
+    "cache_key",
+    "tenant_seed",
+    "validate_tenant",
+]

@@ -1,0 +1,96 @@
+"""Spec-hash result cache: identical campaigns answer without recompute.
+
+Campaign results are a pure function of ``(spec, master seed, chunk
+layout)`` — the engine's reproducibility contract — so a completed job's
+result payload can be served to any later job with the same
+:func:`cache_key` without touching the engine.  The key hashes the
+canonical :meth:`~repro.pipeline.CampaignSpec.spec_digest` together with
+every run parameter that shapes the result (trace budget, chunk size,
+and the *effective*, tenant-namespaced seed).  Because
+:func:`~repro.service.tenancy.tenant_seed` differs per tenant, tenants
+never share entries: a cache hit can never reveal that another tenant
+ran the same campaign.
+
+Eviction is strict FIFO (insertion order, no refresh on read) so the
+cache contents are a deterministic function of the sequence of ``put``
+calls — which is exactly what lets
+:meth:`~repro.service.service.CampaignService` rebuild a warm cache by
+replaying its job journal after a restart.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.pipeline.spec import CampaignSpec
+
+#: Version tag of the key derivation; bump to invalidate every entry.
+CACHE_KEY_SCHEMA = "rftc-service-cache/1"
+
+
+def cache_key(
+    spec: CampaignSpec, n_traces: int, chunk_size: int, seed: int
+) -> str:
+    """The result-cache key for one fully-specified campaign run.
+
+    ``seed`` is the effective master seed (already tenant-namespaced).
+    The campaign mode (CPA vs TVLA) needs no separate field — it is
+    implied by ``fixed_plaintext`` inside the spec digest.
+    """
+    material = json.dumps(
+        {
+            "schema": CACHE_KEY_SCHEMA,
+            "spec_digest": spec.spec_digest(),
+            "n_traces": int(n_traces),
+            "chunk_size": int(chunk_size),
+            "seed": int(seed),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("ascii")).hexdigest()
+
+
+class ResultCache:
+    """Bounded FIFO cache of result payloads keyed by :func:`cache_key`.
+
+    Not internally locked: the owning service mutates it only under its
+    own condition lock.  ``get`` returns a deep copy so callers can
+    attach the payload to a job record without aliasing cached state.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ConfigurationError("cache max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload for ``key`` (a private copy), or ``None``."""
+        entry = self._entries.get(key)
+        return copy.deepcopy(entry) if entry is not None else None
+
+    def put(self, key: str, payload: dict) -> int:
+        """Insert (or overwrite) an entry; returns how many were evicted.
+
+        Overwrites keep the original insertion position — a re-run of an
+        identical spec produces an identical payload, so position is the
+        only thing at stake, and keeping it preserves FIFO determinism.
+        """
+        self._entries[key] = copy.deepcopy(payload)
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted

@@ -1,0 +1,158 @@
+"""Stdlib HTTP client for the campaign service daemon.
+
+Used by the test suite, the load-test harness
+(``benchmarks/bench_service_load.py``) and any script that wants to
+drive a ``repro-rftc serve`` daemon without hand-rolling requests.  One
+``http.client`` connection per request, mirroring the server's
+``Connection: close`` discipline.
+
+Errors map back to the service's exception family: 404 raises
+:class:`~repro.errors.UnknownJobError`, 429 raises
+:class:`~repro.errors.QuotaExceededError`, anything else non-2xx raises
+:class:`~repro.errors.ServiceError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import List, Optional
+
+from repro.errors import QuotaExceededError, ServiceError, UnknownJobError
+from repro.pipeline.spec import CampaignSpec, spec_to_dict
+from repro.service.tenancy import DEFAULT_TENANT
+
+
+class ServiceClient:
+    """Talk to one campaign service daemon at ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> "tuple[int, str]":
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        status, text = self._request(method, path, body)
+        if 200 <= status < 300:
+            return json.loads(text)
+        try:
+            message = json.loads(text).get("error", text.strip())
+        except json.JSONDecodeError:
+            message = text.strip()
+        if status == 404:
+            raise UnknownJobError(message)
+        if status == 429:
+            raise QuotaExceededError(message)
+        raise ServiceError(f"HTTP {status}: {message}")
+
+    # -- API -----------------------------------------------------------
+
+    def healthy(self) -> bool:
+        try:
+            status, text = self._request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200 and text.strip() == "ok"
+
+    def submit(
+        self,
+        spec: CampaignSpec,
+        n_traces: int,
+        chunk_size: int = 1000,
+        seed: int = 0,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = 0,
+        durable: bool = False,
+        store: bool = False,
+    ) -> dict:
+        """Submit a campaign; returns the job document (see ``job_id``)."""
+        return self._json(
+            "POST",
+            "/v1/jobs",
+            {
+                "spec": spec_to_dict(spec),
+                "n_traces": int(n_traces),
+                "chunk_size": int(chunk_size),
+                "seed": int(seed),
+                "tenant": tenant,
+                "priority": int(priority),
+                "durable": bool(durable),
+                "store": bool(store),
+            },
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._json("GET", path)["jobs"]
+
+    def metrics_text(self) -> str:
+        status, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"HTTP {status} from /metrics")
+        return text
+
+    def counter_value(self, name: str) -> float:
+        """Sum a counter's series from the Prometheus page (labels folded)."""
+        total, seen = 0.0, False
+        for line in self.metrics_text().splitlines():
+            if line.startswith("#"):
+                continue
+            metric, _, value = line.rpartition(" ")
+            if metric == name or metric.startswith(name + "{"):
+                total += float(value)
+                seen = True
+        if not seen:
+            raise ServiceError(f"no counter {name!r} on /metrics")
+        return total
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> dict:
+        """Poll until ``job_id`` is terminal; returns the final status doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout} s waiting for {job_id} "
+                    f"(state {doc['state']})"
+                )
+            time.sleep(poll_seconds)

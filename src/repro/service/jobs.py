@@ -1,0 +1,351 @@
+"""Campaign jobs and their durable JSONL journal.
+
+A :class:`CampaignJob` is one tenant's request to run a campaign: the
+canonical spec fields, the run parameters, scheduling metadata, and —
+once finished — the result payload.  Every state transition is appended
+to a :class:`JobStore` journal (one JSON object per line), which is the
+service's only durable state: on restart the journal is replayed to
+rebuild every job, re-warm the result cache, and requeue work that was
+queued or running when the daemon died (resuming durable jobs through
+their :class:`~repro.pipeline.CampaignCheckpoint`).
+
+Journal records
+---------------
+``{"record": "job", "job": {...}}`` — a submission, with the full job
+document.  ``{"record": "update", "job_id": ..., "fields": {...}}`` — a
+transition, carrying only the fields that changed.  Appends are
+line-buffered; a crash mid-write leaves at most one torn final line,
+which replay tolerates (and reports), while a torn line *followed by
+valid records* means real corruption and is a hard error.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, ServiceError
+
+#: Legal job states and the transitions the service performs.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+JOURNAL_SCHEMA = "rftc-service-journal/1"
+
+#: Job fields an ``update`` record may carry.
+_MUTABLE_FIELDS = frozenset(
+    {
+        "state", "dispatch_seq", "completion_seq", "started_at",
+        "finished_at", "error", "result", "store_bytes", "cached",
+        "resumed", "requeues",
+    }
+)
+
+
+@dataclass
+class CampaignJob:
+    """One submitted campaign: identity, run parameters, and lifecycle.
+
+    ``seed`` is the *effective* master seed (tenant-namespaced via
+    :func:`~repro.service.tenancy.tenant_seed`); ``requested_seed`` is
+    what the tenant asked for.  ``durable`` jobs checkpoint after every
+    chunk and survive a daemon restart bit-identically; ``store`` jobs
+    persist their traces under the service data directory and count
+    against the tenant's store quota.
+    """
+
+    job_id: str
+    tenant: str
+    spec_fields: dict
+    n_traces: int
+    chunk_size: int
+    seed: int
+    requested_seed: int
+    cache_key: str
+    priority: int = 0
+    durable: bool = False
+    store: bool = False
+    state: str = QUEUED
+    submit_seq: int = 0
+    dispatch_seq: Optional[int] = None
+    completion_seq: Optional[int] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    result: Optional[dict] = None
+    store_bytes: int = 0
+    cached: bool = False
+    resumed: bool = False
+    #: Times this job was re-queued by crash recovery.
+    requeues: int = 0
+    #: Runtime-only cancel flag — never journaled.
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_traces < 1:
+            raise ConfigurationError("n_traces must be >= 1")
+        if self.chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        if self.state not in JOB_STATES:
+            raise ConfigurationError(f"unknown job state {self.state!r}")
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def spec(self):
+        from repro.pipeline.spec import spec_from_dict
+
+        return spec_from_dict(self.spec_fields)
+
+    def queue_seconds(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def wall_seconds(self) -> Optional[float]:
+        if self.finished_at is None or self.started_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def submit_to_done_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """JSON document of the job (the journal/API representation)."""
+        doc = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "spec": dict(self.spec_fields),
+            "n_traces": self.n_traces,
+            "chunk_size": self.chunk_size,
+            "seed": self.seed,
+            "requested_seed": self.requested_seed,
+            "cache_key": self.cache_key,
+            "priority": self.priority,
+            "durable": self.durable,
+            "store": self.store,
+            "state": self.state,
+            "submit_seq": self.submit_seq,
+            "dispatch_seq": self.dispatch_seq,
+            "completion_seq": self.completion_seq,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "store_bytes": self.store_bytes,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "requeues": self.requeues,
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignJob":
+        try:
+            return cls(
+                job_id=str(doc["job_id"]),
+                tenant=str(doc["tenant"]),
+                spec_fields=dict(doc["spec"]),
+                n_traces=int(doc["n_traces"]),
+                chunk_size=int(doc["chunk_size"]),
+                seed=int(doc["seed"]),
+                requested_seed=int(doc["requested_seed"]),
+                cache_key=str(doc["cache_key"]),
+                priority=int(doc.get("priority", 0)),
+                durable=bool(doc.get("durable", False)),
+                store=bool(doc.get("store", False)),
+                state=str(doc.get("state", QUEUED)),
+                submit_seq=int(doc.get("submit_seq", 0)),
+                dispatch_seq=doc.get("dispatch_seq"),
+                completion_seq=doc.get("completion_seq"),
+                submitted_at=float(doc.get("submitted_at", 0.0)),
+                started_at=doc.get("started_at"),
+                finished_at=doc.get("finished_at"),
+                error=doc.get("error"),
+                result=doc.get("result"),
+                store_bytes=int(doc.get("store_bytes", 0)),
+                cached=bool(doc.get("cached", False)),
+                resumed=bool(doc.get("resumed", False)),
+                requeues=int(doc.get("requeues", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job document: {exc!r}") from exc
+
+
+class JobStore:
+    """All known jobs plus their append-only JSONL journal.
+
+    The store is the service's in-memory index *and* its durability
+    layer.  Mutations happen under the owning service's lock; the store
+    holds its own small lock only around file appends, so journal lines
+    never interleave.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._jobs: Dict[str, CampaignJob] = {}
+        self._order: List[str] = []
+        self._write_lock = threading.Lock()
+        self._handle = None
+        self.torn_line: Optional[int] = None
+        self._replay()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- index ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def get(self, job_id: str) -> Optional[CampaignJob]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[CampaignJob]:
+        """Every job, in submission order."""
+        return [self._jobs[job_id] for job_id in self._order]
+
+    def max_seq(self, attr: str) -> int:
+        """Highest ``submit_seq``/``dispatch_seq``/``completion_seq`` seen."""
+        values = [
+            getattr(job, attr)
+            for job in self._jobs.values()
+            if getattr(job, attr) is not None
+        ]
+        return max(values) if values else -1
+
+    # -- journaling ----------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._write_lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def add(self, job: CampaignJob) -> None:
+        """Index a new job and journal its submission record."""
+        if job.job_id in self._jobs:
+            raise ServiceError(f"duplicate job id {job.job_id!r}")
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        self._append({"record": "job", "job": job.to_dict()})
+
+    def update(self, job: CampaignJob, **fields) -> None:
+        """Apply ``fields`` to ``job`` and journal the transition."""
+        unknown = set(fields) - _MUTABLE_FIELDS
+        if unknown:
+            raise ServiceError(f"non-journalable job fields: {sorted(unknown)}")
+        if job.job_id not in self._jobs:
+            raise ServiceError(f"unknown job {job.job_id!r}")
+        for key, value in fields.items():
+            setattr(job, key, value)
+        self._append(
+            {"record": "update", "job_id": job.job_id, "fields": fields}
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- replay --------------------------------------------------------
+
+    def _replay(self) -> None:
+        if not self.path.is_file():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):
+                    # Torn final line: the daemon died mid-append.  The
+                    # transition it described is lost; everything before
+                    # it is intact.
+                    self.torn_line = lineno
+                    break
+                raise ServiceError(
+                    f"corrupt job journal {self.path} line {lineno}: {exc}"
+                ) from exc
+            self._apply(record, lineno)
+
+    def _apply(self, record: dict, lineno: int) -> None:
+        kind = record.get("record")
+        if kind == "job":
+            job = CampaignJob.from_dict(record.get("job", {}))
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        elif kind == "update":
+            job = self._jobs.get(record.get("job_id"))
+            if job is None:
+                raise ServiceError(
+                    f"journal {self.path} line {lineno} updates unknown job "
+                    f"{record.get('job_id')!r}"
+                )
+            fields = record.get("fields", {})
+            unknown = set(fields) - _MUTABLE_FIELDS
+            if unknown:
+                raise ServiceError(
+                    f"journal {self.path} line {lineno} carries unknown "
+                    f"fields {sorted(unknown)}"
+                )
+            for key, value in fields.items():
+                setattr(job, key, value)
+        else:
+            raise ServiceError(
+                f"journal {self.path} line {lineno} has unknown record "
+                f"kind {kind!r}"
+            )
+
+
+def next_job_id(seq: int) -> str:
+    return f"job-{seq:08d}"
+
+
+def now() -> float:
+    """Wall-clock stamp for job lifecycle fields (never part of results)."""
+    return time.time()
+
+
+def interrupted_jobs(store: JobStore) -> List[Tuple[CampaignJob, str]]:
+    """Jobs the journal left non-terminal, with how to revive each.
+
+    Returns ``(job, action)`` pairs in submission order: ``"requeue"``
+    for jobs that never dispatched (or ran without a checkpoint) and
+    ``"resume"`` for durable jobs that were running — the runner will
+    continue them from their campaign checkpoint if one was written.
+    """
+    revived = []
+    for job in store.jobs():
+        if job.state == QUEUED:
+            revived.append((job, "requeue"))
+        elif job.state == RUNNING:
+            revived.append((job, "resume" if job.durable else "requeue"))
+    return revived

@@ -1,0 +1,290 @@
+"""Minimal asyncio HTTP/1.1 front-end for :class:`CampaignService`.
+
+No web framework and no ``http.server`` — just ``asyncio.start_server``
+plus a small, strict HTTP/1.1 reader: request line, headers,
+``Content-Length`` body, one request per connection (``Connection:
+close``).  That keeps the daemon dependency-free and the attack surface
+tiny, at the cost of per-request connections — fine for a control-plane
+API whose requests are a few hundred bytes.
+
+Endpoints (JSON in, JSON out unless noted):
+
+========  ============================  =======================================
+method    path                          semantics
+========  ============================  =======================================
+POST      ``/v1/jobs``                  submit a campaign job -> 201 + job doc
+GET       ``/v1/jobs``                  list jobs (``?tenant=`` filter)
+GET       ``/v1/jobs/<id>``             job status document
+GET       ``/v1/jobs/<id>/result``      result payload (409 until ``done``)
+POST      ``/v1/jobs/<id>/cancel``      request cancellation -> job status
+GET       ``/metrics``                  Prometheus text page
+GET       ``/healthz``                  liveness probe (plain ``ok``)
+========  ============================  =======================================
+
+Error mapping: unknown job -> 404, quota breach -> 429, malformed
+request -> 400, anything unexpected -> 500.  The server runs its event
+loop on a dedicated thread; handlers call the (internally locked)
+service directly — every service call is a short critical section, so
+the loop never blocks on campaign execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    ConfigurationError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.pipeline.spec import spec_from_dict
+from repro.service.service import CampaignService
+from repro.service.tenancy import DEFAULT_TENANT
+
+#: Request size guards: header section and JSON body.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Internal routing signal carrying an HTTP status + message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class CampaignServer:
+    """Serve one :class:`CampaignService` over HTTP on a background thread.
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns the actual
+    ``(host, port)``.  :meth:`stop` closes the listener and joins the
+    loop thread — it does **not** shut the service down (the owner does,
+    typically after :meth:`CampaignService.join`).
+    """
+
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise ConfigurationError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="campaign-http", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if not self._started.is_set():
+            raise ServiceError("server failed to start within 10 s")
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, body, content_type = 500, b"internal error\n", "text/plain"
+        endpoint = "unknown"
+        try:
+            method, target, body_bytes = await self._read_request(reader)
+            endpoint, status, payload = self._route(method, target, body_bytes)
+            if isinstance(payload, str):
+                body, content_type = payload.encode("utf-8"), "text/plain; version=0.0.4"
+            else:
+                body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+                content_type = "application/json"
+        except _HttpError as exc:
+            status = exc.status
+            body = (
+                json.dumps({"error": str(exc), "status": status}) + "\n"
+            ).encode("utf-8")
+            content_type = "application/json"
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - must answer the socket
+            status = 500
+            body = (
+                json.dumps({"error": f"{type(exc).__name__}: {exc}", "status": 500})
+                + "\n"
+            ).encode("utf-8")
+            content_type = "application/json"
+        self.service.record_http_request(endpoint, status)
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        content_length = 0
+        header_bytes = len(request_line)
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _HttpError(413, "header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, "bad Content-Length") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "body too large")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method.upper(), target, body
+
+    # -- routing -------------------------------------------------------
+
+    def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[str, int, object]:
+        """Dispatch one request; returns (endpoint label, status, payload)."""
+        url = urlsplit(target)
+        segments = [s for s in url.path.split("/") if s]
+        query = parse_qs(url.query)
+        try:
+            if segments == ["healthz"] and method == "GET":
+                return "healthz", 200, "ok\n"
+            if segments == ["metrics"] and method == "GET":
+                return "metrics", 200, self.service.metrics_page()
+            if segments == ["v1", "jobs"]:
+                if method == "POST":
+                    return "submit", 201, self._submit(body)
+                if method == "GET":
+                    tenant = query.get("tenant", [None])[0]
+                    return "list", 200, {
+                        "jobs": self.service.list_jobs(tenant=tenant)
+                    }
+                raise _HttpError(405, f"{method} not allowed here")
+            if len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed here")
+                return "status", 200, self.service.status(segments[2])
+            if len(segments) == 4 and segments[:2] == ["v1", "jobs"]:
+                job_id, action = segments[2], segments[3]
+                if action == "result" and method == "GET":
+                    return "result", 200, self._result(job_id)
+                if action == "cancel" and method == "POST":
+                    self.service.cancel(job_id)
+                    return "cancel", 200, self.service.status(job_id)
+                raise _HttpError(405, f"no {method} {action!r} on a job")
+            raise _HttpError(404, f"no route for {url.path}")
+        except _HttpError:
+            raise
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc)) from exc
+        except QuotaExceededError as exc:
+            raise _HttpError(429, str(exc)) from exc
+        except ReproError as exc:
+            raise _HttpError(400, str(exc)) from exc
+
+    def _submit(self, body: bytes) -> dict:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "spec" not in doc:
+            raise _HttpError(400, "submit body needs a 'spec' object")
+        try:
+            spec = spec_from_dict(doc["spec"])
+            job = self.service.submit(
+                spec,
+                n_traces=int(doc.get("n_traces", 1000)),
+                chunk_size=int(doc.get("chunk_size", 1000)),
+                seed=int(doc.get("seed", 0)),
+                tenant=str(doc.get("tenant", DEFAULT_TENANT)),
+                priority=int(doc.get("priority", 0)),
+                durable=bool(doc.get("durable", False)),
+                store=bool(doc.get("store", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad submit field: {exc}") from exc
+        return job.to_dict(include_result=False)
+
+    def _result(self, job_id: str) -> dict:
+        status = self.service.status(job_id)
+        if status["state"] == "done":
+            return self.service.result(job_id)
+        if status["state"] in ("failed", "cancelled"):
+            raise _HttpError(
+                409,
+                f"job {job_id} ended {status['state']}"
+                + (f": {status['error']}" if status.get("error") else ""),
+            )
+        raise _HttpError(409, f"job {job_id} is {status['state']}; no result yet")

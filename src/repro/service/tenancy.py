@@ -1,0 +1,131 @@
+"""Multi-tenant policy: fair-share weights, quotas, seed namespaces.
+
+Every job belongs to a *tenant* — a named principal sharing the service's
+worker budget.  A :class:`TenantPolicy` carries the three levers the
+scheduler and admission control understand:
+
+* ``share`` — fair-share weight.  The scheduler keeps each tenant's
+  *charged work units per share* balanced, so a tenant with ``share=2``
+  drains twice as fast as one with ``share=1`` under contention.
+* ``max_queued`` — admission cap on jobs simultaneously queued or
+  running; submissions beyond it are rejected, not silently dropped.
+* ``store_quota_bytes`` — cap on bytes of persisted trace stores; once a
+  tenant's stores reach it, further ``store=True`` submissions are
+  rejected until an operator prunes the data directory.
+
+Seed namespaces
+---------------
+Two tenants submitting the *same* spec and seed must not observe each
+other's randomness (or share cache entries, which would leak that
+another tenant ran the identical campaign).  :func:`tenant_seed`
+therefore maps ``(tenant, seed)`` to the effective campaign master seed
+by hashing both behind a versioned tag.  The mapping is deterministic,
+so a tenant's results stay reproducible — running
+:class:`~repro.pipeline.StreamingCampaign` directly with
+``tenant_seed(tenant, seed)`` gives bit-identical results to the
+service (asserted by ``tests/service/test_server.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Tenant names become path components of the service data directory, so
+#: the shape is strict: alphanumeric start, then ``[A-Za-z0-9_.-]``.
+TENANT_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Version tag of the seed-namespace mapping; bump to re-key every tenant.
+SEED_NAMESPACE_SCHEMA = "rftc-tenant-seed/1"
+
+#: Tenant used when a request names none.
+DEFAULT_TENANT = "default"
+
+
+def validate_tenant(name: str) -> str:
+    """Return ``name`` if it is a legal tenant name, else raise."""
+    if not isinstance(name, str) or not TENANT_NAME_RE.match(name):
+        raise ConfigurationError(
+            f"invalid tenant name {name!r}: need 1-64 chars of "
+            "[A-Za-z0-9_.-] starting alphanumeric"
+        )
+    return name
+
+
+def tenant_seed(tenant: str, seed: int) -> int:
+    """The effective campaign master seed for ``(tenant, seed)``.
+
+    A 64-bit integer derived by SHA-256 from the versioned namespace
+    tag, the tenant name, and the requested seed — deterministic,
+    collision-resistant across tenants, and valid input for
+    ``numpy.random.SeedSequence``.
+    """
+    validate_tenant(tenant)
+    material = f"{SEED_NAMESPACE_SCHEMA}:{tenant}:{int(seed)}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Scheduling weight and admission quotas for one tenant."""
+
+    share: float = 1.0
+    max_queued: Optional[int] = None
+    store_quota_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.share > 0:
+            raise ConfigurationError("tenant share must be > 0")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ConfigurationError("max_queued must be >= 1 (or None)")
+        if self.store_quota_bytes is not None and self.store_quota_bytes < 0:
+            raise ConfigurationError("store_quota_bytes must be >= 0 (or None)")
+
+    @classmethod
+    def parse(cls, text: str) -> Tuple[str, "TenantPolicy"]:
+        """Parse a CLI tenant spec: ``name:share=2,max_queued=8,store_quota_mb=64``.
+
+        The policy part is optional (``"alice"`` means the defaults) and
+        each ``key=value`` pair may appear at most once.
+        """
+        name, _, rest = text.partition(":")
+        validate_tenant(name)
+        fields: dict = {}
+        if rest:
+            for pair in rest.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep:
+                    raise ConfigurationError(
+                        f"bad tenant policy {pair!r}: expected key=value"
+                    )
+                try:
+                    if key == "share" and "share" not in fields:
+                        fields["share"] = float(value)
+                    elif key == "max_queued" and "max_queued" not in fields:
+                        fields["max_queued"] = int(value)
+                    elif (
+                        key == "store_quota_mb"
+                        and "store_quota_bytes" not in fields
+                    ):
+                        fields["store_quota_bytes"] = int(
+                            float(value) * 1024 * 1024
+                        )
+                    elif key in ("share", "max_queued", "store_quota_mb"):
+                        raise ConfigurationError(
+                            f"tenant policy key {key!r} given twice"
+                        )
+                    else:
+                        raise ConfigurationError(
+                            f"unknown tenant policy key {key!r} (expected "
+                            "share, max_queued, or store_quota_mb)"
+                        )
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"bad tenant policy value {pair!r}: {exc}"
+                    ) from exc
+        return name, cls(**fields)

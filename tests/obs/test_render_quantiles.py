@@ -1,0 +1,86 @@
+"""Histogram quantiles and their rendered form, empty series included.
+
+Regression suite for the service-daemon boot path: a histogram that is
+*declared* but never observed must render as ``p50=–`` instead of
+raising, and `quantile_from_histogram` must return None for it.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, quantile_from_histogram
+from repro.obs.metrics import NullMetricsRegistry
+from repro.obs.render import render_metrics
+
+EDGES = (0.1, 0.5, 1.0)
+
+
+class TestQuantileEstimator:
+    def test_empty_histogram_returns_none(self):
+        assert quantile_from_histogram(EDGES, (0, 0, 0, 0), 0.5) is None
+
+    def test_quantile_is_upper_edge_of_covering_bucket(self):
+        counts = (5, 3, 2, 0)  # cumulative: 5, 8, 10
+        assert quantile_from_histogram(EDGES, counts, 0.50) == 0.1
+        assert quantile_from_histogram(EDGES, counts, 0.51) == 0.5
+        assert quantile_from_histogram(EDGES, counts, 0.99) == 1.0
+
+    def test_empty_buckets_are_skipped(self):
+        """A bucket with no samples cannot be the quantile's home even
+        when the cumulative count crosses the rank at its position."""
+        counts = (5, 0, 5, 0)
+        assert quantile_from_histogram(EDGES, counts, 0.5) == 0.1
+        assert quantile_from_histogram(EDGES, counts, 0.6) == 1.0
+
+    def test_inf_bucket_resolves_to_largest_finite_edge(self):
+        counts = (0, 0, 0, 4)
+        assert quantile_from_histogram(EDGES, counts, 0.5) == 1.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantile_from_histogram(EDGES, (1, 1, 1, 1), 1.5)
+        with pytest.raises(ConfigurationError):
+            quantile_from_histogram(EDGES, (1, 1), 0.5)
+
+
+class TestEnsureHistogram:
+    def test_declares_an_empty_series(self):
+        registry = MetricsRegistry()
+        registry.ensure_histogram("svc_seconds", buckets=EDGES)
+        snap = registry.snapshot()
+        (edges, counts, total, count) = snap.histograms[("svc_seconds", ())]
+        assert edges == EDGES
+        assert tuple(counts) == (0, 0, 0, 0)
+        assert (total, count) == (0.0, 0)
+
+    def test_redeclaration_is_a_noop_but_edges_must_match(self):
+        registry = MetricsRegistry()
+        registry.ensure_histogram("svc_seconds", buckets=EDGES)
+        registry.observe("svc_seconds", 0.3)
+        registry.ensure_histogram("svc_seconds", buckets=EDGES)
+        snap = registry.snapshot()
+        assert snap.histograms[("svc_seconds", ())][3] == 1
+        with pytest.raises(ConfigurationError):
+            registry.ensure_histogram("svc_seconds", buckets=(1.0, 2.0))
+
+    def test_null_registry_stays_inert(self):
+        registry = NullMetricsRegistry()
+        registry.ensure_histogram("svc_seconds", buckets=EDGES)
+        assert registry.snapshot().histograms == {}
+
+
+class TestRenderedQuantiles:
+    def test_empty_histogram_renders_dash_not_raise(self):
+        registry = MetricsRegistry()
+        registry.ensure_histogram("svc_seconds", buckets=EDGES)
+        text = render_metrics(registry.snapshot())
+        assert "svc_seconds" in text
+        assert "p50=–  p99=–" in text
+
+    def test_populated_histogram_renders_edge_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.05, 0.05, 0.05, 0.7):
+            registry.observe("svc_seconds", value, buckets=EDGES)
+        text = render_metrics(registry.snapshot())
+        assert "p50=<= 0.1 s" in text
+        assert "p99=<= 1 s" in text

@@ -1,0 +1,101 @@
+"""CampaignSpec.spec_digest(): the canonical cache/identity key.
+
+The service layer caches results and validates checkpoints by digest, so
+the digest must be (a) stable across a dict round trip and across
+processes, (b) sensitive to every single spec field, and (c) independent
+of dict insertion order.
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline import CampaignSpec, spec_from_dict, spec_to_dict
+from repro.pipeline.spec import SPEC_DIGEST_SCHEMA
+
+
+def _base_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        target="rftc",
+        m_outputs=2,
+        p_configs=16,
+        key=bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+        noise_std=2.0,
+        plan_seed=2019,
+        fixed_plaintext=None,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestDigestStability:
+    def test_digest_is_hex_sha256(self):
+        digest = _base_spec().spec_digest()
+        assert len(digest) == 64
+        int(digest, 16)  # raises on non-hex
+
+    def test_round_trip_preserves_digest(self):
+        spec = _base_spec(fixed_plaintext=b"\x42" * 16)
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt == spec
+        assert rebuilt.spec_digest() == spec.spec_digest()
+
+    def test_equal_specs_share_digest(self):
+        assert _base_spec().spec_digest() == _base_spec().spec_digest()
+
+    def test_digest_ignores_field_dict_order(self):
+        """A shuffled spec dict rebuilds to the same digest."""
+        fields = spec_to_dict(_base_spec())
+        shuffled = dict(reversed(list(fields.items())))
+        assert (
+            spec_from_dict(shuffled).spec_digest()
+            == _base_spec().spec_digest()
+        )
+
+    def test_digest_is_schema_versioned(self):
+        """The digest hashes the documented canonical JSON, exactly."""
+        import hashlib
+
+        spec = _base_spec()
+        canonical = json.dumps(
+            {"schema": SPEC_DIGEST_SCHEMA, "spec": spec_to_dict(spec)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        assert (
+            hashlib.sha256(canonical.encode("ascii")).hexdigest()
+            == spec.spec_digest()
+        )
+
+
+class TestDigestSensitivity:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"target": "unprotected"},
+            {"m_outputs": 3},
+            {"p_configs": 8},
+            {"key": bytes(range(16))},
+            {"noise_std": 2.5},
+            {"plan_seed": 7},
+            {"fixed_plaintext": b"\x00" * 16},
+        ],
+        ids=lambda o: next(iter(o)),
+    )
+    def test_any_field_change_changes_digest(self, overrides):
+        assert _base_spec(**overrides).spec_digest() != _base_spec().spec_digest()
+
+    def test_checkpoint_mismatch_error_quotes_digests(self, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.pipeline import CampaignCheckpoint, CompletionTimeConsumer
+
+        spec = _base_spec(target="unprotected")
+        ckpt = CampaignCheckpoint.capture(
+            spec, seed=1, chunk_size=10, n_traces=20, chunks_done=0,
+            consumers=[CompletionTimeConsumer()],
+        )
+        other = _base_spec(target="unprotected", noise_std=9.0)
+        with pytest.raises(CheckpointError) as err:
+            ckpt.validate_matches(other, seed=1, chunk_size=10)
+        assert spec.spec_digest()[:12] in str(err.value)
+        assert other.spec_digest()[:12] in str(err.value)

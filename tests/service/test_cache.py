@@ -1,0 +1,91 @@
+"""Result cache: key derivation and FIFO eviction semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline import CampaignSpec
+from repro.service import ResultCache, cache_key, tenant_seed
+
+
+def _spec(**overrides):
+    fields = dict(target="rftc", m_outputs=1, p_configs=16, plan_seed=7)
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestCacheKey:
+    def test_identical_runs_share_a_key(self):
+        a = cache_key(_spec(), 8000, 2000, 42)
+        b = cache_key(_spec(), 8000, 2000, 42)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_traces=8001),
+            dict(chunk_size=1000),
+            dict(seed=43),
+        ],
+    )
+    def test_run_parameters_change_the_key(self, kwargs):
+        base = dict(n_traces=8000, chunk_size=2000, seed=42)
+        assert cache_key(_spec(), **{**base, **kwargs}) != cache_key(
+            _spec(), **base
+        )
+
+    def test_spec_fields_change_the_key(self):
+        assert cache_key(_spec(p_configs=8), 8000, 2000, 42) != cache_key(
+            _spec(), 8000, 2000, 42
+        )
+
+    def test_tenant_namespacing_separates_keys(self):
+        """Same request from two tenants never shares a cache entry."""
+        alice = cache_key(_spec(), 8000, 2000, tenant_seed("alice", 42))
+        bob = cache_key(_spec(), 8000, 2000, tenant_seed("bob", 42))
+        assert alice != bob
+
+
+class TestResultCache:
+    def test_get_miss_returns_none(self):
+        assert ResultCache().get("nope") is None
+
+    def test_roundtrip_and_isolation(self):
+        cache = ResultCache()
+        payload = {"value": [1, 2, 3]}
+        cache.put("k", payload)
+        got = cache.get("k")
+        assert got == payload
+        # Neither the caller's dict nor the returned one aliases the
+        # cached entry.
+        payload["value"].append(4)
+        got["value"].append(5)
+        assert cache.get("k") == {"value": [1, 2, 3]}
+
+    def test_fifo_eviction(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.put("a", {"n": 1}) == 0
+        assert cache.put("b", {"n": 2}) == 0
+        assert cache.put("c", {"n": 3}) == 1
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_reads_do_not_refresh_position(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.get("a")
+        cache.put("c", {"n": 3})
+        assert "a" not in cache  # still the oldest despite the read
+
+    def test_overwrite_keeps_insertion_position(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.put("a", {"n": 10})  # overwrite, not reinsertion
+        cache.put("c", {"n": 3})
+        assert "a" not in cache
+        assert len(cache) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)

@@ -1,0 +1,162 @@
+"""Job records and the durable JSONL journal."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import CampaignJob, JobStore
+from repro.service.jobs import interrupted_jobs, next_job_id
+
+SPEC_FIELDS = {
+    "target": "rftc",
+    "m_outputs": 1,
+    "p_configs": 16,
+    "plan_seed": 7,
+}
+
+
+def make_job(n, **overrides):
+    fields = dict(
+        job_id=next_job_id(n),
+        tenant="alice",
+        spec_fields=SPEC_FIELDS,
+        n_traces=1000,
+        chunk_size=500,
+        seed=123,
+        requested_seed=42,
+        cache_key=f"key-{n}",
+        submit_seq=n,
+    )
+    fields.update(overrides)
+    return CampaignJob(**fields)
+
+
+class TestJobRecord:
+    def test_roundtrip(self):
+        job = make_job(0, priority=3, durable=True, store=True)
+        clone = CampaignJob.from_dict(job.to_dict())
+        assert clone.to_dict() == job.to_dict()
+
+    def test_cancel_event_never_serialised(self):
+        job = make_job(0)
+        job.cancel_event.set()
+        assert "cancel_event" not in job.to_dict()
+        assert not CampaignJob.from_dict(job.to_dict()).cancel_event.is_set()
+
+    def test_malformed_document_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            CampaignJob.from_dict({"job_id": "x"})
+
+    def test_lifecycle_timings(self):
+        job = make_job(0, submitted_at=10.0)
+        assert job.queue_seconds() is None
+        job.started_at = 12.0
+        job.finished_at = 15.0
+        assert job.queue_seconds() == 2.0
+        assert job.wall_seconds() == 3.0
+        assert job.submit_to_done_seconds() == 5.0
+
+
+class TestJournal:
+    def test_add_update_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = make_job(0)
+        store.add(job)
+        store.update(job, state="running", dispatch_seq=0, started_at=1.0)
+        store.update(
+            job,
+            state="done",
+            completion_seq=0,
+            finished_at=2.0,
+            result={"schema": "rftc-service-result/1"},
+        )
+        store.close()
+
+        replayed = JobStore(path)
+        assert replayed.torn_line is None
+        got = replayed.get(job.job_id)
+        assert got.state == "done"
+        assert got.result == {"schema": "rftc-service-result/1"}
+        assert replayed.max_seq("dispatch_seq") == 0
+        assert replayed.max_seq("completion_seq") == 0
+        replayed.close()
+
+    def test_jobs_listed_in_submission_order(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        for n in range(3):
+            store.add(make_job(n))
+        assert [j.job_id for j in store.jobs()] == [
+            next_job_id(n) for n in range(3)
+        ]
+        store.close()
+
+    def test_duplicate_job_id_rejected(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        store.add(make_job(0))
+        with pytest.raises(ServiceError):
+            store.add(make_job(0))
+        store.close()
+
+    def test_update_rejects_non_journalable_fields(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        job = make_job(0)
+        store.add(job)
+        with pytest.raises(ServiceError):
+            store.update(job, tenant="mallory")
+        store.close()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        store.add(make_job(1))
+        store.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "update", "job_id": "job-000')
+
+        replayed = JobStore(path)
+        assert replayed.torn_line is not None
+        assert len(replayed) == 2
+        replayed.close()
+
+    def test_mid_file_corruption_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        store.close()
+        lines = path.read_text().splitlines()
+        lines.insert(0, "{broken")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ServiceError):
+            JobStore(path)
+
+    def test_update_for_unknown_job_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        record = {"record": "update", "job_id": "ghost", "fields": {}}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ServiceError):
+            JobStore(path)
+
+
+class TestInterruptedJobs:
+    def test_revival_actions(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        queued = make_job(0)
+        running_plain = make_job(1)
+        running_durable = make_job(2, durable=True)
+        finished = make_job(3)
+        for job in (queued, running_plain, running_durable, finished):
+            store.add(job)
+        store.update(running_plain, state="running")
+        store.update(running_durable, state="running")
+        store.update(finished, state="done")
+
+        actions = {j.job_id: a for j, a in interrupted_jobs(store)}
+        assert actions == {
+            queued.job_id: "requeue",
+            running_plain.job_id: "requeue",
+            running_durable.job_id: "resume",
+        }
+        store.close()

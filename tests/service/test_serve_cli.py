@@ -1,0 +1,85 @@
+"""The ``repro-rftc serve`` daemon, driven as a real subprocess."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline import CampaignSpec
+from repro.service.client import ServiceClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+class TestServeDaemon:
+    def test_serve_submit_and_clean_sigterm_shutdown(self, tmp_path):
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--data-dir", str(tmp_path / "svc"),
+                "--port", "0", "--worker-budget", "1",
+            ],
+            cwd=tmp_path,
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no listen banner in {banner!r}"
+            client = ServiceClient(match.group(1), int(match.group(2)))
+
+            deadline = time.monotonic() + 10.0
+            while not client.healthy():
+                assert time.monotonic() < deadline, "daemon never healthy"
+                time.sleep(0.05)
+
+            spec = CampaignSpec(
+                target="rftc", m_outputs=1, p_configs=16, plan_seed=7
+            )
+            job = client.submit(spec, 40, chunk_size=20, seed=5)
+            final = client.wait(job["job_id"], timeout=60.0)
+            assert final["state"] == "done"
+            assert client.result(job["job_id"])["n_traces"] == 40
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "campaign service shut down cleanly" in out
+        assert "Traceback" not in err
+
+    def test_serve_rejects_bad_tenant_spec(self, tmp_path, capsys):
+        rc = main(["serve", "--data-dir", str(tmp_path / "svc"),
+                   "--tenant", "alice:turbo=1"])
+        assert rc == 2
+        assert "bad --tenant spec" in capsys.readouterr().err
+
+    def test_serve_rejects_duplicate_tenant(self, tmp_path, capsys):
+        rc = main(["serve", "--data-dir", str(tmp_path / "svc"),
+                   "--tenant", "alice", "--tenant", "alice:share=2"])
+        assert rc == 2
+        assert "given twice" in capsys.readouterr().err
+
+    def test_serve_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])

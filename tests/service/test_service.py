@@ -1,0 +1,219 @@
+"""CampaignService end-to-end: caching, tenancy, quotas, recovery.
+
+These tests run real (tiny) campaigns through the full facade, so they
+pin the contracts that matter to users of the API: service results are
+bit-identical to a direct engine run with the tenant-namespaced seed,
+identical resubmissions are served from the cache, and a restarted
+service picks up exactly where the journal left off.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServiceError, UnknownJobError
+from repro.pipeline import CampaignSpec, StreamingCampaign
+from repro.service import CampaignService, TenantPolicy, tenant_seed
+from repro.service.execution import job_consumers, serialize_report
+
+N_TRACES = 40
+CHUNK = 20
+
+
+def small_spec(**overrides):
+    fields = dict(target="rftc", m_outputs=1, p_configs=16, plan_seed=7)
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def direct_payload(spec, n_traces, chunk_size, effective_seed):
+    """What a caller computing the same campaign by hand would get."""
+    engine = StreamingCampaign(
+        spec, chunk_size=chunk_size, workers=1, seed=effective_seed
+    )
+    report = engine.run(n_traces, consumers=job_consumers(spec))
+    return serialize_report(report)
+
+
+class TestResults:
+    def test_service_result_bit_identical_to_direct_run(self, tmp_path):
+        spec = small_spec()
+        with CampaignService(tmp_path / "svc", worker_budget=1) as service:
+            job = service.submit(
+                spec, N_TRACES, chunk_size=CHUNK, seed=5, tenant="alice"
+            )
+            assert service.wait(job.job_id, timeout=60.0)
+            got = service.result(job.job_id)
+        expected = direct_payload(
+            spec, N_TRACES, CHUNK, tenant_seed("alice", 5)
+        )
+        assert got == expected
+
+    def test_tenants_draw_disjoint_randomness(self, tmp_path):
+        spec = small_spec()
+        with CampaignService(tmp_path / "svc", worker_budget=1) as service:
+            a = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5,
+                               tenant="alice")
+            b = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5,
+                               tenant="bob")
+            assert service.join(timeout=60.0)
+            res_a = service.result(a.job_id)
+            res_b = service.result(b.job_id)
+        assert res_a["seed"] != res_b["seed"]
+        assert res_a["cpa"]["peak_corr"] != res_b["cpa"]["peak_corr"]
+        assert not (a.cached or b.cached)
+
+
+class TestCache:
+    def test_identical_resubmission_is_served_from_cache(self, tmp_path):
+        spec = small_spec()
+        with CampaignService(tmp_path / "svc", worker_budget=1) as service:
+            first = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+            assert service.wait(first.job_id, timeout=60.0)
+            second = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+            assert second.cached and second.state == "done"
+            assert service.result(second.job_id) == service.result(
+                first.job_id
+            )
+            assert service.metrics.counter_value(
+                "service_cache_hits_total"
+            ) == 1
+            assert service.metrics.counter_value(
+                "service_cache_misses_total"
+            ) == 1
+
+    def test_different_seed_misses_the_cache(self, tmp_path):
+        spec = small_spec()
+        with CampaignService(tmp_path / "svc", worker_budget=1) as service:
+            first = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+            assert service.wait(first.job_id, timeout=60.0)
+            second = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=6)
+            assert not second.cached
+            assert service.join(timeout=60.0)
+
+    def test_store_jobs_always_run(self, tmp_path):
+        """The cache holds payloads, not trace stores, so persisting
+        submissions bypass it even on an exact key match."""
+        spec = small_spec()
+        with CampaignService(tmp_path / "svc", worker_budget=1) as service:
+            first = service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+            assert service.wait(first.job_id, timeout=60.0)
+            stored = service.submit(
+                spec, N_TRACES, chunk_size=CHUNK, seed=5, store=True
+            )
+            assert not stored.cached
+            assert service.wait(stored.job_id, timeout=60.0)
+            assert stored.store_bytes > 0
+            assert service.store_usage("default") == stored.store_bytes
+
+
+class TestAdmission:
+    def test_max_queued_quota_rejects(self, tmp_path):
+        policies = {"alice": TenantPolicy(max_queued=1)}
+        service = CampaignService(
+            tmp_path / "svc", worker_budget=1, policies=policies
+        )
+        # Never started: the first job stays queued, so the second
+        # submission must bounce.
+        service.submit(small_spec(), N_TRACES, seed=1, tenant="alice")
+        with pytest.raises(QuotaExceededError):
+            service.submit(small_spec(), N_TRACES, seed=2, tenant="alice")
+        assert service.metrics.counter_value(
+            "service_quota_rejections_total", reason="max_queued"
+        ) == 1
+        # Other tenants are unaffected.
+        service.submit(small_spec(), N_TRACES, seed=1, tenant="bob")
+        service.shutdown()
+
+    def test_unknown_job_raises(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        with pytest.raises(UnknownJobError):
+            service.status("job-99999999")
+        service.shutdown()
+
+    def test_cancel_queued_job_and_idempotence(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        job = service.submit(small_spec(), N_TRACES, seed=1)
+        assert service.cancel(job.job_id) == "cancelled"
+        assert service.cancel(job.job_id) == "cancelled"  # idempotent
+        with pytest.raises(ServiceError):
+            service.result(job.job_id)
+        service.shutdown()
+
+
+class TestRecovery:
+    def test_restart_requeues_and_rewarms_cache(self, tmp_path):
+        data = tmp_path / "svc"
+        spec = small_spec()
+        # "Crash" before the daemon ever dispatched: the job is journaled
+        # queued.
+        first = CampaignService(data, worker_budget=1)
+        job = first.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+        first.shutdown()
+
+        second = CampaignService(data, worker_budget=1)
+        revived = second.store.get(job.job_id)
+        assert revived.state == "queued" and revived.requeues == 1
+        assert second.metrics.counter_value(
+            "service_jobs_requeued_total", action="requeue"
+        ) == 1
+        with second:
+            assert second.wait(job.job_id, timeout=60.0)
+            result = second.result(job.job_id)
+        # A third incarnation rebuilds the warm cache from the journal
+        # alone: the resubmission completes without the scheduler ever
+        # starting.
+        third = CampaignService(data, worker_budget=1)
+        resubmit = third.submit(spec, N_TRACES, chunk_size=CHUNK, seed=5)
+        assert resubmit.cached and third.result(resubmit.job_id) == result
+        third.shutdown()
+
+    def test_durable_job_resumes_from_checkpoint_bit_identically(
+        self, tmp_path
+    ):
+        data = tmp_path / "svc"
+        spec = small_spec()
+        n_traces, chunk = 3 * CHUNK, CHUNK
+
+        # Stage a half-run durable job: with the cancel flag pre-set, the
+        # engine folds chunk 0, writes its checkpoint, then the progress
+        # callback raises — deterministically one chunk done.
+        first = CampaignService(data, worker_budget=1)
+        job = first.submit(
+            spec, n_traces, chunk_size=chunk, seed=5, durable=True
+        )
+        job.cancel_event.set()
+        first.start()
+        assert first.wait(job.job_id, timeout=60.0)
+        assert job.state == "cancelled"
+        ckpt = first.checkpoint_dir / f"{job.job_id}.ckpt"
+        assert ckpt.is_file()
+        first.shutdown()
+
+        # Rewrite history to what a crash would have left: the journal's
+        # last word on the job is "running".
+        with open(data / "jobs.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "record": "update",
+                        "job_id": job.job_id,
+                        "fields": {"state": "running"},
+                    }
+                )
+                + "\n"
+            )
+
+        second = CampaignService(data, worker_budget=1)
+        assert second.metrics.counter_value(
+            "service_jobs_requeued_total", action="resume"
+        ) == 1
+        with second:
+            assert second.wait(job.job_id, timeout=60.0)
+            revived = second.store.get(job.job_id)
+            assert revived.state == "done" and revived.resumed
+            got = second.result(job.job_id)
+        assert not ckpt.exists()  # consumed on successful completion
+        assert got == direct_payload(
+            spec, n_traces, chunk, tenant_seed("default", 5)
+        )

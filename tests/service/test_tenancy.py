@@ -1,0 +1,72 @@
+"""Tenant names, seed namespaces, and policy parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import TenantPolicy, tenant_seed, validate_tenant
+
+
+class TestTenantNames:
+    @pytest.mark.parametrize("name", ["alice", "a", "team-7", "a.b_c", "X" * 64])
+    def test_valid_names_pass_through(self, name):
+        assert validate_tenant(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", ".hidden", "-dash", "a/b", "a b", "x" * 65, "naïve", None, 7],
+    )
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            validate_tenant(name)
+
+
+class TestSeedNamespace:
+    def test_deterministic(self):
+        assert tenant_seed("alice", 42) == tenant_seed("alice", 42)
+
+    def test_tenants_draw_disjoint_seeds(self):
+        assert tenant_seed("alice", 42) != tenant_seed("bob", 42)
+
+    def test_seeds_stay_distinct_within_tenant(self):
+        seeds = {tenant_seed("alice", s) for s in range(100)}
+        assert len(seeds) == 100
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= tenant_seed("alice", 2**63) < 2**64
+
+    def test_no_concatenation_collisions(self):
+        """('ab', seed 1) and ('a', 'b1'-ish seeds) cannot collide: the
+        name:seed separator is part of the hashed material."""
+        assert tenant_seed("ab", 1) != tenant_seed("a", 1)
+
+
+class TestPolicyParse:
+    def test_bare_name_gets_defaults(self):
+        name, policy = TenantPolicy.parse("alice")
+        assert name == "alice"
+        assert policy == TenantPolicy()
+
+    def test_full_spec(self):
+        name, policy = TenantPolicy.parse(
+            "bob:share=2.5,max_queued=8,store_quota_mb=64"
+        )
+        assert name == "bob"
+        assert policy.share == 2.5
+        assert policy.max_queued == 8
+        assert policy.store_quota_bytes == 64 * 1024 * 1024
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bob:share=2,share=3",          # duplicate key
+            "bob:turbo=1",                  # unknown key
+            "bob:share",                    # missing value
+            "bob:share=fast",               # non-numeric
+            "bob:max_queued=0",             # below minimum
+            "bob:share=0",                  # share must be positive
+            "bad name:share=1",             # invalid tenant
+        ],
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy.parse(text)

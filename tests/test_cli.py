@@ -211,6 +211,27 @@ class TestCommands:
         assert rc == 2
         assert "--checkpoint" in capsys.readouterr().err
 
+    def test_campaign_resume_rejects_contradictory_flags(
+        self, capsys, tmp_path
+    ):
+        """Explicit flags that disagree with the checkpoint are a usage
+        error with a one-line diff; omitted flags inherit silently."""
+        from repro.errors import InjectedCrashError
+
+        ckpt = str(tmp_path / "campaign.npz")
+        with pytest.raises(InjectedCrashError):
+            main(["campaign", "--target", "unprotected", "--traces", "400",
+                  "--chunk-size", "100", "--quiet", "--checkpoint", ckpt,
+                  "--inject-fault", "crash@1"])
+        capsys.readouterr()
+        rc = main(["campaign", "--resume", "--checkpoint", ckpt,
+                   "--target", "rftc", "--traces", "999", "--quiet"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "flags contradict the checkpointed campaign" in err
+        assert "--target rftc != unprotected" in err
+        assert "--traces 999 != 400" in err
+
     def test_fig3_small_run(self, capsys):
         rc = main(["fig3", "--encryptions", "20000"])
         assert rc == 0
@@ -275,3 +296,32 @@ class TestSignalHandling:
         assert proc.returncode == 130
         assert "interrupted" in err
         assert "Traceback" not in err
+
+    def test_resume_flag_contradiction_exits_2_without_traceback(
+        self, tmp_path
+    ):
+        """The satellite contract, through a real process: contradicting
+        a checkpoint is exit code 2 + a diff line, never a traceback."""
+        from repro.errors import InjectedCrashError
+
+        ckpt = str(tmp_path / "campaign.npz")
+        with pytest.raises(InjectedCrashError):
+            main(["campaign", "--target", "unprotected", "--traces", "400",
+                  "--chunk-size", "100", "--quiet", "--checkpoint", ckpt,
+                  "--inject-fault", "crash@1"])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "campaign", "--resume",
+             "--checkpoint", ckpt, "--chunk-size", "999", "--quiet"],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 2
+        assert "--chunk-size 999 != 100" in proc.stderr
+        assert "Traceback" not in proc.stderr

@@ -13,9 +13,13 @@ from repro.errors import (
     IntegrityError,
     LockError,
     PlanningError,
+    JobCancelledError,
     PoolBrokenError,
+    QuotaExceededError,
     ReconfigurationError,
     ReproError,
+    ServiceError,
+    UnknownJobError,
 )
 
 
@@ -33,8 +37,12 @@ class TestHierarchy:
             IntegrityError,
             LockError,
             PlanningError,
+            JobCancelledError,
             PoolBrokenError,
+            QuotaExceededError,
             ReconfigurationError,
+            ServiceError,
+            UnknownJobError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -60,6 +68,12 @@ class TestHierarchy:
         assert issubclass(LockError, RuntimeError)
         assert issubclass(ReconfigurationError, RuntimeError)
         assert issubclass(PlanningError, RuntimeError)
+
+    def test_service_errors_form_one_family(self):
+        """API layers map the whole family with one except clause."""
+        for exc in (UnknownJobError, QuotaExceededError, JobCancelledError):
+            assert issubclass(exc, ServiceError)
+        assert issubclass(ServiceError, RuntimeError)
 
     def test_one_except_clause_suffices(self):
         with pytest.raises(ReproError):

@@ -25,6 +25,15 @@ PACKAGES = [
     "repro.pipeline.engine",
     "repro.pipeline.consumers",
     "repro.store",
+    "repro.service",
+    "repro.service.tenancy",
+    "repro.service.jobs",
+    "repro.service.cache",
+    "repro.service.scheduler",
+    "repro.service.execution",
+    "repro.service.service",
+    "repro.service.server",
+    "repro.service.client",
     "repro.experiments",
     "repro.experiments.figures",
     "repro.experiments.tables",
