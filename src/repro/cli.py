@@ -358,6 +358,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"--tenant {name!r} given twice", file=sys.stderr)
             return 2
         policies[name] = policy
+    tokens = {}
+    for text in args.auth or ():
+        name, sep, token = text.partition(":")
+        try:
+            from repro.service.tenancy import validate_tenant
+
+            validate_tenant(name)
+        except ConfigurationError as exc:
+            print(f"bad --auth spec {text!r}: {exc}", file=sys.stderr)
+            return 2
+        if not sep or not token:
+            print(f"bad --auth spec {text!r}: expected TENANT:TOKEN",
+                  file=sys.stderr)
+            return 2
+        if name in tokens:
+            print(f"--auth {name!r} given twice", file=sys.stderr)
+            return 2
+        tokens[name] = token
+    if args.host not in ("127.0.0.1", "localhost", "::1") and not tokens:
+        print(
+            f"warning: binding {args.host} without --auth tokens — every "
+            "client can see and cancel every tenant's jobs",
+            file=sys.stderr,
+        )
     try:
         service = CampaignService(
             args.data_dir,
@@ -368,7 +392,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"cannot open service state: {exc}", file=sys.stderr)
         return 1
-    server = CampaignServer(service, host=args.host, port=args.port)
+    server = CampaignServer(
+        service, host=args.host, port=args.port, tokens=tokens
+    )
     service.start()
     try:
         host, port = server.start()
@@ -585,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", action="append", metavar="SPEC",
                    help="tenant policy, e.g. 'alice:share=2,max_queued=8,"
                         "store_quota_mb=64' (repeatable)")
+    p.add_argument("--auth", action="append", metavar="TENANT:TOKEN",
+                   help="require per-tenant bearer tokens and scope job "
+                        "routes to the caller's tenant (repeatable); "
+                        "without it all clients are mutually trusted")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("store", help="inspect or verify a ChunkedTraceStore")

@@ -21,16 +21,27 @@ from typing import List, Optional
 
 from repro.errors import QuotaExceededError, ServiceError, UnknownJobError
 from repro.pipeline.spec import CampaignSpec, spec_to_dict
-from repro.service.tenancy import DEFAULT_TENANT
 
 
 class ServiceClient:
-    """Talk to one campaign service daemon at ``host:port``."""
+    """Talk to one campaign service daemon at ``host:port``.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``token`` is the tenant's bearer token for a daemon started with
+    per-tenant authentication (``repro-rftc serve --auth``); leave it
+    ``None`` against an unauthenticated daemon.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+    ):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.token = token
 
     # -- plumbing ------------------------------------------------------
 
@@ -46,6 +57,8 @@ class ServiceClient:
         try:
             payload = None
             headers = {}
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -84,26 +97,28 @@ class ServiceClient:
         n_traces: int,
         chunk_size: int = 1000,
         seed: int = 0,
-        tenant: str = DEFAULT_TENANT,
+        tenant: Optional[str] = None,
         priority: int = 0,
         durable: bool = False,
         store: bool = False,
     ) -> dict:
-        """Submit a campaign; returns the job document (see ``job_id``)."""
-        return self._json(
-            "POST",
-            "/v1/jobs",
-            {
-                "spec": spec_to_dict(spec),
-                "n_traces": int(n_traces),
-                "chunk_size": int(chunk_size),
-                "seed": int(seed),
-                "tenant": tenant,
-                "priority": int(priority),
-                "durable": bool(durable),
-                "store": bool(store),
-            },
-        )
+        """Submit a campaign; returns the job document (see ``job_id``).
+
+        ``tenant=None`` lets the server pick: the bearer token's tenant
+        on an authenticated daemon, ``"default"`` otherwise.
+        """
+        body = {
+            "spec": spec_to_dict(spec),
+            "n_traces": int(n_traces),
+            "chunk_size": int(chunk_size),
+            "seed": int(seed),
+            "priority": int(priority),
+            "durable": bool(durable),
+            "store": bool(store),
+        }
+        if tenant is not None:
+            body["tenant"] = tenant
+        return self._json("POST", "/v1/jobs", body)
 
     def status(self, job_id: str) -> dict:
         return self._json("GET", f"/v1/jobs/{job_id}")
@@ -113,6 +128,10 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> dict:
         return self._json("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def release_store(self, job_id: str) -> dict:
+        """Delete a finished job's persisted traces, freeing quota bytes."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}/store")
 
     def list_jobs(self, tenant: Optional[str] = None) -> List[dict]:
         path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")

@@ -15,8 +15,10 @@ Journal records
 document.  ``{"record": "update", "job_id": ..., "fields": {...}}`` — a
 transition, carrying only the fields that changed.  Appends are
 line-buffered; a crash mid-write leaves at most one torn final line,
-which replay tolerates (and reports), while a torn line *followed by
-valid records* means real corruption and is a hard error.
+which replay tolerates (and reports) — the torn fragment is truncated
+from the file before the append handle opens, so later appends start on
+a clean line boundary.  A torn line *followed by valid records* means
+real corruption and is a hard error.
 """
 
 from __future__ import annotations
@@ -210,8 +212,22 @@ class JobStore:
         self._write_lock = threading.Lock()
         self._handle = None
         self.torn_line: Optional[int] = None
+        #: Byte offset to truncate the file to (end of the last valid
+        #: record) when replay found a torn final line.
+        self._truncate_to: Optional[int] = None
+        #: True when the final record parsed but lost its newline.
+        self._repair_newline = False
         self._replay()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._truncate_to is not None:
+            # Drop the torn fragment so the first post-recovery append
+            # starts on a clean line boundary instead of concatenating
+            # onto it (which would corrupt the journal mid-file).
+            with open(self.path, "r+b") as handle:
+                handle.truncate(self._truncate_to)
+        elif self._repair_newline:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
         self._handle = open(self.path, "a", encoding="utf-8")
 
     # -- index ---------------------------------------------------------
@@ -277,24 +293,33 @@ class JobStore:
     def _replay(self) -> None:
         if not self.path.is_file():
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-        for lineno, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.splitlines(keepends=True)
+        offset = 0
+        for lineno, line_bytes in enumerate(lines, start=1):
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
+                text = line_bytes.decode("utf-8")
+                record = json.loads(text) if text.strip() else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 if lineno == len(lines):
                     # Torn final line: the daemon died mid-append.  The
                     # transition it described is lost; everything before
-                    # it is intact.
+                    # it is intact.  Truncate the fragment away so the
+                    # journal stays appendable.
                     self.torn_line = lineno
+                    self._truncate_to = offset
                     break
                 raise ServiceError(
                     f"corrupt job journal {self.path} line {lineno}: {exc}"
                 ) from exc
-            self._apply(record, lineno)
+            if record is not None:
+                self._apply(record, lineno)
+            offset += len(line_bytes)
+        else:
+            # The final record is intact but may have lost its newline
+            # (a partial flush); restore it before appending.
+            self._repair_newline = bool(lines) and not raw.endswith(b"\n")
 
     def _apply(self, record: dict, lineno: int) -> None:
         kind = record.get("record")

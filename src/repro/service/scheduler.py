@@ -282,7 +282,18 @@ class Scheduler:
                 if self.on_dispatch is not None:
                     self.on_dispatch(job)
                 executor = self._executor
-            executor.submit(self._run_one, job, resume, seq)
+            try:
+                executor.submit(self._run_one, job, resume, seq)
+            except RuntimeError as exc:
+                # A concurrent shutdown() finished executor.shutdown()
+                # between our _stop check and this submit.  Finalize the
+                # already-dispatched job as cancelled instead of leaving
+                # it journaled RUNNING forever (and keep this thread
+                # alive to drain anything else in flight).
+                self._complete(
+                    seq, job, None, "cancelled",
+                    f"scheduler shut down before the job started: {exc}",
+                )
 
     def _run_one(self, job: CampaignJob, resume: bool, seq: int) -> None:
         payload: Optional[dict] = None
@@ -294,6 +305,16 @@ class Scheduler:
             state, error = "cancelled", str(exc)
         except Exception as exc:  # noqa: BLE001 - job failure is data
             state, error = "failed", f"{type(exc).__name__}: {exc}"
+        self._complete(seq, job, payload, state, error)
+
+    def _complete(
+        self,
+        seq: int,
+        job: CampaignJob,
+        payload: Optional[dict],
+        state: str,
+        error: Optional[str],
+    ) -> None:
         with self.cond:
             # Free the worker slot immediately; finalize strictly in
             # dispatch order (buffered, like the engine's chunk folding)

@@ -17,11 +17,22 @@ GET       ``/v1/jobs``                  list jobs (``?tenant=`` filter)
 GET       ``/v1/jobs/<id>``             job status document
 GET       ``/v1/jobs/<id>/result``      result payload (409 until ``done``)
 POST      ``/v1/jobs/<id>/cancel``      request cancellation -> job status
+DELETE    ``/v1/jobs/<id>/store``       delete persisted traces, free quota
 GET       ``/metrics``                  Prometheus text page
 GET       ``/healthz``                  liveness probe (plain ``ok``)
 ========  ============================  =======================================
 
-Error mapping: unknown job -> 404, quota breach -> 429, malformed
+Trust model: by default the server binds loopback and every client is
+mutually trusted — job ids are sequential and all routes see all
+tenants' jobs.  Passing ``tokens`` (tenant name -> bearer token, CLI
+``--auth``) switches on per-tenant authentication: every route except
+``/healthz`` then requires ``Authorization: Bearer <token>``, job-scoped
+routes answer 404 for other tenants' jobs (existence is not revealed),
+``GET /v1/jobs`` is forced to the caller's tenant, and a submit naming
+a different tenant is a 403.  See ``docs/service.md``.
+
+Error mapping: unknown (or other-tenant) job -> 404, quota breach ->
+429, missing/bad token -> 401, tenant mismatch -> 403, malformed
 request -> 400, anything unexpected -> 500.  The server runs its event
 loop on a dedicated thread; handlers call the (internally locked)
 service directly — every service call is a short critical section, so
@@ -31,9 +42,10 @@ the loop never blocks on campaign execution.
 from __future__ import annotations
 
 import asyncio
+import hmac
 import json
 import threading
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
@@ -44,17 +56,19 @@ from repro.errors import (
     UnknownJobError,
 )
 from repro.pipeline.spec import spec_from_dict
+from repro.service.jobs import TERMINAL_STATES
 from repro.service.service import CampaignService
-from repro.service.tenancy import DEFAULT_TENANT
+from repro.service.tenancy import DEFAULT_TENANT, validate_tenant
 
 #: Request size guards: header section and JSON body.
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
 _REASONS = {
-    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
+    200: "OK", 201: "Created", 400: "Bad Request", 401: "Unauthorized",
+    403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
 }
 
 
@@ -73,6 +87,12 @@ class CampaignServer:
     ``(host, port)``.  :meth:`stop` closes the listener and joins the
     loop thread — it does **not** shut the service down (the owner does,
     typically after :meth:`CampaignService.join`).
+
+    ``tokens`` maps tenant name -> bearer token.  When non-empty, every
+    route except ``/healthz`` requires a valid ``Authorization: Bearer``
+    header and is scoped to the token's tenant; when empty (the
+    default), all clients are mutually trusted — only bind beyond
+    loopback in a single trust domain.
     """
 
     def __init__(
@@ -80,10 +100,23 @@ class CampaignServer:
         service: CampaignService,
         host: str = "127.0.0.1",
         port: int = 0,
+        tokens: Optional[Dict[str, str]] = None,
     ):
         self.service = service
         self.host = host
         self.port = int(port)
+        self._token_tenants: Dict[str, str] = {}
+        for tenant, token in (tokens or {}).items():
+            validate_tenant(tenant)
+            if not isinstance(token, str) or not token:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} needs a non-empty token string"
+                )
+            if token in self._token_tenants:
+                raise ConfigurationError(
+                    f"token for tenant {tenant!r} duplicates another tenant's"
+                )
+            self._token_tenants[token] = tenant
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
@@ -141,8 +174,10 @@ class CampaignServer:
         status, body, content_type = 500, b"internal error\n", "text/plain"
         endpoint = "unknown"
         try:
-            method, target, body_bytes = await self._read_request(reader)
-            endpoint, status, payload = self._route(method, target, body_bytes)
+            method, target, body_bytes, token = await self._read_request(reader)
+            endpoint, status, payload = self._route(
+                method, target, body_bytes, token
+            )
             if isinstance(payload, str):
                 body, content_type = payload.encode("utf-8"), "text/plain; version=0.0.4"
             else:
@@ -183,13 +218,14 @@ class CampaignServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, bytes, Optional[str]]:
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
         if len(parts) != 3:
             raise _HttpError(400, "malformed request line")
         method, target, _version = parts
         content_length = 0
+        token: Optional[str] = None
         header_bytes = len(request_line)
         while True:
             line = await reader.readline()
@@ -199,20 +235,27 @@ class CampaignServer:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError as exc:
                     raise _HttpError(400, "bad Content-Length") from exc
+                if content_length < 0:
+                    raise _HttpError(400, "bad Content-Length")
+            elif name == "authorization":
+                scheme, _, credential = value.strip().partition(" ")
+                if scheme.lower() == "bearer" and credential.strip():
+                    token = credential.strip()
         if content_length > MAX_BODY_BYTES:
             raise _HttpError(413, "body too large")
         body = await reader.readexactly(content_length) if content_length else b""
-        return method.upper(), target, body
+        return method.upper(), target, body, token
 
     # -- routing -------------------------------------------------------
 
     def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, token: Optional[str]
     ) -> Tuple[str, int, object]:
         """Dispatch one request; returns (endpoint label, status, payload)."""
         url = urlsplit(target)
@@ -221,13 +264,20 @@ class CampaignServer:
         try:
             if segments == ["healthz"] and method == "GET":
                 return "healthz", 200, "ok\n"
+            caller = self._authenticate(token)
             if segments == ["metrics"] and method == "GET":
                 return "metrics", 200, self.service.metrics_page()
             if segments == ["v1", "jobs"]:
                 if method == "POST":
-                    return "submit", 201, self._submit(body)
+                    return "submit", 201, self._submit(body, caller)
                 if method == "GET":
                     tenant = query.get("tenant", [None])[0]
+                    if caller is not None:
+                        if tenant not in (None, caller):
+                            raise _HttpError(
+                                403, f"token is not for tenant {tenant!r}"
+                            )
+                        tenant = caller
                     return "list", 200, {
                         "jobs": self.service.list_jobs(tenant=tenant)
                     }
@@ -235,14 +285,19 @@ class CampaignServer:
             if len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
                 if method != "GET":
                     raise _HttpError(405, f"{method} not allowed here")
-                return "status", 200, self.service.status(segments[2])
+                return "status", 200, self._status(segments[2], caller)
             if len(segments) == 4 and segments[:2] == ["v1", "jobs"]:
                 job_id, action = segments[2], segments[3]
                 if action == "result" and method == "GET":
-                    return "result", 200, self._result(job_id)
+                    return "result", 200, self._result(job_id, caller)
                 if action == "cancel" and method == "POST":
+                    self._status(job_id, caller)
                     self.service.cancel(job_id)
                     return "cancel", 200, self.service.status(job_id)
+                if action == "store" and method == "DELETE":
+                    return "release_store", 200, self._release_store(
+                        job_id, caller
+                    )
                 raise _HttpError(405, f"no {method} {action!r} on a job")
             raise _HttpError(404, f"no route for {url.path}")
         except _HttpError:
@@ -254,13 +309,39 @@ class CampaignServer:
         except ReproError as exc:
             raise _HttpError(400, str(exc)) from exc
 
-    def _submit(self, body: bytes) -> dict:
+    def _authenticate(self, token: Optional[str]) -> Optional[str]:
+        """The caller's tenant, or None when auth is not configured."""
+        if not self._token_tenants:
+            return None
+        if token is None:
+            raise _HttpError(401, "missing bearer token")
+        caller = None
+        for known, tenant in self._token_tenants.items():
+            # Constant-time compare of every candidate, so response
+            # timing does not leak how much of a token matched.
+            if hmac.compare_digest(known.encode(), token.encode()):
+                caller = tenant
+        if caller is None:
+            raise _HttpError(401, "invalid bearer token")
+        return caller
+
+    def _status(self, job_id: str, caller: Optional[str]) -> dict:
+        """Status document, scoped: other tenants' jobs look unknown."""
+        status = self.service.status(job_id)
+        if caller is not None and status["tenant"] != caller:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return status
+
+    def _submit(self, body: bytes, caller: Optional[str]) -> dict:
         try:
             doc = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise _HttpError(400, f"body is not JSON: {exc}") from exc
         if not isinstance(doc, dict) or "spec" not in doc:
             raise _HttpError(400, "submit body needs a 'spec' object")
+        tenant = str(doc.get("tenant", caller or DEFAULT_TENANT))
+        if caller is not None and tenant != caller:
+            raise _HttpError(403, f"token is not for tenant {tenant!r}")
         try:
             spec = spec_from_dict(doc["spec"])
             job = self.service.submit(
@@ -268,7 +349,7 @@ class CampaignServer:
                 n_traces=int(doc.get("n_traces", 1000)),
                 chunk_size=int(doc.get("chunk_size", 1000)),
                 seed=int(doc.get("seed", 0)),
-                tenant=str(doc.get("tenant", DEFAULT_TENANT)),
+                tenant=tenant,
                 priority=int(doc.get("priority", 0)),
                 durable=bool(doc.get("durable", False)),
                 store=bool(doc.get("store", False)),
@@ -277,8 +358,8 @@ class CampaignServer:
             raise _HttpError(400, f"bad submit field: {exc}") from exc
         return job.to_dict(include_result=False)
 
-    def _result(self, job_id: str) -> dict:
-        status = self.service.status(job_id)
+    def _result(self, job_id: str, caller: Optional[str]) -> dict:
+        status = self._status(job_id, caller)
         if status["state"] == "done":
             return self.service.result(job_id)
         if status["state"] in ("failed", "cancelled"):
@@ -288,3 +369,13 @@ class CampaignServer:
                 + (f": {status['error']}" if status.get("error") else ""),
             )
         raise _HttpError(409, f"job {job_id} is {status['state']}; no result yet")
+
+    def _release_store(self, job_id: str, caller: Optional[str]) -> dict:
+        status = self._status(job_id, caller)
+        if status["state"] not in TERMINAL_STATES:
+            raise _HttpError(
+                409,
+                f"job {job_id} is {status['state']}; cancel it before "
+                "releasing its store",
+            )
+        return self.service.release_store(job_id)

@@ -24,6 +24,7 @@ lock or ordering hazards.
 
 from __future__ import annotations
 
+import shutil
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -275,6 +276,36 @@ class CampaignService:
                 for job in self.store.jobs()
                 if job.tenant == tenant
             )
+
+    def release_store(self, job_id: str) -> dict:
+        """Delete a finished job's persisted traces and free its quota.
+
+        Quota accounting sums ``store_bytes`` from the journal, so
+        pruning ``stores/`` by hand frees disk but never quota — this is
+        the journaled release path: it removes
+        ``stores/<tenant>/<job_id>`` and journals ``store_bytes=0``, so
+        the freed bytes survive a restart.  Idempotent; refuses while
+        the job is still queued or running.  Returns the updated job
+        document.
+        """
+        with self._cond:
+            job = self._job(job_id)
+            if not job.finished:
+                raise ServiceError(
+                    f"job {job_id} is {job.state}; cancel it before "
+                    "releasing its store"
+                )
+            store_path = self.store_dir / job.tenant / job.job_id
+            if store_path.exists():
+                shutil.rmtree(store_path)
+            if job.store_bytes:
+                self.store.update(job, store_bytes=0)
+                self.metrics.set_gauge(
+                    "service_store_bytes",
+                    self.store_usage_locked(job.tenant),
+                    tenant=job.tenant,
+                )
+            return job.to_dict(include_result=False)
 
     # -- internals -----------------------------------------------------
 

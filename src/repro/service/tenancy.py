@@ -11,7 +11,12 @@ scheduler and admission control understand:
   running; submissions beyond it are rejected, not silently dropped.
 * ``store_quota_bytes`` — cap on bytes of persisted trace stores; once a
   tenant's stores reach it, further ``store=True`` submissions are
-  rejected until an operator prunes the data directory.
+  rejected until store data is released through
+  :meth:`~repro.service.service.CampaignService.release_store` (HTTP
+  ``DELETE /v1/jobs/<id>/store``), which removes the persisted traces
+  *and* journals the freed bytes.  Usage is accounted from the journal,
+  not the filesystem, so pruning ``stores/`` by hand frees disk but not
+  quota.
 
 Seed namespaces
 ---------------

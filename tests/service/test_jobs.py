@@ -121,6 +121,51 @@ class TestJournal:
         assert len(replayed) == 2
         replayed.close()
 
+    def test_torn_final_line_truncated_so_journal_stays_appendable(
+        self, tmp_path
+    ):
+        """Recovery must not concatenate new appends onto the torn
+        fragment — that would be mid-file corruption on the *next*
+        restart and brick the daemon."""
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        store.close()
+        intact = path.read_text()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "update", "job_id": "job-000')
+
+        recovered = JobStore(path)
+        assert recovered.torn_line is not None
+        assert path.read_text() == intact  # fragment gone from disk
+        job = recovered.get(next_job_id(0))
+        recovered.update(job, state="running", requeues=1)
+        recovered.update(job, state="done")
+        recovered.close()
+
+        again = JobStore(path)
+        assert again.torn_line is None
+        assert again.get(next_job_id(0)).state == "done"
+        again.close()
+
+    def test_final_line_missing_newline_is_repaired(self, tmp_path):
+        """A complete final record whose newline was lost mid-flush is
+        kept, and the newline restored before the next append."""
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        store.close()
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+
+        recovered = JobStore(path)
+        assert recovered.torn_line is None
+        recovered.update(recovered.get(next_job_id(0)), state="running")
+        recovered.close()
+
+        again = JobStore(path)
+        assert again.get(next_job_id(0)).state == "running"
+        again.close()
+
     def test_mid_file_corruption_is_a_hard_error(self, tmp_path):
         path = tmp_path / "jobs.jsonl"
         store = JobStore(path)

@@ -80,6 +80,18 @@ class TestServeDaemon:
         assert rc == 2
         assert "given twice" in capsys.readouterr().err
 
+    def test_serve_rejects_bad_auth_spec(self, tmp_path, capsys):
+        rc = main(["serve", "--data-dir", str(tmp_path / "svc"),
+                   "--auth", "alice"])
+        assert rc == 2
+        assert "expected TENANT:TOKEN" in capsys.readouterr().err
+
+    def test_serve_rejects_duplicate_auth_tenant(self, tmp_path, capsys):
+        rc = main(["serve", "--data-dir", str(tmp_path / "svc"),
+                   "--auth", "alice:a", "--auth", "alice:b"])
+        assert rc == 2
+        assert "given twice" in capsys.readouterr().err
+
     def test_serve_requires_data_dir(self):
         with pytest.raises(SystemExit):
             main(["serve"])

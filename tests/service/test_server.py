@@ -1,6 +1,7 @@
 """HTTP front-end + client against a live in-process daemon."""
 
 import json
+import socket
 import urllib.request
 
 import pytest
@@ -132,3 +133,71 @@ class TestErrorMapping:
             urllib.request.urlopen(url)
         doc = json.loads(excinfo.value.read().decode("utf-8"))
         assert doc["status"] == 404 and "unknown job" in doc["error"]
+
+    def test_negative_content_length_is_400(self, daemon):
+        """A negative Content-Length is a malformed request, not a 500."""
+        with socket.create_connection(
+            (daemon.host, daemon.port), timeout=10.0
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/jobs HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: -5\r\n"
+                b"\r\n"
+            )
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+
+@pytest.fixture()
+def auth_daemon(tmp_path):
+    """A daemon with per-tenant bearer tokens; yields (host, port)."""
+    service = CampaignService(tmp_path / "svc", worker_budget=1)
+    service.start()
+    server = CampaignServer(
+        service, tokens={"alice": "token-a", "bob": "token-b"}
+    )
+    host, port = server.start()
+    try:
+        yield host, port
+    finally:
+        server.stop()
+        service.shutdown()
+
+
+class TestAuthentication:
+    def test_missing_or_bad_token_is_401_but_healthz_open(self, auth_daemon):
+        host, port = auth_daemon
+        anonymous = ServiceClient(host, port)
+        assert anonymous.healthy()
+        with pytest.raises(ServiceError, match="401"):
+            anonymous.list_jobs()
+        wrong = ServiceClient(host, port, token="nope")
+        with pytest.raises(ServiceError, match="401"):
+            wrong.metrics_text()
+
+    def test_routes_are_scoped_to_the_token_tenant(self, auth_daemon):
+        host, port = auth_daemon
+        alice = ServiceClient(host, port, token="token-a")
+        bob = ServiceClient(host, port, token="token-b")
+        # The submit tenant defaults to the token's tenant.
+        job = alice.submit(small_spec(), N_TRACES, chunk_size=CHUNK, seed=5)
+        assert job["tenant"] == "alice"
+        alice.wait(job["job_id"], timeout=60.0)
+        # Guessing the sequential job id must not reveal it exists.
+        with pytest.raises(UnknownJobError):
+            bob.status(job["job_id"])
+        with pytest.raises(UnknownJobError):
+            bob.result(job["job_id"])
+        with pytest.raises(UnknownJobError):
+            bob.cancel(job["job_id"])
+        # Listings see only the caller's own jobs.
+        assert alice.list_jobs() and not bob.list_jobs()
+        with pytest.raises(ServiceError, match="403"):
+            bob.list_jobs(tenant="alice")
+
+    def test_submitting_as_another_tenant_is_403(self, auth_daemon):
+        host, port = auth_daemon
+        bob = ServiceClient(host, port, token="token-b")
+        with pytest.raises(ServiceError, match="403"):
+            bob.submit(small_spec(), N_TRACES, seed=1, tenant="alice")

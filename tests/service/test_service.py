@@ -131,6 +131,41 @@ class TestAdmission:
             service.status("job-99999999")
         service.shutdown()
 
+    def test_release_store_frees_quota_durably(self, tmp_path):
+        """Quota is accounted from the journal, so the journaled release
+        path must free it — and keep it freed across a restart."""
+        data = tmp_path / "svc"
+        spec = small_spec()
+        with CampaignService(data, worker_budget=1) as service:
+            job = service.submit(
+                spec, N_TRACES, chunk_size=CHUNK, seed=5, store=True
+            )
+            assert service.wait(job.job_id, timeout=60.0)
+            used = service.store_usage("default")
+            assert used > 0
+        # A tenant capped exactly at current usage is locked out...
+        policies = {"default": TenantPolicy(store_quota_bytes=used)}
+        service = CampaignService(data, worker_budget=1, policies=policies)
+        with pytest.raises(QuotaExceededError):
+            service.submit(spec, N_TRACES, chunk_size=CHUNK, seed=6,
+                           store=True)
+        with pytest.raises(ServiceError, match="releasing"):
+            # Only terminal jobs can be released.
+            queued = service.submit(spec, N_TRACES, seed=7)
+            service.release_store(queued.job_id)
+        # ...until the store is released, which deletes the traces and
+        # journals the freed bytes.
+        doc = service.release_store(job.job_id)
+        assert doc["store_bytes"] == 0
+        assert service.store_usage("default") == 0
+        assert not (data / "stores" / "default" / job.job_id).exists()
+        service.release_store(job.job_id)  # idempotent
+        service.shutdown()
+        # The release survives a restart.
+        again = CampaignService(data, worker_budget=1, policies=policies)
+        assert again.store_usage("default") == 0
+        again.shutdown()
+
     def test_cancel_queued_job_and_idempotence(self, tmp_path):
         service = CampaignService(tmp_path / "svc")
         job = service.submit(small_spec(), N_TRACES, seed=1)
