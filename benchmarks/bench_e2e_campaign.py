@@ -1,0 +1,172 @@
+"""Paper-scale end-to-end campaign: full-key CPA with success assertion.
+
+The paper evaluates RFTC against CPA campaigns of up to 4M traces; this
+script runs the whole reproduction stack at that scale — streaming
+acquisition (shared-memory transport when available), float32 trace
+synthesis, and the 16-byte incremental CPA bank — against the
+*unprotected* target, then asserts that the attack actually recovers the
+full last-round key.  It is the nightly-CI proof that the performance
+work (see ``docs/performance.md``) kept the science intact: a throughput
+number from a campaign whose attack fails would be meaningless.
+
+Two modes (mirroring ``bench_pipeline_throughput.py``):
+
+* ``python benchmarks/bench_e2e_campaign.py --quick`` — PR-gate smoke:
+  16k traces (~2x the empirical full-recovery threshold at scale-1
+  noise), seconds of wall clock.
+* ``python benchmarks/bench_e2e_campaign.py`` — the nightly 4M-trace
+  campaign (minutes).  ``--out`` writes a machine-readable report.
+
+Exit status is 1 when any attacked key byte is wrong, so CI can gate on
+it directly.
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.attacks.models import expand_last_round_key
+from repro.pipeline import CampaignSpec, CpaBankConsumer, StreamingCampaign
+
+SCHEMA = "rftc-bench-e2e/1"
+
+#: Paper-scale campaign length (full mode).
+FULL_TRACES = 4_000_000
+
+#: PR-smoke campaign length: ~2x the traces the unprotected target needs
+#: for full 16-byte recovery at scale-1 noise (empirically 8k).
+QUICK_TRACES = 16_000
+
+#: "scale=1" noise of the experiment grid (see ``repro.cli``): the
+#: baseline noise sigma 2.0 scaled by sqrt(10).
+SCALE1_NOISE = 2.0 * math.sqrt(10.0)
+
+
+def run_campaign(args) -> dict:
+    """Run the campaign and return the JSON report (never raises on a
+    failed attack — the failure is recorded in the report)."""
+    spec = CampaignSpec(
+        target="unprotected", noise_std=SCALE1_NOISE, dtype=args.dtype
+    )
+    campaign = StreamingCampaign(
+        spec,
+        chunk_size=args.chunk,
+        workers=args.workers,
+        seed=args.seed,
+        transport=args.transport,
+    )
+    print(
+        f"campaign: target=unprotected n={args.traces:,} dtype={args.dtype} "
+        f"workers={args.workers} transport={args.transport} "
+        f"chunk={args.chunk}"
+    )
+    t0 = time.perf_counter()
+    report = campaign.run(
+        args.traces, consumers=[CpaBankConsumer(engine=args.engine)]
+    )
+    wall = time.perf_counter() - t0
+
+    result = report.results["cpa_bank"]
+    rk10 = bytes(expand_last_round_key(spec.key))
+    recovered = result.is_correct(rk10)
+    wrong = [
+        r.byte_index
+        for r in result.byte_results
+        if r.best_guess != rk10[r.byte_index]
+    ]
+    ranks = [int(r.rank_of(rk10[r.byte_index])) for r in result.byte_results]
+    peak = [float(r.peak_corr[rk10[r.byte_index]]) for r in result.byte_results]
+
+    print(
+        f"{args.traces:,} traces in {wall:.1f}s "
+        f"({args.traces / wall:,.0f} traces folded/s, "
+        f"transport={report.transport})"
+    )
+    status = "RECOVERED" if recovered else f"FAILED (wrong bytes: {wrong})"
+    print(
+        f"full-key CPA: {status}  worst rank {max(ranks)}  "
+        f"min true-key peak corr {min(peak):.4f}"
+    )
+    return {
+        "schema": SCHEMA,
+        "target": "unprotected",
+        "n_traces": args.traces,
+        "chunk_size": args.chunk,
+        "workers": args.workers,
+        "dtype": args.dtype,
+        "engine": args.engine,
+        "noise_std": SCALE1_NOISE,
+        "seed": args.seed,
+        "transport": report.transport,
+        "wall_seconds": wall,
+        "traces_folded_per_second": args.traces / wall,
+        "key_recovered": bool(recovered),
+        "wrong_bytes": wrong,
+        "worst_rank": max(ranks),
+        "min_true_key_peak_corr": min(peak),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Paper-scale end-to-end CPA campaign with key-recovery "
+        "assertion"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI budget: {QUICK_TRACES:,} traces instead of "
+             f"{FULL_TRACES:,}",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=None,
+        help="override the campaign length",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="acquisition worker processes (default 2)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=5000,
+        help="traces per chunk (default 5000)",
+    )
+    parser.add_argument(
+        "--transport", choices=("auto", "shm", "pickle"), default="auto",
+        help="chunk transport between workers and the fold loop",
+    )
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float32",
+        help="trace sample dtype (default float32, the paper-scale path)",
+    )
+    parser.add_argument(
+        "--engine", choices=("fast", "reference"), default="fast",
+        help="CPA bank engine (default fast)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+    if args.traces is None:
+        args.traces = QUICK_TRACES if args.quick else FULL_TRACES
+
+    report = run_campaign(args)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if not report["key_recovered"]:
+        print(
+            f"FAILURE: CPA did not recover the key after "
+            f"{args.traces:,} traces (wrong bytes: "
+            f"{report['wrong_bytes']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

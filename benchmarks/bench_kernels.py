@@ -19,6 +19,7 @@ baseline stays meaningful across machines.  See ``docs/performance.md``.
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -31,6 +32,7 @@ from repro.crypto.aes import AES, batch_expand_key
 from repro.crypto.datapath import AesDatapath, batch_round_states
 from repro.hw.clock import ClockSchedule
 from repro.leakage_assessment.tvla import IncrementalTvla
+from repro.pipeline import CampaignSpec, CpaBankConsumer, StreamingCampaign
 from repro.power.synth import TraceSynthesizer
 from repro.preprocess.dtw import batch_dtw_align
 from repro.preprocess.fft import fft_magnitude
@@ -41,7 +43,7 @@ from repro.utils.stats import column_pearson
 KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 RNG = np.random.default_rng(1)
 
-SCHEMA = "rftc-bench-kernels/1"
+SCHEMA = "rftc-bench-kernels/2"
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
 
@@ -147,11 +149,59 @@ def bench_datapath(scale, rng):
     }
 
 
+def bench_pipeline_e2e(scale, rng):
+    """End-to-end campaign fold rate: float32 fast bank vs. float64 reference.
+
+    Runs the full streaming pipeline — synthesis, acquisition, full-key
+    ``CpaBankConsumer`` fold — at the paper's scale-1 noise
+    (``noise_std = 2 * sqrt(10)``), once on the float32 fast path and
+    once on the float64 reference bank.  The ratio is the e2e
+    traces-folded-per-second speedup the 4M-trace campaigns ride on.
+    """
+    n = max(4000, int(16000 * scale))
+    noise = 2.0 * math.sqrt(10.0)
+
+    def run(dtype, engine):
+        spec = CampaignSpec(
+            target="rftc",
+            m_outputs=1,
+            p_configs=16,
+            plan_seed=7,
+            noise_std=noise,
+            dtype=dtype,
+        )
+        campaign = StreamingCampaign(spec, chunk_size=2000, workers=1, seed=3)
+        return campaign.run(n, consumers=[CpaBankConsumer(engine=engine)])
+
+    # The two configurations are timed interleaved (new, ref, new, ref,
+    # ...) so slow machine-speed drift — thermal throttling, co-tenant
+    # load — cancels out of the ratio instead of landing entirely on
+    # whichever side ran later.
+    run("float32", "fast")  # warm caches, pair table, BLAS
+    new_s = ref_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run("float32", "fast")
+        new_s = min(new_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run("float64", "reference")
+        ref_s = min(ref_s, time.perf_counter() - t0)
+    return {
+        "shape": {"n_traces": n, "chunk_size": 2000, "noise_std": noise},
+        "new_seconds": new_s,
+        "ref_seconds": ref_s,
+        "traces_folded_per_second": n / new_s,
+        "ref_traces_folded_per_second": n / ref_s,
+        "speedup": ref_s / new_s,
+    }
+
+
 KERNELS = {
     "synth": bench_synth,
     "cpa16": bench_cpa16,
     "key_schedule": bench_key_schedule,
     "datapath": bench_datapath,
+    "pipeline_e2e": bench_pipeline_e2e,
 }
 
 

@@ -17,7 +17,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.attacks.cpa import CpaByteResult, CpaResult, PredictionModel
-from repro.attacks.models import last_round_hd_predictions
+from repro.attacks.models import hd_pair_table, last_round_hd_predictions
+from repro.crypto.aes_tables import SHIFT_ROWS_MAP
 from repro.errors import AttackError, CheckpointError
 from repro.obs.metrics import NULL_METRICS
 
@@ -84,16 +85,23 @@ class IncrementalCpa:
         self._metrics = metrics
 
     def update(self, traces: np.ndarray, data: np.ndarray) -> None:
-        """Fold a batch of traces and their known data into the sums."""
+        """Fold a batch of traces and their known data into the sums.
+
+        float32 batches take a reduced-precision GEMM path (the running
+        sums stay float64, so snapshots and merges are unchanged); any
+        other dtype is folded in float64 exactly as before.
+        """
         started = time.perf_counter() if self._metrics.enabled else 0.0
-        traces = np.asarray(traces, dtype=np.float64)
+        traces = np.asarray(traces)
+        if traces.dtype != np.float32:
+            traces = np.asarray(traces, dtype=np.float64)
         if traces.ndim != 2:
             raise AttackError("traces must be (n, S)")
         if traces.shape[0] != np.asarray(data).shape[0]:
             raise AttackError("traces and data disagree on the batch size")
         if traces.shape[0] == 0:
             return  # zero traces: exact no-op, nothing to allocate or fold
-        predictions = self.model(data, self.byte_index).astype(np.float64)
+        predictions = self.model(data, self.byte_index).astype(traces.dtype)
         if self._sum_t is None:
             s = traces.shape[1]
             self._sum_t = np.zeros(s)
@@ -104,11 +112,24 @@ class IncrementalCpa:
         elif traces.shape[1] != self._sum_t.shape[0]:
             raise AttackError("batch sample count does not match accumulator")
         self.n_traces += traces.shape[0]
-        self._sum_t += traces.sum(axis=0)
-        self._sum_t2 += (traces * traces).sum(axis=0)
-        self._sum_p += predictions.sum(axis=0)
-        self._sum_p2 += (predictions * predictions).sum(axis=0)
-        self._sum_pt += predictions.T @ traces
+        if traces.dtype == np.float32:
+            # Prediction sums stay exact (integer-valued, < 2**24); the
+            # trace sums reduce in float64 so only the GEMM loses bits.
+            self._sum_t += traces.sum(axis=0, dtype=np.float64)
+            self._sum_t2 += np.einsum(
+                "ns,ns->s", traces, traces, dtype=np.float64
+            )
+            self._sum_p += predictions.sum(axis=0, dtype=np.float64)
+            self._sum_p2 += np.einsum(
+                "nk,nk->k", predictions, predictions, dtype=np.float64
+            )
+            self._sum_pt += predictions.T @ traces
+        else:
+            self._sum_t += traces.sum(axis=0)
+            self._sum_t2 += (traces * traces).sum(axis=0)
+            self._sum_p += predictions.sum(axis=0)
+            self._sum_p2 += (predictions * predictions).sum(axis=0)
+            self._sum_pt += predictions.T @ traces
         if self._metrics.enabled:
             label = f"cpa[{self.byte_index}]"
             self._metrics.observe(
@@ -207,18 +228,39 @@ class IncrementalCpaBank:
     cross-sum updated by one GEMM per chunk — the streaming twin of
     :class:`~repro.attacks.cpa.CpaEngine`.
 
+    The default ``engine="fast"`` additionally exploits that the
+    last-round HD model depends on the ciphertext only through the byte
+    pair ``(ct[b], ct[SR(b)])``: predictions become one row gather from
+    the shared :func:`~repro.attacks.models.hd_pair_table`, and the
+    cross-sum GEMM runs on the trace block augmented with a ones column
+    so ``Σp`` falls out of the same BLAS call (exact — every addend is an
+    integer).  For float64 batches the fast engine is bit-identical to
+    ``engine="reference"`` (the pre-optimization update, kept for
+    benchmarking and as an executable specification); float32 batches
+    run the whole GEMM in float32 while the running sums stay float64.
+
     Parameters
     ----------
     byte_indices:
         The attacked key bytes (all 16 by default).
     model:
         Prediction model mapping ``(data, byte_index) -> (n, 256)``.
+        Custom models fall back to the reference update path.
+    engine:
+        ``"fast"`` (gather + augmented tiled GEMM) or ``"reference"``.
+    tile_samples:
+        Output-column tile width for the fast engine's GEMM (``None``
+        disables tiling).  Tiling never changes results: BLAS keeps the
+        reduction dimension whole, so each output element is the same
+        dot product either way.
     """
 
     def __init__(
         self,
         byte_indices: Sequence[int] = tuple(range(16)),
         model: PredictionModel = last_round_hd_predictions,
+        engine: str = "fast",
+        tile_samples: Optional[int] = None,
     ):
         if not byte_indices:
             raise AttackError("at least one byte index is required")
@@ -227,11 +269,20 @@ class IncrementalCpaBank:
                 raise AttackError(f"byte_index must be in [0, 16), got {b}")
         if len(set(byte_indices)) != len(byte_indices):
             raise AttackError("byte_indices must be unique")
+        if engine not in ("fast", "reference"):
+            raise AttackError(
+                f"engine must be 'fast' or 'reference', got {engine!r}"
+            )
+        if tile_samples is not None and tile_samples < 1:
+            raise AttackError("tile_samples must be >= 1 (or None)")
         self.byte_indices = tuple(int(b) for b in byte_indices)
         self.model = model
+        self.engine = engine
+        self.tile_samples = tile_samples
         self.n_traces = 0
         self._metrics = NULL_METRICS
         self._n_hyp = 256 * len(self.byte_indices)
+        self._scratch: dict = {}
         self._sum_t: Optional[np.ndarray] = None  # (S,)
         self._sum_t2: Optional[np.ndarray] = None  # (S,)
         self._sum_p: Optional[np.ndarray] = None  # (B*256,)
@@ -248,32 +299,40 @@ class IncrementalCpaBank:
             axis=1,
         )
 
+    def _ensure_sums(self, s: int) -> None:
+        if self._sum_t is None:
+            self._sum_t = np.zeros(s)
+            self._sum_t2 = np.zeros(s)
+            self._sum_p = np.zeros(self._n_hyp)
+            self._sum_p2 = np.zeros(self._n_hyp)
+            self._sum_pt = np.zeros((self._n_hyp, s))
+        elif s != self._sum_t.shape[0]:
+            raise AttackError("batch sample count does not match accumulator")
+
+    def _scratch_buf(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        """Reusable uninitialised buffer (reallocated on shape change)."""
+        buf = self._scratch.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[name] = buf
+        return buf
+
     def update(self, traces: np.ndarray, data: np.ndarray) -> None:
         """Fold a batch of traces and their known data into the sums."""
         started = time.perf_counter() if self._metrics.enabled else 0.0
-        traces = np.asarray(traces, dtype=np.float64)
+        traces = np.asarray(traces)
+        if traces.dtype != np.float32 or self.engine != "fast":
+            traces = np.asarray(traces, dtype=np.float64)
         if traces.ndim != 2:
             raise AttackError("traces must be (n, S)")
         if traces.shape[0] != np.asarray(data).shape[0]:
             raise AttackError("traces and data disagree on the batch size")
         if traces.shape[0] == 0:
             return  # zero traces: exact no-op, nothing to allocate or fold
-        predictions = self._predictions(data)
-        if self._sum_t is None:
-            s = traces.shape[1]
-            self._sum_t = np.zeros(s)
-            self._sum_t2 = np.zeros(s)
-            self._sum_p = np.zeros(self._n_hyp)
-            self._sum_p2 = np.zeros(self._n_hyp)
-            self._sum_pt = np.zeros((self._n_hyp, s))
-        elif traces.shape[1] != self._sum_t.shape[0]:
-            raise AttackError("batch sample count does not match accumulator")
-        self.n_traces += traces.shape[0]
-        self._sum_t += traces.sum(axis=0)
-        self._sum_t2 += (traces * traces).sum(axis=0)
-        self._sum_p += predictions.sum(axis=0)
-        self._sum_p2 += (predictions * predictions).sum(axis=0)
-        self._sum_pt += predictions.T @ traces
+        if self.engine == "fast" and self.model is last_round_hd_predictions:
+            self._update_fast(traces, data)
+        else:
+            self._update_reference(traces, data)
         if self._metrics.enabled:
             self._metrics.observe(
                 "cpa_update_seconds",
@@ -285,6 +344,76 @@ class IncrementalCpaBank:
                 traces.shape[0],
                 accumulator="cpa_bank",
             )
+
+    def _update_reference(self, traces: np.ndarray, data: np.ndarray) -> None:
+        """The pre-optimization update: concatenate models, plain GEMM."""
+        traces = np.asarray(traces, dtype=np.float64)
+        predictions = self._predictions(data)
+        self._ensure_sums(traces.shape[1])
+        self.n_traces += traces.shape[0]
+        self._sum_t += traces.sum(axis=0)
+        self._sum_t2 += (traces * traces).sum(axis=0)
+        self._sum_p += predictions.sum(axis=0)
+        self._sum_p2 += (predictions * predictions).sum(axis=0)
+        self._sum_pt += predictions.T @ traces
+
+    def _update_fast(self, traces: np.ndarray, data: np.ndarray) -> None:
+        """Pair-table gather + augmented tiled GEMM (see class docstring).
+
+        float64 batches are bit-identical to :meth:`_update_reference`:
+        the prediction-side sums are integer-valued and every addend is
+        exactly representable, so both computations land on the same
+        integers, and the augmented / tiled GEMM keeps the reduction
+        dimension whole so each ``Σpt`` element is the same dot product
+        (``tests/attacks/test_incremental_fast.py`` pins both claims).
+        """
+        ct = np.asarray(data, dtype=np.uint8)
+        if ct.ndim != 2 or ct.shape[1] != 16:
+            raise AttackError("ciphertexts must be (n, 16) uint8")
+        n, s = traces.shape
+        self._ensure_sums(s)
+        compute = traces.dtype
+        table = hd_pair_table()
+        gathered = self._scratch_buf("gathered", (n, self._n_hyp), np.uint8)
+        # One fused gather for all attacked bytes: C-order (n, B) pair
+        # indices land row i*B+j of the (n*B, 256) view exactly on
+        # gathered[i, 256j:256(j+1)].
+        targets = np.asarray(self.byte_indices, dtype=np.intp)
+        partners = SHIFT_ROWS_MAP[targets]
+        pair = (ct[:, targets].astype(np.uint16) << 8) | ct[:, partners]
+        np.take(
+            table,
+            pair.reshape(-1),
+            axis=0,
+            out=gathered.reshape(n * len(self.byte_indices), 256),
+        )
+        preds = self._scratch_buf("preds", (n, self._n_hyp), compute)
+        np.copyto(preds, gathered)
+        augmented = self._scratch_buf("augmented", (n, s + 1), compute)
+        augmented[:, :s] = traces
+        augmented[:, s] = 1.0
+        cross = self._scratch_buf("cross", (self._n_hyp, s + 1), compute)
+        tile = self.tile_samples if self.tile_samples is not None else s + 1
+        preds_t = preds.T
+        for lo in range(0, s + 1, tile):
+            hi = min(lo + tile, s + 1)
+            np.matmul(preds_t, augmented[:, lo:hi], out=cross[:, lo:hi])
+        self.n_traces += n
+        if compute == np.float32:
+            self._sum_t += traces.sum(axis=0, dtype=np.float64)
+            self._sum_t2 += np.einsum(
+                "ns,ns->s", traces, traces, dtype=np.float64
+            )
+        else:
+            self._sum_t += traces.sum(axis=0)
+            self._sum_t2 += (traces * traces).sum(axis=0)
+        self._sum_p += cross[:, s]
+        # Σp² addends are integers (p ≤ 8, so p² ≤ 64): exact in float64
+        # always, and exact in float32 for every realistic chunk size
+        # (n·64 < 2²⁴ ⇔ n < 262144); float32 beyond that is budgeted
+        # drift, not corruption.
+        self._sum_p2 += np.einsum("nk,nk->k", preds, preds)
+        self._sum_pt += cross[:, :s]
 
     def merge(self, other: "IncrementalCpaBank") -> None:
         """Fold another bank's sums into this one (shard-parallel CPA)."""

@@ -27,6 +27,24 @@ from repro.utils.bitops import HW8
 
 _GUESSES = np.arange(256, dtype=np.uint8)
 
+# Last-round HD predictions depend on the ciphertext only through the
+# byte pair (ct[byte], ct[SR(byte)]), so one 65536x256 table indexed by
+# ct[byte]*256 + ct[SR(byte)] serves *every* key byte: the byte index
+# only selects which ciphertext columns form the pair.  Built lazily
+# (16.7 MB uint8) and shared by the incremental CPA bank, where a
+# single row gather replaces the xor/SBOX/xor/HW chain per key byte.
+_HD_PAIR_TABLE: "list[np.ndarray]" = []
+
+
+def hd_pair_table() -> np.ndarray:
+    """``(65536, 256)`` uint8: ``T[x*256 + y, k] = HW(INV_SBOX[x^k] ^ y)``."""
+    if not _HD_PAIR_TABLE:
+        x = np.arange(256, dtype=np.uint8)
+        before = INV_SBOX[x[:, None] ^ _GUESSES[None, :]]  # (x, k)
+        table = HW8[before[:, None, :] ^ x[None, :, None]]  # (x, y, k)
+        _HD_PAIR_TABLE.append(np.ascontiguousarray(table.reshape(65536, 256)))
+    return _HD_PAIR_TABLE[0]
+
 
 def last_round_hd_predictions(
     ciphertexts: np.ndarray, byte_index: int

@@ -235,13 +235,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         requested = {
             "target": args.target, "mode": args.mode, "m": args.m,
             "p": args.p, "seed": args.seed, "traces": args.traces,
-            "chunk-size": args.chunk_size,
+            "chunk-size": args.chunk_size, "dtype": args.dtype,
+            "compression": args.compression,
         }
         checkpointed = {
             "target": ckpt_spec.target, "mode": mode,
             "m": ckpt_spec.m_outputs, "p": ckpt_spec.p_configs,
             "seed": ckpt.seed, "traces": ckpt.n_traces,
-            "chunk-size": ckpt.chunk_size,
+            "chunk-size": ckpt.chunk_size, "dtype": ckpt_spec.dtype,
+            "compression": ckpt_spec.compression,
         }
         mismatched = [
             f"--{flag} {requested[flag]} != {checkpointed[flag]}"
@@ -269,6 +271,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
             obs=obs,
+            transport=args.transport,
         )
         spec = report.spec
     else:
@@ -285,6 +288,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             p_configs=args.p if args.p is not None else 16,
             plan_seed=seed,
             fixed_plaintext=TVLA_FIXED_PLAINTEXT if mode == "tvla" else None,
+            dtype=args.dtype if args.dtype is not None else "float64",
+            compression=(
+                args.compression if args.compression is not None else "none"
+            ),
         )
         n_traces = args.traces if args.traces is not None else 8000
         chunk_size = args.chunk_size if args.chunk_size is not None else 2000
@@ -297,6 +304,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             chunk_timeout_s=args.chunk_timeout,
             faults=faults,
             obs=obs,
+            transport=args.transport,
         )
         print(f"streaming {n_traces} traces from {spec.label()} "
               f"({args.workers} workers, chunks of {chunk_size}) ...")
@@ -443,6 +451,15 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"traces   : {store.n_traces} in {store.n_chunks} chunks "
               f"({min(sizes) if sizes else 0}-{max(sizes) if sizes else 0} per chunk)")
         print(f"samples  : {store.n_samples} @ {store.sample_period_ns} ns")
+        print(f"dtype    : {store.dtype if store.dtype else 'unrecorded'}")
+        raw, stored = store.byte_counts()
+        line = f"encoding : {store.compression}"
+        if raw and stored:
+            line += (
+                f" ({stored} / {raw} bytes stored/raw = "
+                f"{stored / raw:.2f})"
+            )
+        print(line)
         for k, v in store.metadata.items():
             print(f"meta     : {k} = {v}")
         return 0
@@ -566,6 +583,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="unprotected, rftc, or a baseline name (default rftc)")
     p.add_argument("--mode", choices=("cpa", "tvla"), default=None,
                    help="default cpa")
+    p.add_argument("--dtype", choices=("float64", "float32"), default=None,
+                   help="trace sample dtype (default float64; float32 "
+                        "halves bytes and speeds the CPA fold, bounded by "
+                        "the drift budgets)")
+    p.add_argument("--compression", choices=("none", "zstd-npz"),
+                   default=None,
+                   help="store chunk encoding (default none; zstd-npz "
+                        "writes compressed per-field archives)")
+    p.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                   default="auto",
+                   help="how pooled workers ship chunks home (default "
+                        "auto: shared memory when available)")
     p.add_argument("--workers", type=int, default=1,
                    help="acquisition worker processes")
     p.add_argument("--chunk-size", type=int, default=None,

@@ -180,10 +180,25 @@ class AesDatapath:
             t.hamming_distance for t in self.transitions(plaintext, previous_ciphertext)
         ]
 
+    def batch_states(self, plaintexts: np.ndarray) -> np.ndarray:
+        """Vectorized round states, shape ``(n, 11, 16)`` uint8.
+
+        One pass over the AES rounds yields both the ciphertexts
+        (``states[:, -1]``) and the register transitions
+        (:meth:`batch_hamming_distances` with ``states=``), so acquisition
+        runs the datapath once per chunk instead of once per consumer of
+        its outputs.
+        """
+        return batch_round_states(
+            np.frombuffer(self._aes.key, dtype=np.uint8),
+            np.asarray(plaintexts, dtype=np.uint8),
+        )
+
     def batch_hamming_distances(
         self,
         plaintexts: np.ndarray,
         previous_ciphertexts: Optional[np.ndarray] = None,
+        states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Vectorized per-cycle Hamming distances for a campaign.
 
@@ -194,6 +209,9 @@ class AesDatapath:
         previous_ciphertexts:
             Optional ``(n, 16)`` uint8 array of register values before the
             load edge; defaults to the idle value for every trace.
+        states:
+            Optional precomputed :meth:`batch_states` result for these
+            plaintexts, to avoid re-running the round function.
 
         Returns
         -------
@@ -204,9 +222,14 @@ class AesDatapath:
         if pts.ndim != 2 or pts.shape[1] != 16:
             raise ConfigurationError("plaintexts must have shape (n, 16)")
         n = pts.shape[0]
-        states = batch_round_states(
-            np.frombuffer(self._aes.key, dtype=np.uint8), pts
-        )
+        if states is None:
+            states = batch_round_states(
+                np.frombuffer(self._aes.key, dtype=np.uint8), pts
+            )
+        elif states.shape != (n, 11, 16):
+            raise ConfigurationError(
+                "precomputed states must have shape (n, 11, 16)"
+            )
         if previous_ciphertexts is None:
             prev = np.broadcast_to(
                 np.frombuffer(self._idle, dtype=np.uint8), (n, 16)

@@ -208,7 +208,9 @@ class CampaignCheckpoint:
         self, spec: CampaignSpec, seed: int, chunk_size: int
     ) -> None:
         """Refuse to resume a different campaign than the one snapshotted."""
-        if spec_to_dict(spec) != self.spec_fields:
+        # Compare through the codec so checkpoints written before a spec
+        # field existed still match a spec carrying that field's default.
+        if spec_to_dict(spec) != spec_to_dict(self.spec()):
             raise CheckpointError(
                 "checkpoint was written by a different campaign spec "
                 f"({self.spec_fields.get('target')!r}, digest "

@@ -132,8 +132,11 @@ class CpaBankConsumer:
         byte_indices: "tuple[int, ...]" = tuple(range(16)),
         model: PredictionModel = last_round_hd_predictions,
         name: str = "cpa_bank",
+        engine: str = "fast",
     ):
-        self._bank = IncrementalCpaBank(byte_indices=byte_indices, model=model)
+        self._bank = IncrementalCpaBank(
+            byte_indices=byte_indices, model=model, engine=engine
+        )
         self.name = name
 
     @property

@@ -66,6 +66,7 @@ from repro.errors import (
     PoolBrokenError,
 )
 from repro.obs import NULL_OBS, Observability
+from repro.pipeline import shm as shm_transport
 from repro.pipeline.checkpoint import CampaignCheckpoint
 from repro.pipeline.consumers import TraceConsumer
 from repro.pipeline.retry import RetryPolicy
@@ -96,7 +97,7 @@ _ObsPayload = Optional[dict]
 _POOL_FAILURES = (multiprocessing.TimeoutError, PoolBrokenError, BrokenPipeError)
 
 
-def _abandon_pool(pool) -> None:
+def _abandon_pool(pool, prompt: bool = False) -> None:
     """Hard-stop a failed pool without letting teardown block the campaign.
 
     ``Pool.terminate()`` can deadlock when a worker is mid-write of a
@@ -108,7 +109,18 @@ def _abandon_pool(pool) -> None:
     ``terminate()``/``join()`` runs on a daemon thread: if teardown still
     wedges, an idle pool is leaked until interpreter exit instead of
     hanging a multi-hour campaign.
+
+    With ``prompt=True`` — the shared-memory transport, whose results
+    are tiny handles that can never wedge the result pipe — teardown is
+    instead a plain synchronous ``terminate()``/``join()``: no SIGKILL,
+    no leaked pool, and the caller may sweep the ring's segments the
+    moment this returns (asserted prompt by
+    ``tests/pipeline/test_transport.py``).
     """
+    if prompt:
+        pool.terminate()
+        pool.join()
+        return
 
     def reap() -> None:
         for proc in getattr(pool, "_pool", ()):
@@ -122,8 +134,19 @@ def _abandon_pool(pool) -> None:
 
 def _acquire_chunk(
     task: _ChunkTask,
-) -> Tuple[int, TraceSet, float, int, _ObsPayload]:
+) -> Tuple[
+    int,
+    Union[TraceSet, shm_transport.ShmChunkHandle],
+    float,
+    int,
+    _ObsPayload,
+]:
     """Worker entry point: build a fresh device and acquire one chunk.
+
+    In a pool whose initializer armed the shared-memory ring, the chunk
+    comes home as a :class:`~repro.pipeline.shm.ShmChunkHandle` parked
+    in this worker's ring slot; otherwise (inline, or the pickle
+    fallback transport) the :class:`TraceSet` itself is returned.
 
     Runs in the parent when ``workers == 1`` (or after pool degradation)
     and in pool processes otherwise; either way the chunk's randomness
@@ -180,6 +203,10 @@ def _acquire_chunk(
             "metrics": obs.metrics.snapshot(),
             "events": obs.tracer.drain(),
         }
+    ring = shm_transport.worker_ring()
+    if ring is not None:
+        handle = ring.publish(chunk)
+        return index, handle, time.perf_counter() - started, attempt, payload
     return index, chunk, time.perf_counter() - started, attempt, payload
 
 
@@ -247,6 +274,10 @@ class PipelineReport:
     resumed_from_chunk: Optional[int] = None
     #: Chunks folded from the store rather than re-acquired on resume.
     replayed_chunks: int = 0
+    #: How fresh chunks travelled home: ``"shm-ring"`` (shared-memory
+    #: segments), ``"pickle"`` (the pool's result pipe), or ``"inline"``
+    #: (no pool — single worker or nothing fresh to acquire).
+    transport: str = "inline"
 
     @property
     def traces_per_second(self) -> float:
@@ -262,6 +293,8 @@ class PipelineReport:
             f"  acquire : {self.acquire_seconds:.2f} s (summed over workers)",
             f"  consume : {self.consume_seconds:.2f} s",
         ]
+        if self.transport != "inline":
+            lines.append(f"  chunks  : {self.transport} transport")
         if self.stage_seconds:
             split = ", ".join(
                 f"{stage} {seconds:.2f} s"
@@ -316,6 +349,14 @@ class StreamingCampaign:
         Parent-side cap on waiting for one pooled chunk; on expiry the
         pool is presumed dead and the engine degrades to inline
         execution.  ``None`` (default) waits indefinitely.
+    transport:
+        How pooled workers ship finished chunks home.  ``"auto"``
+        (default) uses shared-memory segment rings
+        (:mod:`repro.pipeline.shm`) when the host supports them, else
+        the pickle result pipe; ``"shm"`` requires shared memory (a
+        :class:`~repro.errors.ConfigurationError` if unavailable);
+        ``"pickle"`` forces the pipe.  Irrelevant — and ignored — when
+        ``workers == 1``.  Chunk bytes are identical either way.
     faults:
         Optional :class:`~repro.testing.faults.FaultPlan` driving the
         deterministic fault-injection harness (tests / ``--inject-fault``).
@@ -337,6 +378,7 @@ class StreamingCampaign:
         chunk_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
+        transport: str = "auto",
     ):
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
@@ -344,6 +386,11 @@ class StreamingCampaign:
             raise ConfigurationError("workers must be >= 1")
         if chunk_timeout_s is not None and chunk_timeout_s <= 0:
             raise ConfigurationError("chunk_timeout_s must be positive")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ConfigurationError(
+                "transport must be 'auto', 'shm', or 'pickle', "
+                f"got {transport!r}"
+            )
         self.spec = spec
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
@@ -353,6 +400,7 @@ class StreamingCampaign:
         self.chunk_timeout_s = chunk_timeout_s
         self.faults = faults
         self.obs = obs if obs is not None else NULL_OBS
+        self.transport = transport
 
     def chunk_layout(self, n_traces: int) -> List[int]:
         """Chunk sizes for a campaign of ``n_traces`` (last may be short)."""
@@ -418,6 +466,7 @@ class StreamingCampaign:
         chunk_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
+        transport: str = "auto",
     ) -> PipelineReport:
         """Continue an interrupted campaign from its checkpoint.
 
@@ -451,6 +500,7 @@ class StreamingCampaign:
             chunk_timeout_s=chunk_timeout_s,
             faults=faults,
             obs=obs,
+            transport=transport,
         )
         ckpt.restore_consumers(consumers)
         tasks = engine._tasks(ckpt.n_traces)
@@ -554,6 +604,7 @@ class StreamingCampaign:
                         "seed": self.seed,
                         "chunk_size": self.chunk_size,
                     },
+                    compression=self.spec.compression,
                 )
             store.metrics = obs.metrics
             store.append(chunk)
@@ -623,6 +674,8 @@ class StreamingCampaign:
 
         fresh = tasks[max(folded_chunks, replay_until):]
         pool = None
+        ring = None
+        transport_used = "inline"
         try:
             # Phase 1 (resume only): chunks the store already holds are
             # folded from disk — never re-acquired, so store bytes are
@@ -639,12 +692,29 @@ class StreamingCampaign:
             # Phase 2: acquire the remaining chunks.
             async_results = None
             if self.workers > 1 and len(fresh) > 0:
+                use_shm = self.transport != "pickle" and shm_transport.shm_available()
+                if self.transport == "shm" and not use_shm:
+                    raise ConfigurationError(
+                        "transport='shm' requested but POSIX shared memory "
+                        "is unavailable on this host"
+                    )
                 ctx = (
                     multiprocessing.get_context(self.start_method)
                     if self.start_method
                     else multiprocessing.get_context()
                 )
-                pool = ctx.Pool(processes=min(self.workers, len(fresh)))
+                n_procs = min(self.workers, len(fresh))
+                if use_shm:
+                    ring = shm_transport.ChunkTransportRing(ctx, n_procs)
+                    pool = ctx.Pool(
+                        processes=n_procs,
+                        initializer=shm_transport._init_worker_ring,
+                        initargs=ring.initargs(),
+                    )
+                    transport_used = "shm-ring"
+                else:
+                    pool = ctx.Pool(processes=n_procs)
+                    transport_used = "pickle"
                 async_results = [
                     pool.apply_async(_acquire_chunk, (task,)) for task in fresh
                 ]
@@ -656,6 +726,9 @@ class StreamingCampaign:
                         (
                             index, chunk, chunk_acquire_s, attempts, payload,
                         ) = async_results[position].get(self.chunk_timeout_s)
+                        if isinstance(chunk, shm_transport.ShmChunkHandle):
+                            chunk = ring.receive(chunk, key=self.spec.key)
+                            obs.metrics.inc("campaign_shm_chunks_total")
                     except _POOL_FAILURES:
                         # The pool (not the chunk) failed: abandon it and
                         # limp home inline rather than losing the campaign.
@@ -665,7 +738,7 @@ class StreamingCampaign:
                             "pool_degraded", chunk=task[0],
                             remaining=len(fresh) - position,
                         )
-                        _abandon_pool(pool)
+                        _abandon_pool(pool, prompt=ring is not None)
                         pool = None
                 if pool is None:
                     index, chunk, chunk_acquire_s, attempts, payload = (
@@ -692,13 +765,18 @@ class StreamingCampaign:
             # on them while the campaign is already dead.  Kill the pool,
             # surface the original error.
             if pool is not None:
-                _abandon_pool(pool)
+                _abandon_pool(pool, prompt=ring is not None)
                 pool = None
             raise
         finally:
             if pool is not None:
                 pool.close()
                 pool.join()
+            if ring is not None:
+                # Sweep the ring on every exit path — normal completion,
+                # degrade, timeout, crash, SIGINT — so no segment can
+                # outlive the campaign.
+                ring.unlink_all()
 
         obs.metrics.set_gauge(
             "campaign_wall_seconds", time.perf_counter() - started
@@ -723,4 +801,5 @@ class StreamingCampaign:
             degraded_chunks=degraded_chunks,
             resumed_from_chunk=resumed_from,
             replayed_chunks=max(0, replay_until - folded_chunks),
+            transport=transport_used,
         )

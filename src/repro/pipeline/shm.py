@@ -1,0 +1,334 @@
+"""Shared-memory chunk transport: trace blocks without the result pipe.
+
+The pool's default transport pickles every finished chunk through the
+result pipe: serialize in the worker, two kernel copies through a pipe
+sized far below a chunk, deserialize in the parent.  Beyond the copies,
+the pipe *couples worker liveness to parent progress* — a worker
+mid-write of a multi-megabyte result blocks until the parent reads,
+which is the deadlock that forced the SIGKILL teardown documented on
+:func:`repro.pipeline.engine._abandon_pool`.
+
+This module moves the arrays through POSIX shared memory instead.  Each
+worker owns a small **ring** of reusable segments
+(``{prefix}-w{worker}-s{slot}``); publishing a chunk packs its arrays
+into the next free slot and ships only a tiny picklable
+:class:`ShmChunkHandle` (segment name + dtype/shape/offset per field)
+through the pipe.  The parent attaches, copies the arrays out, closes
+its mapping, and releases that worker's slot semaphore.  Flow control is
+the per-worker semaphore initialised to the ring depth: a worker more
+than :data:`RING_SLOTS` chunks ahead of the parent blocks in
+``publish`` — bounded memory, and deadlock-free because the parent folds
+chunks in index order and each worker's chunk indices are increasing, so
+the slot a worker waits for is always the next one the parent frees.
+
+Determinism: the transport copies bytes; it never touches chunk RNG
+streams, fold order, or persisted store bytes.  Results are therefore
+bit-identical across {pickle, shm} × any worker count (asserted by
+``tests/pipeline/test_transport.py``).
+
+Cleanup is explicit: the engine calls
+:meth:`ChunkTransportRing.unlink_all` — which sweeps every possible ring
+name — on **every** exit path: normal completion, pool death/degrade,
+timeout, and KeyboardInterrupt.  The whole process tree shares one
+:mod:`multiprocessing.resource_tracker`, whose cache is a *set* of
+names, so the bookkeeping balances by construction: creates and
+attaches register a name (idempotently), and only ``unlink()`` — called
+exactly once per live name, by whichever process retires it —
+unregisters.  No manual (un)tracking, no double-unlink tracebacks, no
+leak warnings at exit; and should the parent die before its sweep, the
+tracker itself unlinks whatever remains.  Only SIGKILLing the entire
+tree can truly leak segments; they are bounded by ``workers ×
+RING_SLOTS × chunk bytes`` and carry the parent PID in their name for
+manual sweeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AcquisitionError
+from repro.power.acquisition import TraceSet
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+#: Reusable segments per worker.  Two lets a worker synthesize chunk
+#: ``k+1`` while the parent is still copying chunk ``k`` out; deeper
+#: rings only buy memory pressure, since the parent folds in order.
+RING_SLOTS = 2
+
+#: Segment offsets are rounded up to this, so every packed array is
+#: cache-line aligned regardless of the fields before it.
+_ALIGNMENT = 64
+
+#: Distinguishes rings of concurrent campaigns in one process.
+_RING_COUNTER = itertools.count()
+
+#: Memoized :func:`shm_available` probe result.
+_AVAILABLE: "list[bool]" = []
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory works on this host (probed once)."""
+    if not _AVAILABLE:
+        if shared_memory is None:  # pragma: no cover
+            _AVAILABLE.append(False)
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=1)
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                _AVAILABLE.append(False)
+            else:
+                probe.close()
+                try:
+                    probe.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                _AVAILABLE.append(True)
+    return _AVAILABLE[0]
+
+
+def ring_segment_name(prefix: str, worker_id: int, slot: int) -> str:
+    return f"{prefix}-w{worker_id}-s{slot}"
+
+
+@dataclass(frozen=True)
+class ShmChunkHandle:
+    """Picklable description of one chunk parked in a shared segment.
+
+    ``fields`` maps every array — the four :class:`TraceSet` fields plus
+    ``meta:<key>`` entries for array-valued chunk metadata — to its
+    ``(name, dtype, shape, offset)`` inside ``segment``.  Everything
+    else a :class:`TraceSet` needs (the key) the parent already knows
+    from the campaign spec.
+    """
+
+    segment: str
+    worker_id: int
+    n_traces: int
+    sample_period_ns: float
+    fields: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    metadata: dict
+
+
+def _pack_layout(
+    arrays: "Dict[str, np.ndarray]",
+) -> "Tuple[Tuple[Tuple[str, str, Tuple[int, ...], int], ...], int]":
+    """Aligned (name, dtype, shape, offset) per array + total byte size."""
+    offset = 0
+    fields = []
+    for name, array in arrays.items():
+        offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+        fields.append((name, str(array.dtype), tuple(array.shape), offset))
+        offset += array.nbytes
+    return tuple(fields), max(offset, 1)
+
+
+def _chunk_arrays(chunk: TraceSet) -> "Tuple[Dict[str, np.ndarray], dict]":
+    """Split a chunk into shippable arrays + JSON-ish plain metadata."""
+    arrays = {
+        "traces": np.ascontiguousarray(chunk.traces),
+        "plaintexts": np.ascontiguousarray(chunk.plaintexts),
+        "ciphertexts": np.ascontiguousarray(chunk.ciphertexts),
+        "times": np.ascontiguousarray(chunk.completion_times_ns),
+    }
+    plain = {}
+    for key, value in chunk.metadata.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"meta:{key}"] = np.ascontiguousarray(value)
+        else:
+            plain[key] = value
+    return arrays, plain
+
+
+class WorkerRing:
+    """Worker-side publisher: packs chunks into this worker's slots.
+
+    Created by :func:`_init_worker_ring` inside each pool process.
+    Segments are kept open and reused between chunks; a slot is only
+    rewritten after the parent released it (the semaphore), so there is
+    never a reader attached to a segment being recreated.
+    """
+
+    def __init__(self, prefix: str, worker_id: int, slots: int, semaphore):
+        self.prefix = prefix
+        self.worker_id = worker_id
+        self.slots = slots
+        self.semaphore = semaphore
+        self._segments: dict = {}
+        self._cursor = 0
+
+    def _ensure_segment(self, slot: int, size: int):
+        segment = self._segments.get(slot)
+        if segment is not None and segment.size >= size:
+            return segment
+        name = ring_segment_name(self.prefix, self.worker_id, slot)
+        if segment is not None:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._segments.pop(slot)
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        except FileExistsError:
+            # A previous ring with our name died without its sweep (the
+            # parent was SIGKILLed); reclaim the stale segment.
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._segments[slot] = segment
+        return segment
+
+    def publish(self, chunk: TraceSet) -> ShmChunkHandle:
+        """Park ``chunk`` in the next free slot; blocks when ring is full."""
+        arrays, plain_meta = _chunk_arrays(chunk)
+        fields, size = _pack_layout(arrays)
+        self.semaphore.acquire()
+        slot = self._cursor
+        self._cursor = (self._cursor + 1) % self.slots
+        segment = self._ensure_segment(slot, size)
+        for (name, dtype, shape, offset), array in zip(fields, arrays.values()):
+            dest = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
+            dest[...] = array
+        return ShmChunkHandle(
+            segment=segment.name,
+            worker_id=self.worker_id,
+            n_traces=chunk.n_traces,
+            sample_period_ns=chunk.sample_period_ns,
+            fields=fields,
+            metadata=plain_meta,
+        )
+
+    def close(self) -> None:  # pragma: no cover - worker exit path
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()
+
+
+#: The pool-process ring, set by :func:`_init_worker_ring`; ``None`` in
+#: the parent / inline execution, which is how the worker entry point
+#: knows whether to publish or to return the chunk directly.
+_WORKER_RING: Optional[WorkerRing] = None
+
+
+def _init_worker_ring(prefix: str, slots: int, semaphores, counter) -> None:
+    """Pool initializer: claim a worker id and build this process's ring.
+
+    Ids come from a shared counter so they are dense regardless of fork
+    order.  Should the pool ever respawn a worker (a genuinely killed
+    process), the replacement wraps onto the dead worker's semaphore —
+    slot accounting stays consistent because the dead worker's
+    unreleased slots are exactly the ones whose results never arrive.
+    """
+    global _WORKER_RING
+    with counter.get_lock():
+        worker_id = counter.value
+        counter.value += 1
+    worker_id %= len(semaphores)
+    _WORKER_RING = WorkerRing(prefix, worker_id, slots, semaphores[worker_id])
+
+
+def worker_ring() -> Optional[WorkerRing]:
+    return _WORKER_RING
+
+
+def receive_chunk(handle: ShmChunkHandle, key: bytes) -> TraceSet:
+    """Copy a published chunk out of shared memory into a fresh TraceSet.
+
+    The returned arrays are plain private copies — the segment can be
+    rewritten or unlinked the moment this returns.  Callers must release
+    the worker's slot afterwards (:meth:`ChunkTransportRing.receive`
+    does both).
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=handle.segment)
+    except FileNotFoundError as exc:
+        raise AcquisitionError(
+            f"shared-memory segment {handle.segment!r} vanished before the "
+            "parent copied its chunk out"
+        ) from exc
+    try:
+        arrays = {}
+        for name, dtype, shape, offset in handle.fields:
+            view = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
+            arrays[name] = view.copy()
+    finally:
+        segment.close()
+    metadata = dict(handle.metadata)
+    for name in list(arrays):
+        if name.startswith("meta:"):
+            metadata[name[len("meta:"):]] = arrays.pop(name)
+    return TraceSet(
+        traces=arrays["traces"],
+        plaintexts=arrays["plaintexts"],
+        ciphertexts=arrays["ciphertexts"],
+        key=key,
+        completion_times_ns=arrays["times"],
+        sample_period_ns=handle.sample_period_ns,
+        metadata=metadata,
+    )
+
+
+class ChunkTransportRing:
+    """Parent-side controller: ring identity, flow control, and cleanup.
+
+    Construct before the pool, pass :meth:`initargs` to the pool's
+    initializer, :meth:`receive` every handle the pool returns, and call
+    :meth:`unlink_all` on every exit path — it is idempotent and sweeps
+    every name the ring could have created, so it is safe (and required)
+    after crashes that interrupt workers mid-publish.
+    """
+
+    def __init__(self, ctx, n_workers: int, slots: int = RING_SLOTS):
+        self.prefix = f"rftc-shm-{os.getpid()}-{next(_RING_COUNTER)}"
+        self.n_workers = int(n_workers)
+        self.slots = int(slots)
+        self._semaphores = [ctx.Semaphore(self.slots) for _ in range(self.n_workers)]
+        self._counter = ctx.Value("i", 0)
+
+    def initargs(self) -> tuple:
+        return (self.prefix, self.slots, self._semaphores, self._counter)
+
+    def receive(self, handle: ShmChunkHandle, key: bytes) -> TraceSet:
+        """Materialise a handle and free its worker's slot."""
+        chunk = receive_chunk(handle, key)
+        self._semaphores[handle.worker_id].release()
+        return chunk
+
+    def segment_names(self) -> "list[str]":
+        return [
+            ring_segment_name(self.prefix, worker, slot)
+            for worker in range(self.n_workers)
+            for slot in range(self.slots)
+        ]
+
+    def unlink_all(self) -> int:
+        """Unlink every ring segment still present; returns the count."""
+        swept = 0
+        if shared_memory is None:  # pragma: no cover
+            return swept
+        for name in self.segment_names():
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing sweep
+                continue
+            swept += 1
+        return swept

@@ -25,8 +25,14 @@ _CORE_TARGETS = ("unprotected", "rftc")
 
 #: Version tag folded into every :meth:`CampaignSpec.spec_digest` — bump
 #: when the canonical field set changes, so old digests can never
-#: collide with new ones.
-SPEC_DIGEST_SCHEMA = "rftc-campaign-spec/1"
+#: collide with new ones.  v2 added ``dtype`` and ``compression``.
+SPEC_DIGEST_SCHEMA = "rftc-campaign-spec/2"
+
+#: Trace dtypes a campaign can synthesize/fold in.
+SPEC_DTYPES = ("float64", "float32")
+
+#: Store chunk encodings a campaign can request.
+SPEC_COMPRESSIONS = ("none", "zstd-npz")
 
 
 def spec_to_dict(spec: "CampaignSpec") -> dict:
@@ -41,11 +47,18 @@ def spec_to_dict(spec: "CampaignSpec") -> dict:
         "fixed_plaintext": (
             spec.fixed_plaintext.hex() if spec.fixed_plaintext is not None else None
         ),
+        "dtype": spec.dtype,
+        "compression": spec.compression,
     }
 
 
 def spec_from_dict(fields: dict) -> "CampaignSpec":
-    """Rebuild the :class:`CampaignSpec` a :func:`spec_to_dict` describes."""
+    """Rebuild the :class:`CampaignSpec` a :func:`spec_to_dict` describes.
+
+    ``dtype``/``compression`` default when absent so checkpoints written
+    before they existed still resume (they could only have run float64,
+    uncompressed campaigns).
+    """
     try:
         return CampaignSpec(
             target=str(fields["target"]),
@@ -59,6 +72,8 @@ def spec_from_dict(fields: dict) -> "CampaignSpec":
                 if fields.get("fixed_plaintext") is not None
                 else None
             ),
+            dtype=str(fields.get("dtype", "float64")),
+            compression=str(fields.get("compression", "none")),
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise CheckpointError(f"checkpoint spec is malformed: {exc}") from exc
@@ -92,6 +107,17 @@ class CampaignSpec:
         When set, chunks interleave this plaintext on even rows (TVLA
         fixed-vs-random acquisition); ``None`` means a plain
         known-plaintext CPA campaign.
+    dtype:
+        Trace sample dtype out of synthesis/capture and through the
+        store and consumers: ``"float64"`` (default, exact contract) or
+        ``"float32"`` (half the bytes and a ~2× faster CPA fold; the
+        accuracy cost is pinned by the ``float32`` drift budgets in
+        ``repro verify --suite drift``).
+    compression:
+        Store chunk encoding: ``"none"`` (plain ``.npy``) or
+        ``"zstd-npz"`` (``np.savez_compressed`` per field — zlib inside
+        npz; the name records the manifest family, see
+        :mod:`repro.store.chunked`).
     """
 
     target: str = "rftc"
@@ -101,6 +127,8 @@ class CampaignSpec:
     noise_std: float = 2.0
     plan_seed: int = 2019
     fixed_plaintext: Optional[bytes] = None
+    dtype: str = "float64"
+    compression: str = "none"
 
     def __post_init__(self) -> None:
         if self.target not in campaign_targets():
@@ -114,6 +142,15 @@ class CampaignSpec:
             raise ConfigurationError("fixed_plaintext must be 16 bytes")
         if self.noise_std < 0:
             raise ConfigurationError("noise_std must be >= 0")
+        if self.dtype not in SPEC_DTYPES:
+            raise ConfigurationError(
+                f"dtype must be one of {SPEC_DTYPES}, got {self.dtype!r}"
+            )
+        if self.compression not in SPEC_COMPRESSIONS:
+            raise ConfigurationError(
+                f"compression must be one of {SPEC_COMPRESSIONS}, "
+                f"got {self.compression!r}"
+            )
 
     @property
     def is_fixed_vs_random(self) -> bool:
@@ -133,6 +170,8 @@ class CampaignSpec:
 
     def build_device(self, rng: np.random.Generator):
         """A fresh :class:`ProtectedAesDevice` whose randomness is ``rng``."""
+        import dataclasses
+
         from repro.experiments.scenarios import (
             build_baseline,
             build_rftc,
@@ -154,7 +193,13 @@ class CampaignSpec:
             scenario = build_baseline(
                 self.target, key=self.key, noise_std=self.noise_std, rng=rng
             )
-        return scenario.device
+        device = scenario.device
+        if self.dtype != "float64":
+            # Scenario builders are dtype-agnostic; the spec applies its
+            # trace dtype to the measurement chain after the fact.
+            device.synthesizer.dtype = self.dtype
+            device.scope = dataclasses.replace(device.scope, dtype=self.dtype)
+        return device
 
     def spec_digest(self) -> str:
         """Canonical SHA-256 of the spec (hex) — the cache/identity key.

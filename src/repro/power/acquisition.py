@@ -297,7 +297,10 @@ class ProtectedAesDevice:
             )
         t1 = time.perf_counter()
         with tracer.span("acquire_stage", stage="crypto"):
-            ciphertexts = self.datapath.batch_ciphertexts(plaintexts)
+            # One datapath pass per chunk: the round states feed both the
+            # ciphertexts and the leakage model's register transitions.
+            states = self.datapath.batch_states(plaintexts)
+            ciphertexts = states[:, -1]
         t2 = time.perf_counter()
         # Back-to-back encryptions: the register holds the previous
         # ciphertext when the next plaintext loads (Fig. 2 timeline).
@@ -306,7 +309,8 @@ class ProtectedAesDevice:
                 [np.zeros((1, 16), dtype=np.uint8), ciphertexts[:-1]]
             )
             amplitudes = self.leakage.cycle_amplitudes(
-                schedule, self.datapath, plaintexts, previous, rng
+                schedule, self.datapath, plaintexts, previous, rng,
+                states=states,
             )
         t3 = time.perf_counter()
         with tracer.span("acquire_stage", stage="synth"):

@@ -34,8 +34,14 @@ class LeakageModel(Protocol):
         plaintexts: np.ndarray,
         previous_ciphertexts: Optional[np.ndarray],
         rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Return ``(n, C)`` amplitudes aligned with ``schedule.periods_ns``."""
+        """Return ``(n, C)`` amplitudes aligned with ``schedule.periods_ns``.
+
+        ``states`` optionally carries the precomputed
+        :meth:`~repro.crypto.datapath.AesDatapath.batch_states` result for
+        ``plaintexts`` so the model can skip re-running the datapath.
+        """
         ...
 
 
@@ -81,13 +87,16 @@ class HammingDistanceLeakage:
         plaintexts: np.ndarray,
         previous_ciphertexts: Optional[np.ndarray],
         rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         n, c = schedule.periods_ns.shape
         if plaintexts.shape != (n, 16):
             raise ConfigurationError(
                 f"plaintexts shape {plaintexts.shape} does not match schedule ({n})"
             )
-        hd = datapath.batch_hamming_distances(plaintexts, previous_ciphertexts)
+        hd = datapath.batch_hamming_distances(
+            plaintexts, previous_ciphertexts, states=states
+        )
         amplitudes = np.zeros((n, c), dtype=np.float64)
         # Dummy cycles: unrelated data through the same register.
         dummy_mask = ~schedule.is_real_cycle
@@ -135,6 +144,7 @@ class HammingWeightLeakage:
         plaintexts: np.ndarray,
         previous_ciphertexts: Optional[np.ndarray],
         rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         from repro.crypto.datapath import batch_round_states
 
@@ -143,10 +153,11 @@ class HammingWeightLeakage:
             raise ConfigurationError(
                 f"plaintexts shape {plaintexts.shape} does not match schedule ({n})"
             )
-        states = batch_round_states(
-            np.frombuffer(datapath.key, dtype=np.uint8),
-            np.asarray(plaintexts, dtype=np.uint8),
-        )
+        if states is None:
+            states = batch_round_states(
+                np.frombuffer(datapath.key, dtype=np.uint8),
+                np.asarray(plaintexts, dtype=np.uint8),
+            )
         hw = HW8[states].sum(axis=2).astype(np.float64)  # (n, 11)
         amplitudes = np.zeros((n, c), dtype=np.float64)
         valid = np.arange(c)[None, :] < schedule.n_cycles[:, None]

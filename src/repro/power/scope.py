@@ -36,6 +36,15 @@ class Oscilloscope:
         Quantizer resolution; 0 disables quantization.
     full_scale:
         ADC full-scale input amplitude; inputs clip beyond it.
+    dtype:
+        Captured sample dtype: ``"float64"`` (default) or ``"float32"``.
+        The noise draws always come from the float64 RNG stream (so the
+        randomness consumed is identical either way) and are cast before
+        the add; the bandwidth filter recursion runs in float64 (see
+        :meth:`_lowpass`) and the noise add and quantizer then run in the
+        output dtype.  Near a quantizer decision boundary the float32
+        rounding can land one LSB off the float64 result — that is part
+        of the opt-in, bounded end to end by the float32 drift budgets.
     """
 
     sample_rate_msps: float = 250.0
@@ -43,6 +52,7 @@ class Oscilloscope:
     noise_std: float = 2.0
     adc_bits: int = 8
     full_scale: float = 400.0
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.sample_rate_msps <= 0:
@@ -53,12 +63,17 @@ class Oscilloscope:
             raise ConfigurationError("adc_bits must be within [0, 16]")
         if self.full_scale <= 0:
             raise ConfigurationError("full_scale must be positive")
+        if self.dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
 
     def capture(
         self, analog: np.ndarray, rng: Optional[np.random.Generator] = None
     ) -> np.ndarray:
         """Apply bandwidth, noise and quantization to ``(n, S)`` traces."""
-        traces = np.asarray(analog, dtype=np.float64)
+        out_dtype = np.dtype(self.dtype)
+        traces = np.asarray(analog, dtype=out_dtype)
         if traces.ndim != 2:
             raise ConfigurationError("analog traces must be a 2-D matrix")
         if self.bandwidth_mhz > 0:
@@ -68,21 +83,39 @@ class Oscilloscope:
                 raise ConfigurationError(
                     "an rng is required when noise_std > 0"
                 )
-            traces = traces + rng.normal(0.0, self.noise_std, traces.shape)
+            noise = rng.normal(0.0, self.noise_std, traces.shape)
+            noise = noise.astype(out_dtype, copy=False)
+            # The freshly-drawn noise buffer is ours: add into it rather
+            # than allocating a third (n, S) array per chunk.
+            np.add(traces, noise, out=noise)
+            traces = noise
         if self.adc_bits > 0:
             traces = self._quantize(traces)
         return traces
 
     def _lowpass(self, traces: np.ndarray) -> np.ndarray:
-        """Single-pole IIR low-pass at the -3 dB bandwidth."""
+        """Single-pole IIR low-pass at the -3 dB bandwidth.
+
+        The recursion runs in float64 regardless of the capture dtype:
+        the pre-noise analog tail decays exponentially and would underflow
+        a float32 recursion into denormals (microcoded arithmetic, ~3x the
+        filter cost).  The result is narrowed back afterwards.
+        """
         dt_s = 1e-6 / self.sample_rate_msps
         rc = 1.0 / (2.0 * np.pi * self.bandwidth_mhz * 1e6)
         alpha = dt_s / (rc + dt_s)
-        return lfilter([alpha], [1.0, alpha - 1.0], traces, axis=1)
+        b = np.array([alpha])
+        a = np.array([1.0, alpha - 1.0])
+        return lfilter(b, a, traces, axis=1).astype(traces.dtype, copy=False)
 
     def _quantize(self, traces: np.ndarray) -> np.ndarray:
         """Mid-rise quantization onto ``2**adc_bits`` levels over the range."""
         levels = 2**self.adc_bits
         lsb = self.full_scale / levels
+        # clip allocates the output buffer; scale, round and rescale then
+        # run in place (same operation sequence, one allocation).
         clipped = np.clip(traces, 0.0, self.full_scale - lsb / 2)
-        return np.round(clipped / lsb) * lsb
+        clipped /= lsb
+        np.round(clipped, out=clipped)
+        clipped *= lsb
+        return clipped

@@ -61,6 +61,13 @@ class TraceSynthesizer:
         be passed to :meth:`synthesize`).  MMCM output jitter on a Kintex-7
         is on the order of 100 ps — invisible at 4 ns sampling, which is
         why the default is 0; the knob exists for sensitivity studies.
+    dtype:
+        Output sample dtype of :meth:`synthesize`: ``"float64"``
+        (default) or ``"float32"``.  Edge placement, impulse scatter,
+        and pre-decay always run in float64 — only the final decay
+        recursion (the O(n·S) bulk of the work) drops to float32, so
+        the opt-in costs ~one ulp of the recursion, bounded by the
+        ``synthesize_float32`` drift budget.
     taps:
         Intra-round pulse substructure: ``(delay_ns, fraction)`` pairs.
         Each clock edge deposits one decaying pulse *per tap*, the tap's
@@ -79,7 +86,13 @@ class TraceSynthesizer:
         chunk_traces: int = 4096,
         jitter_ps_rms: float = 0.0,
         taps: Sequence[Tuple[float, float]] = ((0.0, 1.0),),
+        dtype: str = "float64",
     ):
+        if dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        self.dtype = dtype
         self.sample_rate_msps = check_positive("sample_rate_msps", sample_rate_msps)
         self.n_samples = check_positive_int("n_samples", n_samples)
         self.tau_ns = check_positive("tau_ns", tau_ns)
@@ -200,13 +213,22 @@ class TraceSynthesizer:
                 weights=fraction * amplitudes[keep] * pre_decay,
                 minlength=n * s_count,
             )
+        out_dtype = np.dtype(self.dtype)
         traces = impulses.reshape(n, s_count)
         decay = np.exp(-dt / self.tau_ns)
+        # The decay recursion always runs in float64 and narrows at the
+        # end: the pulse tail shrinks exponentially, and in a float32
+        # recursion it underflows into denormals (sub-1.2e-38 values whose
+        # arithmetic is microcoded, ~3x the filter cost).  float64 keeps
+        # every intermediate normal, so the filter runs at full speed and
+        # the float32 output is just the correctly-rounded float64 result.
         if _lfilter is not None:
-            return _lfilter([1.0], [1.0, -decay], traces, axis=1)
+            b = np.array([1.0])
+            a = np.array([1.0, -decay])
+            return _lfilter(b, a, traces, axis=1).astype(out_dtype, copy=False)
         for s in range(1, s_count):
             traces[:, s] += decay * traces[:, s - 1]
-        return traces
+        return traces.astype(out_dtype, copy=False)
 
     def synthesize_reference(
         self,

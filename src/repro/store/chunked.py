@@ -32,6 +32,18 @@ and :meth:`ChunkedTraceStore.open` quarantines partial chunk files left
 by a crash between ``np.save`` and the manifest write (the manifest
 itself is always replaced atomically).  v1 stores still open; their
 chunks are reported as ``unverified``.
+
+Format v3 adds two manifest fields: ``compression`` (``"none"`` keeps
+plain ``.npy`` chunk files; ``"zstd-npz"`` writes each field as a
+single-entry ``np.savez_compressed`` archive, ``chunk-XXXXX.<field>.npz``,
+so a 4M-trace campaign fits commodity disks) and ``dtype`` (the trace
+sample dtype, pinned by the first append so a store can never silently
+mix float32 and float64 chunks).  Chunk entries additionally record
+``raw_bytes``/``stored_bytes`` so ``repro store info`` can report the
+compression ratio.  Per-file SHA-256 semantics are unchanged — hashes
+cover the stored (compressed) bytes — and :meth:`verify` additionally
+round-trip decompresses compressed chunk files.  v1/v2 stores still
+open; they read as ``compression="none"`` with an unrecorded dtype.
 """
 
 from __future__ import annotations
@@ -40,6 +52,8 @@ import hashlib
 import json
 import os
 import time
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
@@ -52,9 +66,13 @@ from repro.power.acquisition import TraceSet, sanitize_metadata
 
 MANIFEST_NAME = "manifest.json"
 QUARANTINE_DIR = "quarantine"
-STORE_FORMAT_VERSION = 2
+STORE_FORMAT_VERSION = 3
 
-#: Fields persisted per chunk as ``chunk-XXXXX.<suffix>.npy``.
+#: Chunk encodings a store can be created with.
+STORE_COMPRESSIONS = ("none", "zstd-npz")
+
+#: Fields persisted per chunk as ``chunk-XXXXX.<suffix>.npy`` (or
+#: ``.npz`` under compression).
 _CHUNK_FIELDS = (
     ("traces", "traces"),
     ("plaintexts", "plaintexts"),
@@ -193,12 +211,18 @@ class ChunkedTraceStore:
         key: bytes,
         sample_period_ns: float,
         metadata: Optional[dict] = None,
+        compression: str = "none",
     ) -> "ChunkedTraceStore":
         """Initialise an empty store at ``path`` (created if missing)."""
         if len(key) != 16:
             raise ConfigurationError("key must be 16 bytes")
         if sample_period_ns <= 0:
             raise ConfigurationError("sample_period_ns must be positive")
+        if compression not in STORE_COMPRESSIONS:
+            raise ConfigurationError(
+                f"compression must be one of {STORE_COMPRESSIONS}, "
+                f"got {compression!r}"
+            )
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         if (path / MANIFEST_NAME).exists():
@@ -210,6 +234,8 @@ class ChunkedTraceStore:
             "key": key.hex(),
             "sample_period_ns": float(sample_period_ns),
             "n_samples": None,  # pinned by the first append
+            "dtype": None,  # pinned by the first append
+            "compression": compression,
             "metadata": sanitize_metadata(metadata or {}),
             "chunks": [],
         }
@@ -311,10 +337,30 @@ class ChunkedTraceStore:
         """Samples per trace (``None`` until the first chunk lands)."""
         return self._manifest["n_samples"]
 
+    @property
+    def dtype(self) -> Optional[str]:
+        """Trace sample dtype (``None`` for empty or pre-v3 stores)."""
+        return self._manifest.get("dtype")
+
+    @property
+    def compression(self) -> str:
+        """Chunk encoding; pre-v3 stores read as ``"none"``."""
+        return str(self._manifest.get("compression", "none"))
+
     def chunk_sizes(self) -> List[int]:
         return [c["n_traces"] for c in self._manifest["chunks"]]
 
+    def byte_counts(self) -> "tuple[int, int]":
+        """``(raw_bytes, stored_bytes)`` summed over chunks recording them."""
+        raw = sum(c.get("raw_bytes", 0) for c in self._manifest["chunks"])
+        stored = sum(c.get("stored_bytes", 0) for c in self._manifest["chunks"])
+        return raw, stored
+
     # -- writing -------------------------------------------------------
+
+    def _field_file(self, stem: str, suffix: str) -> Path:
+        ext = "npz" if self.compression == "zstd-npz" else "npy"
+        return self.path / f"{stem}.{suffix}.{ext}"
 
     def append(self, chunk: TraceSet) -> int:
         """Persist one finished chunk; returns its index in the store."""
@@ -330,22 +376,38 @@ class ChunkedTraceStore:
             raise AcquisitionError(
                 f"chunk has {chunk.n_samples} samples, store has {self.n_samples}"
             )
+        trace_dtype = str(np.asarray(chunk.traces).dtype)
+        if self.dtype is None:
+            self._manifest["dtype"] = trace_dtype
+        elif trace_dtype != self.dtype:
+            raise AcquisitionError(
+                f"chunk traces are {trace_dtype}, store is pinned to "
+                f"{self.dtype}"
+            )
         started = time.perf_counter()
         index = self.n_chunks
         stem = f"chunk-{index:05d}"
+        compressed = self.compression == "zstd-npz"
         checksums = {}
-        bytes_written = 0
+        raw_bytes = 0
+        stored_bytes = 0
         for suffix, attr in _CHUNK_FIELDS:
-            file = self.path / f"{stem}.{suffix}.npy"
-            np.save(file, getattr(chunk, attr))
+            array = np.ascontiguousarray(getattr(chunk, attr))
+            file = self._field_file(stem, suffix)
+            if compressed:
+                np.savez_compressed(file, data=array)
+            else:
+                np.save(file, array)
             checksums[file.name] = _sha256(file)
-            bytes_written += file.stat().st_size
+            raw_bytes += array.nbytes
+            stored_bytes += file.stat().st_size
         plain_meta, array_meta = _split_metadata(chunk.metadata)
         if array_meta:
             sidecar = self.path / f"{stem}.meta.npz"
             np.savez_compressed(sidecar, **array_meta)
             checksums[sidecar.name] = _sha256(sidecar)
-            bytes_written += sidecar.stat().st_size
+            raw_bytes += sum(a.nbytes for a in array_meta.values())
+            stored_bytes += sidecar.stat().st_size
         self._manifest["chunks"].append(
             {
                 "index": index,
@@ -353,13 +415,15 @@ class ChunkedTraceStore:
                 "n_traces": chunk.n_traces,
                 "metadata": plain_meta,
                 "has_array_metadata": bool(array_meta),
+                "raw_bytes": raw_bytes,
+                "stored_bytes": stored_bytes,
                 "files": checksums,
             }
         )
         self._write_manifest()
         if self.metrics.enabled:
             self.metrics.inc("store_chunks_written_total")
-            self.metrics.inc("store_bytes_written_total", bytes_written)
+            self.metrics.inc("store_bytes_written_total", stored_bytes)
             self.metrics.observe(
                 "store_append_seconds", time.perf_counter() - started
             )
@@ -370,7 +434,10 @@ class ChunkedTraceStore:
     def expected_files(self, index: int) -> List[str]:
         """File names one chunk entry must have on disk."""
         entry = self._entry(index)
-        names = [f"{entry['stem']}.{suffix}.npy" for suffix, _ in _CHUNK_FIELDS]
+        names = [
+            self._field_file(entry["stem"], suffix).name
+            for suffix, _ in _CHUNK_FIELDS
+        ]
         if entry.get("has_array_metadata"):
             names.append(f"{entry['stem']}.meta.npz")
         return names
@@ -400,6 +467,25 @@ class ChunkedTraceStore:
                     outcome.missing.append(name)
                 elif digest is not None and _sha256(file) != digest:
                     outcome.corrupt.append(name)
+                elif file.suffixes[-2:-1] != [".meta"] and file.suffix == ".npz":
+                    # Compressed chunk field: checksum covers the stored
+                    # bytes, so additionally prove the archive decompresses
+                    # back to an array (a truncated-but-rehashed file
+                    # cannot happen; a bad write caught at append cannot
+                    # either — this guards against zlib-level damage the
+                    # hash predates, e.g. a corrupt file re-checksummed by
+                    # a hostile manifest edit).
+                    try:
+                        with np.load(file) as archive:
+                            np.asarray(archive["data"])
+                    except (
+                        OSError,
+                        ValueError,
+                        KeyError,
+                        zipfile.BadZipFile,
+                        zlib.error,
+                    ):
+                        outcome.corrupt.append(name)
         outcome.orphaned.extend(file.name for file in self._stray_chunk_files())
         if self.metrics.enabled:
             self.metrics.observe(
@@ -435,9 +521,14 @@ class ChunkedTraceStore:
         return self._manifest["chunks"][index]
 
     def _load_field(self, stem: str, suffix: str, mmap: bool) -> np.ndarray:
-        file = self.path / f"{stem}.{suffix}.npy"
+        file = self._field_file(stem, suffix)
         if not file.exists():
             raise AcquisitionError(f"store at {self.path} lost chunk file {file.name}")
+        if file.suffix == ".npz":
+            # Compressed fields cannot be memory-mapped; decompression
+            # materialises the array regardless of ``mmap``.
+            with np.load(file) as archive:
+                return archive["data"]
         return np.load(file, mmap_mode="r" if mmap else None)
 
     def chunk(self, index: int, mmap: bool = False) -> TraceSet:

@@ -23,9 +23,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.attacks.incremental import IncrementalCpa
+from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
 from repro.attacks.models import last_round_hd_predictions
+from repro.hw.clock import ClockSchedule
 from repro.leakage_assessment.tvla import IncrementalTvla
+from repro.power.synth import TraceSynthesizer
 from repro.rftc.completion import enumerate_compositions
 from repro.rftc.config import RFTCParams
 from repro.rftc.planner import FrequencyPlan
@@ -147,6 +149,45 @@ def measure_drift() -> Dict[str, float]:
         ]
     )
     drift["completion_table"] = float(np.abs(table - table_ref).max())
+
+    # float32 opt-in kernels (CampaignSpec dtype="float32"): same pinned
+    # workloads with the traces narrowed to float32; the references stay
+    # the float64 compensated ones, so these budgets bound the *total*
+    # cost of the opt-in — rounding on entry plus any fast-path
+    # accumulation in float32 — not just a cast.
+    traces32 = traces.astype(np.float32)
+
+    acc32 = IncrementalCpa(byte_index=0)
+    for lo in range(0, _N_TRACES, 250):
+        acc32.update(traces32[lo : lo + 250], data[lo : lo + 250])
+    drift["incremental_cpa_correlation_float32"] = float(
+        np.abs(acc32.correlation()[:_N_HYPOTHESES] - ref).max()
+    )
+
+    bank32 = IncrementalCpaBank(byte_indices=(0,))
+    for lo in range(0, _N_TRACES, 250):
+        bank32.update(traces32[lo : lo + 250], data[lo : lo + 250])
+    drift["incremental_cpa_bank_float32"] = float(
+        np.abs(bank32.correlation()[0, :_N_HYPOTHESES] - ref).max()
+    )
+
+    periods = rng.uniform(20.0, 40.0, size=(64, 11))
+    schedule = ClockSchedule(
+        periods_ns=periods,
+        is_real_cycle=np.ones((64, 11), dtype=bool),
+        n_cycles=np.full(64, 11, dtype=np.int64),
+        real_cycle_positions=np.tile(np.arange(11), (64, 1)),
+    )
+    amplitudes = rng.uniform(0.0, 8.0, size=(64, 11))
+    rendered = {
+        dtype: TraceSynthesizer(n_samples=128, dtype=dtype).synthesize(
+            schedule, amplitudes
+        )
+        for dtype in ("float64", "float32")
+    }
+    drift["synthesize_float32"] = float(
+        np.abs(rendered["float32"].astype(np.float64) - rendered["float64"]).max()
+    )
     return drift
 
 

@@ -79,6 +79,8 @@ class TestDigestSensitivity:
             {"noise_std": 2.5},
             {"plan_seed": 7},
             {"fixed_plaintext": b"\x00" * 16},
+            {"dtype": "float32"},
+            {"compression": "zstd-npz"},
         ],
         ids=lambda o: next(iter(o)),
     )

@@ -1,0 +1,135 @@
+"""The chunk transport moves bytes, never science.
+
+Campaign results must be bit-identical across {pickle, shm} transports
+and any worker count, shared-memory segments must never outlive the
+campaign (normal exit, pool death, chunk timeout), and the shm teardown
+path must be the prompt synchronous one (no SIGKILL reaper thread —
+that workaround exists only for the pickle pipe deadlock).
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+from repro.pipeline import CampaignSpec, CpaStreamConsumer, StreamingCampaign
+from repro.pipeline import shm as shm_transport
+from repro.testing.faults import FaultPlan
+
+TRACES = 1600
+CHUNK = 400
+N_CHUNKS = TRACES // CHUNK
+
+requires_shm = pytest.mark.skipif(
+    not shm_transport.shm_available(),
+    reason="POSIX shared memory unavailable on this host",
+)
+
+
+def _run(transport="auto", workers=2, faults=None, obs=None, timeout=None):
+    spec = CampaignSpec(target="unprotected", noise_std=2.0)
+    engine = StreamingCampaign(
+        spec,
+        chunk_size=CHUNK,
+        workers=workers,
+        seed=9,
+        transport=transport,
+        faults=faults,
+        obs=obs,
+        chunk_timeout_s=timeout,
+    )
+    return engine.run(TRACES, consumers=[CpaStreamConsumer(byte_index=0)])
+
+
+def _ring_segments():
+    """Names of RFTC ring segments currently present in /dev/shm."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return set()
+    return {n for n in os.listdir(shm_dir) if n.startswith("rftc-shm-")}
+
+
+def _reaper_threads():
+    return [t for t in threading.enumerate() if t.name == "pool-reaper"]
+
+
+def test_results_identical_across_transports_and_worker_counts():
+    baseline = _run(workers=1)
+    assert baseline.transport == "inline"
+    transports = ["pickle"]
+    if shm_transport.shm_available():
+        transports.append("shm")
+    for transport in transports:
+        for workers in (2, 4):
+            report = _run(transport=transport, workers=workers)
+            np.testing.assert_array_equal(
+                report.results["cpa[0]"].peak_corr,
+                baseline.results["cpa[0]"].peak_corr,
+            )
+
+
+def test_pickle_transport_can_be_forced():
+    report = _run(transport="pickle", workers=2)
+    assert report.transport == "pickle"
+
+
+@requires_shm
+def test_shm_transport_reported_counted_and_swept():
+    before = _ring_segments()
+    obs = Observability.create()
+    report = _run(transport="shm", workers=2, obs=obs)
+    assert report.transport == "shm-ring"
+    assert obs.metrics.counter_value("campaign_shm_chunks_total") == N_CHUNKS
+    assert _ring_segments() <= before
+
+
+def test_shm_requested_but_unavailable_is_an_error(monkeypatch):
+    monkeypatch.setattr(shm_transport, "shm_available", lambda: False)
+    with pytest.raises(ConfigurationError, match="shared memory"):
+        _run(transport="shm", workers=2)
+
+
+def test_auto_transport_falls_back_to_pickle(monkeypatch):
+    monkeypatch.setattr(shm_transport, "shm_available", lambda: False)
+    report = _run(transport="auto", workers=2)
+    assert report.transport == "pickle"
+
+
+@requires_shm
+def test_pool_death_under_shm_degrades_bit_identical_and_sweeps():
+    baseline = _run(workers=1)
+    before_segments = _ring_segments()
+    before_reapers = len(_reaper_threads())
+    report = _run(
+        transport="shm", workers=2, faults=FaultPlan(pool_breaks=(1,))
+    )
+    assert report.degraded
+    assert report.transport == "shm-ring"
+    np.testing.assert_array_equal(
+        report.results["cpa[0]"].peak_corr,
+        baseline.results["cpa[0]"].peak_corr,
+    )
+    # Every ring segment retired despite the mid-campaign pool loss.
+    assert _ring_segments() <= before_segments
+    # The shm path tears the pool down synchronously; the SIGKILL-and-
+    # reap daemon thread is the pickle-pipe workaround only.
+    assert len(_reaper_threads()) == before_reapers
+
+
+@requires_shm
+def test_chunk_timeout_under_shm_degrades_bit_identical_and_sweeps():
+    baseline = _run(workers=1)
+    before = _ring_segments()
+    # A timeout far below one chunk's acquisition cost: the first
+    # pool collect expires, the engine abandons the pool and limps
+    # home inline — same bytes, swept ring.
+    report = _run(transport="shm", workers=2, timeout=1e-3)
+    assert report.degraded
+    np.testing.assert_array_equal(
+        report.results["cpa[0]"].peak_corr,
+        baseline.results["cpa[0]"].peak_corr,
+    )
+    assert _ring_segments() <= before

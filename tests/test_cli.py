@@ -159,6 +159,25 @@ class TestCommands:
         assert rc == 0
         assert "TVLA: max |t|" in capsys.readouterr().out
 
+    def test_campaign_float32_compressed_store_info(self, capsys, tmp_path):
+        """--dtype/--compression/--transport flow through to the store."""
+        store = str(tmp_path / "store")
+        rc = main(
+            [
+                "campaign", "--target", "unprotected",
+                "--traces", "200", "--chunk-size", "100", "--quiet",
+                "--dtype", "float32", "--compression", "zstd-npz",
+                "--transport", "pickle", "--out", store,
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["store", "info", store]) == 0
+        out = capsys.readouterr().out
+        assert "float32" in out
+        assert "zstd-npz" in out
+        assert main(["store", "verify", store]) == 0
+
     def test_campaign_crash_resume_and_store_verify(self, capsys, tmp_path):
         """The operator recovery workflow, end to end through the CLI."""
         from repro.errors import InjectedCrashError
