@@ -185,7 +185,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.pipeline import campaign_targets
     from repro.testing.faults import FaultPlan
 
-    from repro.errors import CheckpointError
+    from repro.errors import CheckpointError, StorageExhaustedError
     from repro.pipeline.checkpoint import CampaignCheckpoint
 
     faults = None
@@ -260,19 +260,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             return 2
         print(f"resuming campaign from {args.checkpoint} ...")
-        report = StreamingCampaign.resume(
-            args.out,
-            ckpt,
-            consumers=build_consumers(mode),
-            workers=args.workers,
-            progress=progress,
-            checkpoint_path=args.checkpoint,
-            retry=retry,
-            chunk_timeout_s=args.chunk_timeout,
-            faults=faults,
-            obs=obs,
-            transport=args.transport,
-        )
+        try:
+            report = StreamingCampaign.resume(
+                args.out,
+                ckpt,
+                consumers=build_consumers(mode),
+                workers=args.workers,
+                progress=progress,
+                checkpoint_path=args.checkpoint,
+                retry=retry,
+                chunk_timeout_s=args.chunk_timeout,
+                faults=faults,
+                obs=obs,
+                transport=args.transport,
+            )
+        except StorageExhaustedError as exc:
+            print(f"campaign out of storage: {exc}", file=sys.stderr)
+            return 1
         spec = report.spec
     else:
         target = args.target if args.target is not None else "rftc"
@@ -305,16 +309,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             faults=faults,
             obs=obs,
             transport=args.transport,
+            store_budget_bytes=args.store_budget_bytes,
         )
         print(f"streaming {n_traces} traces from {spec.label()} "
               f"({args.workers} workers, chunks of {chunk_size}) ...")
-        report = engine.run(
-            n_traces,
-            consumers=build_consumers(mode),
-            store=args.out,
-            progress=progress,
-            checkpoint=args.checkpoint,
-        )
+        try:
+            report = engine.run(
+                n_traces,
+                consumers=build_consumers(mode),
+                store=args.out,
+                progress=progress,
+                checkpoint=args.checkpoint,
+            )
+        except StorageExhaustedError as exc:
+            print(f"campaign out of storage: {exc}", file=sys.stderr)
+            return 1
     print(report.summary())
     times = report.results["completion"]
     print(f"completion times: {times.min_ns:.2f}-{times.max_ns:.2f} ns, "
@@ -396,12 +405,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             worker_budget=args.worker_budget,
             policies=policies,
             cache_entries=args.cache_entries,
+            shed_queue_depth=args.shed_queue_depth,
+            shed_journal_records=args.shed_journal_records,
+            compact_journal=args.compact_journal,
         )
     except ServiceError as exc:
         print(f"cannot open service state: {exc}", file=sys.stderr)
         return 1
+    server_kwargs = {}
+    if args.max_body_bytes is not None:
+        server_kwargs["max_body_bytes"] = args.max_body_bytes
+    if args.read_timeout is not None:
+        server_kwargs["read_timeout_s"] = args.read_timeout
     server = CampaignServer(
-        service, host=args.host, port=args.port, tokens=tokens
+        service, host=args.host, port=args.port, tokens=tokens,
+        **server_kwargs,
     )
     service.start()
     try:
@@ -614,9 +632,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-timeout", type=float, default=None,
                    help="seconds to wait for a pooled chunk before degrading "
                         "to inline execution")
+    p.add_argument("--store-budget-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="fail the campaign (typed StorageExhaustedError) "
+                        "before a store append would push stored bytes "
+                        "past BYTES")
     p.add_argument("--inject-fault", default=None, metavar="PLAN",
                    help="deterministic fault plan for testing, e.g. "
-                        "'worker@1x2,crash@3' (see repro.testing.faults)")
+                        "'worker@1x2,crash@3,enospc@5' "
+                        "(see repro.testing.faults)")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write a metrics snapshot after the run "
                         "(.json -> JSON, anything else -> Prometheus text)")
@@ -644,6 +668,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="require per-tenant bearer tokens and scope job "
                         "routes to the caller's tenant (repeatable); "
                         "without it all clients are mutually trusted")
+    p.add_argument("--compact-journal", action="store_true",
+                   help="rewrite the job journal to one record per job "
+                        "after recovery, before serving")
+    p.add_argument("--shed-queue-depth", type=int, default=None,
+                   metavar="N",
+                   help="shed new submissions (503 + Retry-After) while "
+                        "N or more jobs are queued globally")
+    p.add_argument("--shed-journal-records", type=int, default=None,
+                   metavar="N",
+                   help="shed new submissions while the journal holds "
+                        "N or more records (compact to recover)")
+    p.add_argument("--max-body-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="reject request bodies over BYTES with 413 "
+                        "(default 1 MiB)")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="close connections whose request is not fully "
+                        "read in SECONDS with 408 (default 10)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("store", help="inspect or verify a ChunkedTraceStore")

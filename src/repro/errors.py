@@ -48,6 +48,17 @@ class IntegrityError(AcquisitionError):
     """Persisted trace data failed an integrity check (checksum, layout)."""
 
 
+class StorageExhaustedError(AcquisitionError):
+    """A write path ran out of disk (``ENOSPC``, short write, or budget).
+
+    Raised by :class:`~repro.store.ChunkedTraceStore` appends and the
+    service job journal instead of a raw ``OSError``, after the write
+    path has cleaned up after itself: no half-written chunk files, no
+    torn journal growth.  The owning campaign/job fails cleanly; the
+    store stays loadable and the journal replayable.
+    """
+
+
 class PoolBrokenError(AcquisitionError):
     """The acquisition worker pool died or stopped responding."""
 

@@ -204,9 +204,21 @@ def _acquire_chunk(
             "events": obs.tracer.drain(),
         }
     ring = shm_transport.worker_ring()
-    if ring is not None:
-        handle = ring.publish(chunk)
-        return index, handle, time.perf_counter() - started, attempt, payload
+    if ring is not None and not ring.broken:
+        try:
+            if faults is not None:
+                faults.check_shm_publish(index)
+            handle = ring.publish(chunk)
+        except OSError:
+            # /dev/shm exhausted mid-run (or injected): this worker's
+            # ring is done — fall back to pickling the chunk through
+            # the result pipe.  The transport only moves bytes, so the
+            # campaign's results are unchanged; the parent records the
+            # downgrade when a plain TraceSet arrives on a shm run.
+            ring.broken = True
+            ring.close()
+        else:
+            return index, handle, time.perf_counter() - started, attempt, payload
     return index, chunk, time.perf_counter() - started, attempt, payload
 
 
@@ -278,6 +290,10 @@ class PipelineReport:
     #: segments), ``"pickle"`` (the pool's result pipe), or ``"inline"``
     #: (no pool — single worker or nothing fresh to acquire).
     transport: str = "inline"
+    #: True when shared-memory ring allocation failed (at startup or
+    #: mid-run) and chunks fell back to the pickle result pipe.  Results
+    #: are unaffected — the transport only moves bytes.
+    transport_degraded: bool = False
 
     @property
     def traces_per_second(self) -> float:
@@ -294,7 +310,10 @@ class PipelineReport:
             f"  consume : {self.consume_seconds:.2f} s",
         ]
         if self.transport != "inline":
-            lines.append(f"  chunks  : {self.transport} transport")
+            line = f"  chunks  : {self.transport} transport"
+            if self.transport_degraded:
+                line += " (shm exhausted -> DEGRADED to pickle)"
+            lines.append(line)
         if self.stage_seconds:
             split = ", ".join(
                 f"{stage} {seconds:.2f} s"
@@ -357,6 +376,11 @@ class StreamingCampaign:
         :class:`~repro.errors.ConfigurationError` if unavailable);
         ``"pickle"`` forces the pipe.  Irrelevant — and ignored — when
         ``workers == 1``.  Chunk bytes are identical either way.
+    store_budget_bytes:
+        Optional disk budget applied to the campaign's store
+        (:attr:`ChunkedTraceStore.disk_budget_bytes`): an append that
+        would breach it fails with
+        :class:`~repro.errors.StorageExhaustedError` before any I/O.
     faults:
         Optional :class:`~repro.testing.faults.FaultPlan` driving the
         deterministic fault-injection harness (tests / ``--inject-fault``).
@@ -379,6 +403,7 @@ class StreamingCampaign:
         faults: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
         transport: str = "auto",
+        store_budget_bytes: Optional[int] = None,
     ):
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
@@ -391,6 +416,8 @@ class StreamingCampaign:
                 "transport must be 'auto', 'shm', or 'pickle', "
                 f"got {transport!r}"
             )
+        if store_budget_bytes is not None and store_budget_bytes < 1:
+            raise ConfigurationError("store_budget_bytes must be >= 1")
         self.spec = spec
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
@@ -401,6 +428,7 @@ class StreamingCampaign:
         self.faults = faults
         self.obs = obs if obs is not None else NULL_OBS
         self.transport = transport
+        self.store_budget_bytes = store_budget_bytes
 
     def chunk_layout(self, n_traces: int) -> List[int]:
         """Chunk sizes for a campaign of ``n_traces`` (last may be short)."""
@@ -589,6 +617,7 @@ class StreamingCampaign:
         done = sum(task[1] for task in tasks[:folded_chunks])
         retried_chunks = total_retries = degraded_chunks = 0
         degraded = False
+        transport_degraded = False
 
         def _store_chunk(chunk: TraceSet) -> None:
             # Deferred-creation dance: the store is created lazily from
@@ -607,6 +636,9 @@ class StreamingCampaign:
                     compression=self.spec.compression,
                 )
             store.metrics = obs.metrics
+            store.faults = self.faults
+            if self.store_budget_bytes is not None:
+                store.disk_budget_bytes = self.store_budget_bytes
             store.append(chunk)
 
         def fold(index: int, chunk: TraceSet, persist: bool) -> None:
@@ -705,7 +737,20 @@ class StreamingCampaign:
                 )
                 n_procs = min(self.workers, len(fresh))
                 if use_shm:
-                    ring = shm_transport.ChunkTransportRing(ctx, n_procs)
+                    try:
+                        ring = shm_transport.ChunkTransportRing(ctx, n_procs)
+                    except OSError:
+                        # Ring allocation failed at startup (semaphores /
+                        # /dev/shm exhausted): degrade to the pickle
+                        # transport rather than aborting the campaign.
+                        ring = None
+                        use_shm = False
+                        transport_degraded = True
+                        obs.metrics.inc("campaign_transport_degraded_total")
+                        obs.tracer.instant(
+                            "transport_degraded", phase="startup"
+                        )
+                if use_shm:
                     pool = ctx.Pool(
                         processes=n_procs,
                         initializer=shm_transport._init_worker_ring,
@@ -729,6 +774,18 @@ class StreamingCampaign:
                         if isinstance(chunk, shm_transport.ShmChunkHandle):
                             chunk = ring.receive(chunk, key=self.spec.key)
                             obs.metrics.inc("campaign_shm_chunks_total")
+                        elif ring is not None and not transport_degraded:
+                            # A plain TraceSet on a shm run: the worker's
+                            # ring broke mid-campaign and it downgraded
+                            # itself to the pickle result pipe.
+                            transport_degraded = True
+                            obs.metrics.inc(
+                                "campaign_transport_degraded_total"
+                            )
+                            obs.tracer.instant(
+                                "transport_degraded", phase="mid-run",
+                                chunk=task[0],
+                            )
                     except _POOL_FAILURES:
                         # The pool (not the chunk) failed: abandon it and
                         # limp home inline rather than losing the campaign.
@@ -802,4 +859,5 @@ class StreamingCampaign:
             resumed_from_chunk=resumed_from,
             replayed_chunks=max(0, replay_until - folded_chunks),
             transport=transport_used,
+            transport_degraded=transport_degraded,
         )

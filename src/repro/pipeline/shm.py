@@ -47,6 +47,7 @@ from __future__ import annotations
 import itertools
 import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -164,6 +165,10 @@ class WorkerRing:
         self.semaphore = semaphore
         self._segments: dict = {}
         self._cursor = 0
+        #: Set after a publish failed (``/dev/shm`` exhausted): the
+        #: worker entry point stops publishing and falls back to
+        #: returning chunks through the pickle result pipe.
+        self.broken = False
 
     def _ensure_segment(self, slot: int, size: int):
         segment = self._segments.get(slot)
@@ -193,16 +198,33 @@ class WorkerRing:
         return segment
 
     def publish(self, chunk: TraceSet) -> ShmChunkHandle:
-        """Park ``chunk`` in the next free slot; blocks when ring is full."""
+        """Park ``chunk`` in the next free slot; blocks when ring is full.
+
+        A failure to (re)allocate the slot's segment — ``/dev/shm`` full
+        mid-campaign — releases the just-acquired semaphore (so the
+        ring's flow-control accounting stays balanced), marks the ring
+        :attr:`broken`, and re-raises the ``OSError`` for the caller to
+        fall back to the pickle transport.
+        """
         arrays, plain_meta = _chunk_arrays(chunk)
         fields, size = _pack_layout(arrays)
         self.semaphore.acquire()
         slot = self._cursor
-        self._cursor = (self._cursor + 1) % self.slots
-        segment = self._ensure_segment(slot, size)
-        for (name, dtype, shape, offset), array in zip(fields, arrays.values()):
-            dest = np.ndarray(shape, dtype=dtype, buffer=segment.buf, offset=offset)
-            dest[...] = array
+        try:
+            self._cursor = (self._cursor + 1) % self.slots
+            segment = self._ensure_segment(slot, size)
+            for (name, dtype, shape, offset), array in zip(
+                fields, arrays.values()
+            ):
+                dest = np.ndarray(
+                    shape, dtype=dtype, buffer=segment.buf, offset=offset
+                )
+                dest[...] = array
+        except OSError:
+            self.semaphore.release()
+            self.broken = True
+            self.close()
+            raise
         return ShmChunkHandle(
             segment=segment.name,
             worker_id=self.worker_id,
@@ -332,3 +354,46 @@ class ChunkTransportRing:
                 continue
             swept += 1
         return swept
+
+
+#: Every ring name starts with this; leak scans key on it.
+SEGMENT_PREFIX = "rftc-shm-"
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX) -> "list[str]":
+    """Names of ``/dev/shm`` segments matching ``prefix`` (leak scan).
+
+    Segments only outlive their campaign when the *whole* process tree
+    was SIGKILLed (the resource tracker died with it); the parent PID in
+    the name identifies the culprit.  Returns ``[]`` on hosts without a
+    ``/dev/shm`` filesystem.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux host
+        return []
+    return sorted(p.name for p in root.glob(f"{prefix}*"))
+
+
+def sweep_prefix(prefix: str = SEGMENT_PREFIX) -> "list[str]":
+    """Unlink every ``/dev/shm`` segment matching ``prefix``.
+
+    The manual remedy for the one true leak path (tree-wide SIGKILL):
+    operators and the chaos soak call this to reclaim orphaned ring
+    segments.  Returns the names actually unlinked; racing sweeps are
+    tolerated.
+    """
+    swept = []
+    if shared_memory is None:  # pragma: no cover
+        return swept
+    for name in leaked_segments(prefix):
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing sweep
+            continue
+        swept.append(name)
+    return swept

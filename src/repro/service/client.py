@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import List, Optional
 
@@ -85,11 +86,20 @@ class ServiceClient:
     # -- API -----------------------------------------------------------
 
     def healthy(self) -> bool:
+        """Liveness: the daemon's event loop answers ``/healthz``."""
         try:
             status, text = self._request("GET", "/healthz")
         except OSError:
             return False
         return status == 200 and text.strip() == "ok"
+
+    def ready(self) -> bool:
+        """Readiness: live *and* not shedding load (``/healthz/ready``)."""
+        try:
+            status, _text = self._request("GET", "/healthz/ready")
+        except OSError:
+            return False
+        return status == 200
 
     def submit(
         self,
@@ -162,16 +172,47 @@ class ServiceClient:
         job_id: str,
         timeout: float = 60.0,
         poll_seconds: float = 0.05,
+        max_poll_seconds: float = 1.0,
+        jitter_seed: int = 0,
     ) -> dict:
-        """Poll until ``job_id`` is terminal; returns the final status doc."""
+        """Poll until ``job_id`` is terminal; returns the final status doc.
+
+        The poll interval starts at ``poll_seconds`` and backs off
+        exponentially (×1.5 per poll, capped at ``max_poll_seconds``)
+        with deterministic jitter drawn from ``jitter_seed`` — a fleet
+        of waiting clients spreads out instead of polling in lockstep,
+        and two runs with the same seed poll on the same schedule.
+
+        A connection refused/reset (the daemon restarting, e.g. under
+        the chaos harness's ``stalled-server`` fault) is retried until
+        ``timeout`` rather than propagating — only the deadline ends
+        the wait.
+        """
         deadline = time.monotonic() + timeout
+        rng = random.Random(f"wait:{jitter_seed}:{job_id}")
+        interval = float(poll_seconds)
         while True:
-            doc = self.status(job_id)
-            if doc["state"] in ("done", "failed", "cancelled"):
-                return doc
-            if time.monotonic() >= deadline:
-                raise ServiceError(
-                    f"timed out after {timeout} s waiting for {job_id} "
-                    f"(state {doc['state']})"
-                )
-            time.sleep(poll_seconds)
+            try:
+                doc = self.status(job_id)
+            except (UnknownJobError, QuotaExceededError):
+                raise
+            except (ServiceError, OSError) as exc:
+                # ServiceError from a non-2xx during restart recovery
+                # (e.g. 503 while the journal replays) is retryable too.
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"timed out after {timeout} s waiting for "
+                        f"{job_id}: {exc}"
+                    ) from exc
+            else:
+                if doc["state"] in ("done", "failed", "cancelled"):
+                    return doc
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"timed out after {timeout} s waiting for {job_id} "
+                        f"(state {doc['state']})"
+                    )
+            # 0.5x-1.0x jitter: never sleeps longer than the nominal
+            # interval, so the deadline check stays timely.
+            time.sleep(interval * (0.5 + 0.5 * rng.random()))
+            interval = min(interval * 1.5, float(max_poll_seconds))

@@ -21,10 +21,11 @@ which the scheduler finalizes as ``cancelled`` rather than ``failed``.
 
 from __future__ import annotations
 
+import shutil
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import JobCancelledError
+from repro.errors import JobCancelledError, StorageExhaustedError
 from repro.pipeline import (
     CompletionTimeConsumer,
     CpaStreamConsumer,
@@ -111,6 +112,7 @@ def run_job(
     checkpoint_dir: Optional[Path] = None,
     store_dir: Optional[Path] = None,
     resume: bool = False,
+    faults=None,
 ) -> dict:
     """Execute ``job`` to completion and return its result payload.
 
@@ -121,6 +123,13 @@ def run_job(
     of restarting.  ``store`` jobs persist traces under
     ``store_dir / <tenant> / <job_id>`` and record the byte total on the
     job for quota accounting.
+
+    ``faults`` (an optional :class:`~repro.testing.faults.FaultPlan`) is
+    handed to the engine — the chaos harness injects system faults into
+    service jobs through it.  A
+    :class:`~repro.errors.StorageExhaustedError` (disk full mid-append)
+    removes the job's partial store tree before propagating, so a
+    ``FAILED`` job neither holds disk nor charges quota.
 
     Raises :class:`JobCancelledError` as soon as the job's cancel event
     is observed at a chunk boundary.
@@ -141,28 +150,38 @@ def run_job(
         if job.cancel_event.is_set():
             raise JobCancelledError(f"job {job.job_id} cancelled")
 
-    if resume and checkpoint_path is not None and checkpoint_path.is_file():
-        report = StreamingCampaign.resume(
-            store=str(store_path) if store_path is not None else None,
-            checkpoint=checkpoint_path,
-            consumers=consumers,
-            workers=1,
-            progress=progress,
-        )
-    else:
-        engine = StreamingCampaign(
-            spec,
-            chunk_size=job.chunk_size,
-            workers=1,
-            seed=job.seed,
-        )
-        report = engine.run(
-            job.n_traces,
-            consumers=consumers,
-            store=str(store_path) if store_path is not None else None,
-            progress=progress,
-            checkpoint=checkpoint_path,
-        )
+    try:
+        if resume and checkpoint_path is not None and checkpoint_path.is_file():
+            report = StreamingCampaign.resume(
+                store=str(store_path) if store_path is not None else None,
+                checkpoint=checkpoint_path,
+                consumers=consumers,
+                workers=1,
+                progress=progress,
+                faults=faults,
+            )
+        else:
+            engine = StreamingCampaign(
+                spec,
+                chunk_size=job.chunk_size,
+                workers=1,
+                seed=job.seed,
+                faults=faults,
+            )
+            report = engine.run(
+                job.n_traces,
+                consumers=consumers,
+                store=str(store_path) if store_path is not None else None,
+                progress=progress,
+                checkpoint=checkpoint_path,
+            )
+    except StorageExhaustedError:
+        # The store already cleaned up its half-written chunk; drop the
+        # whole partial tree so the FAILED job releases disk and quota.
+        if store_path is not None and store_path.exists():
+            shutil.rmtree(store_path, ignore_errors=True)
+        job.store_bytes = 0
+        raise
 
     if store_path is not None and store_path.exists():
         job.store_bytes = _tree_bytes(store_path)

@@ -23,14 +23,21 @@ real corruption and is a hard error.
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.errors import (
+    ConfigurationError,
+    InjectedCrashError,
+    ServiceError,
+    StorageExhaustedError,
+)
 
 #: Legal job states and the transitions the service performs.
 QUEUED = "queued"
@@ -211,6 +218,13 @@ class JobStore:
         self._order: List[str] = []
         self._write_lock = threading.Lock()
         self._handle = None
+        #: Optional :class:`~repro.testing.faults.FaultPlan`; when its
+        #: ``journal-torn@record=n`` directive matches the n-th append,
+        #: the append writes a torn fragment and simulates a crash.
+        self.faults = None
+        #: Journal records replayed + appended — the backlog measure the
+        #: service's load-shedding gate and :meth:`compact` work from.
+        self.record_count = 0
         self.torn_line: Optional[int] = None
         #: Byte offset to truncate the file to (end of the last valid
         #: record) when replay found a torn final line.
@@ -259,16 +273,49 @@ class JobStore:
     def _append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._write_lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            sequence = self.record_count + 1
+            if (
+                self.faults is not None
+                and self.faults.journal_torn_record == sequence
+            ):
+                # Simulated crash mid-append: half the record lands with
+                # no newline — exactly the torn tail replay must repair.
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                raise InjectedCrashError(
+                    f"injected crash tearing journal record {sequence}"
+                )
+            offset = self._handle.tell()
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except OSError as exc:
+                # Roll the file back to the pre-append offset so a short
+                # write (disk full) never leaves a torn record for the
+                # *running* service — the journal stays replayable and
+                # appendable once space frees up.
+                try:
+                    self._handle.seek(offset)
+                    self._handle.truncate(offset)
+                except OSError:  # pragma: no cover - rollback best-effort
+                    pass
+                if exc.errno in (errno.ENOSPC, errno.EDQUOT):
+                    raise StorageExhaustedError(
+                        f"out of disk space appending journal record "
+                        f"{sequence}: {exc}"
+                    ) from exc
+                raise
+            self.record_count = sequence
 
     def add(self, job: CampaignJob) -> None:
         """Index a new job and journal its submission record."""
         if job.job_id in self._jobs:
             raise ServiceError(f"duplicate job id {job.job_id!r}")
+        # Journal before indexing: if the append dies (disk full) the
+        # in-memory view must not claim a job a restart would lose.
+        self._append({"record": "job", "job": job.to_dict()})
         self._jobs[job.job_id] = job
         self._order.append(job.job_id)
-        self._append({"record": "job", "job": job.to_dict()})
 
     def update(self, job: CampaignJob, **fields) -> None:
         """Apply ``fields`` to ``job`` and journal the transition."""
@@ -277,11 +324,47 @@ class JobStore:
             raise ServiceError(f"non-journalable job fields: {sorted(unknown)}")
         if job.job_id not in self._jobs:
             raise ServiceError(f"unknown job {job.job_id!r}")
-        for key, value in fields.items():
-            setattr(job, key, value)
+        # Journal first: a failed append leaves the in-memory record
+        # matching what replay would reconstruct.
         self._append(
             {"record": "update", "job_id": job.job_id, "fields": fields}
         )
+        for key, value in fields.items():
+            setattr(job, key, value)
+
+    def compact(self) -> int:
+        """Rewrite the journal to one full record per job; returns lines saved.
+
+        Replaying a compacted journal reconstructs exactly the state the
+        incremental one did: job records carry the complete document
+        (including results and sequence numbers), and recovery orders
+        cache re-warming by ``completion_seq``, not line order.  The
+        rewrite goes through a temp file + atomic rename, so a crash
+        mid-compaction leaves the original journal untouched.
+        """
+        with self._write_lock:
+            records = [
+                {"record": "job", "job": self._jobs[job_id].to_dict()}
+                for job_id in self._order
+            ]
+            tmp = self.path.with_name(self.path.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._handle is not None:
+                self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            saved = self.record_count - len(records)
+            self.record_count = len(records)
+            return saved
 
     def close(self) -> None:
         if self._handle is not None:
@@ -315,6 +398,7 @@ class JobStore:
                 ) from exc
             if record is not None:
                 self._apply(record, lineno)
+                self.record_count += 1
             offset += len(line_bytes)
         else:
             # The final record is intact but may have lost its newline

@@ -20,6 +20,8 @@ POST      ``/v1/jobs/<id>/cancel``      request cancellation -> job status
 DELETE    ``/v1/jobs/<id>/store``       delete persisted traces, free quota
 GET       ``/metrics``                  Prometheus text page
 GET       ``/healthz``                  liveness probe (plain ``ok``)
+GET       ``/healthz/live``             alias of ``/healthz``
+GET       ``/healthz/ready``            readiness: 200 ``ready``, 503 shedding
 ========  ============================  =======================================
 
 Trust model: by default the server binds loopback and every client is
@@ -33,7 +35,13 @@ a different tenant is a 403.  See ``docs/service.md``.
 
 Error mapping: unknown (or other-tenant) job -> 404, quota breach ->
 429, missing/bad token -> 401, tenant mismatch -> 403, malformed
-request -> 400, anything unexpected -> 500.  The server runs its event
+request -> 400, anything unexpected -> 500.  Overload protection:
+requests not fully read within ``read_timeout_s`` (slow-loris) -> 408
+and the connection closed; declared bodies over ``max_body_bytes``
+(default 1 MiB) -> 413; and a global admission gate sheds *submissions*
+with 503 + ``Retry-After`` while the service reports overload
+(:meth:`CampaignService.overload_state`) — reads, cancels, ``/metrics``
+and health probes always pass.  The server runs its event
 loop on a dedicated thread; handlers call the (internally locked)
 service directly — every service call is a short critical section, so
 the loop never blocks on campaign execution.
@@ -60,24 +68,40 @@ from repro.service.jobs import TERMINAL_STATES
 from repro.service.service import CampaignService
 from repro.service.tenancy import DEFAULT_TENANT, validate_tenant
 
-#: Request size guards: header section and JSON body.
+#: Request size guards: header section and (default) JSON body cap.  A
+#: submit body is a few hundred bytes; 1 MiB leaves two orders of
+#: headroom while bounding what any client can make the server buffer.
 MAX_HEADER_BYTES = 64 * 1024
-MAX_BODY_BYTES = 4 * 1024 * 1024
+DEFAULT_MAX_BODY_BYTES = 1024 * 1024
+
+#: Default per-connection budget for reading one full request (request
+#: line + headers + body).  A slow-loris client that drips bytes slower
+#: than this gets a ``408`` and its connection closed.
+DEFAULT_READ_TIMEOUT_S = 10.0
 
 _REASONS = {
     200: "OK", 201: "Created", 400: "Bad Request", 401: "Unauthorized",
     403: "Forbidden", 404: "Not Found", 405: "Method Not Allowed",
-    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error",
+    408: "Request Timeout", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
 class _HttpError(Exception):
-    """Internal routing signal carrying an HTTP status + message."""
+    """Internal routing signal carrying an HTTP status + message.
 
-    def __init__(self, status: int, message: str):
+    ``headers`` are extra response headers (e.g. ``Retry-After`` on a
+    load-shedding ``503``).
+    """
+
+    def __init__(
+        self, status: int, message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 class CampaignServer:
@@ -101,10 +125,18 @@ class CampaignServer:
         host: str = "127.0.0.1",
         port: int = 0,
         tokens: Optional[Dict[str, str]] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
     ):
+        if max_body_bytes < 1:
+            raise ConfigurationError("max_body_bytes must be >= 1")
+        if read_timeout_s <= 0:
+            raise ConfigurationError("read_timeout_s must be positive")
         self.service = service
         self.host = host
         self.port = int(port)
+        self.max_body_bytes = int(max_body_bytes)
+        self.read_timeout_s = float(read_timeout_s)
         self._token_tenants: Dict[str, str] = {}
         for tenant, token in (tokens or {}).items():
             validate_tenant(tenant)
@@ -173,8 +205,17 @@ class CampaignServer:
     ) -> None:
         status, body, content_type = 500, b"internal error\n", "text/plain"
         endpoint = "unknown"
+        extra_headers: Dict[str, str] = {}
         try:
-            method, target, body_bytes, token = await self._read_request(reader)
+            try:
+                method, target, body_bytes, token = await asyncio.wait_for(
+                    self._read_request(reader), timeout=self.read_timeout_s
+                )
+            except asyncio.TimeoutError as exc:
+                raise _HttpError(
+                    408,
+                    f"request not read within {self.read_timeout_s:g} s",
+                ) from exc
             endpoint, status, payload = self._route(
                 method, target, body_bytes, token
             )
@@ -185,6 +226,7 @@ class CampaignServer:
                 content_type = "application/json"
         except _HttpError as exc:
             status = exc.status
+            extra_headers = exc.headers
             body = (
                 json.dumps({"error": str(exc), "status": status}) + "\n"
             ).encode("utf-8")
@@ -201,10 +243,14 @@ class CampaignServer:
             content_type = "application/json"
         self.service.record_http_request(endpoint, status)
         reason = _REASONS.get(status, "Unknown")
+        extras = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
@@ -247,8 +293,12 @@ class CampaignServer:
                 scheme, _, credential = value.strip().partition(" ")
                 if scheme.lower() == "bearer" and credential.strip():
                     token = credential.strip()
-        if content_length > MAX_BODY_BYTES:
-            raise _HttpError(413, "body too large")
+        if content_length > self.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"body of {content_length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
         body = await reader.readexactly(content_length) if content_length else b""
         return method.upper(), target, body, token
 
@@ -262,13 +312,28 @@ class CampaignServer:
         segments = [s for s in url.path.split("/") if s]
         query = parse_qs(url.query)
         try:
-            if segments == ["healthz"] and method == "GET":
+            if segments in (["healthz"], ["healthz", "live"]) and method == "GET":
+                # Liveness: the event loop answers, nothing else — it
+                # must stay green while the service sheds load.
                 return "healthz", 200, "ok\n"
+            if segments == ["healthz", "ready"] and method == "GET":
+                state = self.service.overload_state()
+                if state["shedding"]:
+                    raise _HttpError(
+                        503,
+                        "not ready: shedding load "
+                        f"({', '.join(state['reasons'])})",
+                        headers={
+                            "Retry-After": str(state["retry_after_s"])
+                        },
+                    )
+                return "healthz_ready", 200, "ready\n"
             caller = self._authenticate(token)
             if segments == ["metrics"] and method == "GET":
                 return "metrics", 200, self.service.metrics_page()
             if segments == ["v1", "jobs"]:
                 if method == "POST":
+                    self._admit()
                     return "submit", 201, self._submit(body, caller)
                 if method == "GET":
                     tenant = query.get("tenant", [None])[0]
@@ -308,6 +373,27 @@ class CampaignServer:
             raise _HttpError(429, str(exc)) from exc
         except ReproError as exc:
             raise _HttpError(400, str(exc)) from exc
+
+    def _admit(self) -> None:
+        """Global admission gate: shed new work while overloaded.
+
+        Distinct from per-tenant quotas (``429``): shedding protects the
+        *service* when total queued work or journal backlog exceeds its
+        configured bounds, and tells every client when to come back via
+        ``Retry-After``.  Reads, cancels, and health probes always pass.
+        """
+        state = self.service.overload_state()
+        if state["shedding"]:
+            reason = state["reasons"][0]
+            self.service.record_shed(reason)
+            raise _HttpError(
+                503,
+                f"service overloaded ({', '.join(state['reasons'])}): "
+                f"{state['queued']} jobs queued, "
+                f"{state['journal_records']} journal records; retry in "
+                f"{state['retry_after_s']} s",
+                headers={"Retry-After": str(state["retry_after_s"])},
+            )
 
     def _authenticate(self, token: Optional[str]) -> Optional[str]:
         """The caller's tenant, or None when auth is not configured."""

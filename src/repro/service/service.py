@@ -85,6 +85,24 @@ class CampaignService:
     metrics:
         Optional shared :class:`MetricsRegistry`; a private one is
         created when omitted.
+    shed_queue_depth:
+        Global load-shedding bound: when this many jobs are queued
+        (across all tenants), :meth:`overload_state` reports shedding
+        and the HTTP front-end answers submissions ``503`` +
+        ``Retry-After`` until the backlog drains.  ``None`` (default)
+        never sheds on queue depth.
+    shed_journal_records:
+        Load-shedding bound on journal backlog (records replayed +
+        appended); ``None`` never sheds on it.  Distinct from the
+        per-tenant ``max_queued`` quota (a ``429``): shedding is the
+        *service* protecting itself, quotas are tenants' fair shares.
+    compact_journal:
+        Compact the journal to one record per job right after recovery
+        (also reachable via ``repro-rftc serve --compact-journal``).
+    job_faults:
+        Optional callable ``job -> Optional[FaultPlan]`` consulted at
+        dispatch; the chaos harness injects deterministic system faults
+        into chosen jobs through it.  ``None`` (default) injects nothing.
     """
 
     def __init__(
@@ -95,7 +113,18 @@ class CampaignService:
         cache_entries: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
         aging_dispatches: int = 4,
+        shed_queue_depth: Optional[int] = None,
+        shed_journal_records: Optional[int] = None,
+        compact_journal: bool = False,
+        job_faults=None,
     ):
+        if shed_queue_depth is not None and shed_queue_depth < 1:
+            raise ConfigurationError("shed_queue_depth must be >= 1")
+        if shed_journal_records is not None and shed_journal_records < 1:
+            raise ConfigurationError("shed_journal_records must be >= 1")
+        self.shed_queue_depth = shed_queue_depth
+        self.shed_journal_records = shed_journal_records
+        self.job_faults = job_faults
         self.data_dir = Path(data_dir)
         self.checkpoint_dir = self.data_dir / "checkpoints"
         self.store_dir = self.data_dir / "stores"
@@ -119,6 +148,11 @@ class CampaignService:
         self.completion_order: List[str] = []
         self._declare_metrics()
         self._recover()
+        if compact_journal:
+            saved = self.store.compact()
+            self.metrics.inc("service_journal_compactions_total")
+            self.metrics.inc("service_journal_compacted_lines_total", saved)
+            self._update_gauges()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -268,6 +302,47 @@ class CampaignService:
                 "service_http_requests_total", endpoint=endpoint, status=status
             )
 
+    def overload_state(self) -> dict:
+        """The admission gate's view: is the service shedding, and why.
+
+        Shedding starts when the *global* queued-job count reaches
+        ``shed_queue_depth`` or the journal backlog reaches
+        ``shed_journal_records``, and stops the moment both drop back
+        under their bounds — there is no hysteresis, so the service
+        drains to acceptance as soon as pressure stops.
+        ``retry_after_s`` is a deterministic backlog-proportional hint
+        (queued jobs per budgeted worker) for the ``Retry-After`` header.
+        """
+        with self._cond:
+            queued = self.scheduler.queued_count()
+            records = self.store.record_count
+            reasons = []
+            if (
+                self.shed_queue_depth is not None
+                and queued >= self.shed_queue_depth
+            ):
+                reasons.append("queue_depth")
+            if (
+                self.shed_journal_records is not None
+                and records >= self.shed_journal_records
+            ):
+                reasons.append("journal_backlog")
+            self.metrics.set_gauge(
+                "service_overloaded", 1 if reasons else 0
+            )
+            return {
+                "shedding": bool(reasons),
+                "reasons": reasons,
+                "queued": queued,
+                "journal_records": records,
+                "retry_after_s": 1 + queued // self.scheduler.worker_budget,
+            }
+
+    def record_shed(self, reason: str) -> None:
+        """Count one load-shed 503 (under the lock)."""
+        with self._cond:
+            self.metrics.inc("service_shed_total", reason=reason)
+
     def store_usage(self, tenant: str) -> int:
         """Bytes of persisted trace stores currently charged to ``tenant``."""
         with self._cond:
@@ -349,11 +424,13 @@ class CampaignService:
 
     def _run(self, job: CampaignJob, resume: bool) -> dict:
         """Scheduler runner: executes on a worker thread, no lock held."""
+        faults = self.job_faults(job) if self.job_faults is not None else None
         return run_job(
             job,
             checkpoint_dir=self.checkpoint_dir,
             store_dir=self.store_dir,
             resume=resume,
+            faults=faults,
         )
 
     def _on_dispatch(self, job: CampaignJob) -> None:
@@ -426,6 +503,9 @@ class CampaignService:
             states[job.state] = states.get(job.state, 0) + 1
         self.metrics.set_gauge("service_queue_depth", states.get(QUEUED, 0))
         self.metrics.set_gauge("service_jobs_running", states.get(RUNNING, 0))
+        self.metrics.set_gauge(
+            "service_journal_records", self.store.record_count
+        )
 
     def _declare_metrics(self) -> None:
         """Pre-declare service histograms so /metrics shows them at boot.

@@ -44,10 +44,22 @@ compression ratio.  Per-file SHA-256 semantics are unchanged — hashes
 cover the stored (compressed) bytes — and :meth:`verify` additionally
 round-trip decompresses compressed chunk files.  v1/v2 stores still
 open; they read as ``compression="none"`` with an unrecorded dtype.
+
+Resource exhaustion: every chunk file is written to a ``.tmp`` sibling
+and atomically renamed into place, so a full disk mid-append can never
+leave a half-written chunk file behind — on any write failure the
+append deletes its temporaries *and* the files it already renamed, then
+re-raises ``ENOSPC``-family errors as the typed
+:class:`~repro.errors.StorageExhaustedError` (the store stays loadable
+and ``verify`` stays clean, the failed chunk simply absent).  Setting
+:attr:`ChunkedTraceStore.disk_budget_bytes` preflights each append
+against a byte budget, failing *before* any I/O once stored bytes plus
+the incoming chunk's raw size would breach it.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -60,7 +72,12 @@ from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
-from repro.errors import AcquisitionError, ConfigurationError, IntegrityError
+from repro.errors import (
+    AcquisitionError,
+    ConfigurationError,
+    IntegrityError,
+    StorageExhaustedError,
+)
 from repro.obs.metrics import NULL_METRICS
 from repro.power.acquisition import TraceSet, sanitize_metadata
 
@@ -201,6 +218,15 @@ class ChunkedTraceStore:
         #: campaign engine swaps in its live registry.  Metrics read
         #: clocks and file sizes only — persisted bytes are untouched.
         self.metrics = NULL_METRICS
+        #: Optional byte budget for the whole store; appends that would
+        #: push recorded stored bytes past it raise
+        #: :class:`~repro.errors.StorageExhaustedError` before touching
+        #: the disk.  ``None`` (default) disables the preflight.
+        self.disk_budget_bytes: Optional[int] = None
+        #: Optional :class:`~repro.testing.faults.FaultPlan`; the engine
+        #: wires its plan in so ``enospc@K`` directives fire inside the
+        #: real write path (see ``check_store_write``).
+        self.faults = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -362,8 +388,39 @@ class ChunkedTraceStore:
         ext = "npz" if self.compression == "zstd-npz" else "npy"
         return self.path / f"{stem}.{suffix}.{ext}"
 
+    def _write_atomic(self, file: Path, save) -> None:
+        """Write via a ``.tmp`` sibling and rename into place.
+
+        A crash (or ``ENOSPC``) mid-write leaves only the temporary,
+        which quarantine-on-open sweeps aside; the final name exists
+        only when its bytes are complete and flushed.
+        """
+        tmp = file.with_name(file.name + ".tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                save(handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, file)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - cleanup best-effort
+                pass
+            raise
+
     def append(self, chunk: TraceSet) -> int:
-        """Persist one finished chunk; returns its index in the store."""
+        """Persist one finished chunk; returns its index in the store.
+
+        The append is atomic at chunk granularity: every file lands via
+        temp-file + rename, and on *any* write failure the files this
+        chunk already renamed are deleted again before the error
+        surfaces — the manifest never references them, so the store
+        stays loadable and :meth:`verify` stays clean with the chunk
+        simply absent.  ``ENOSPC``/quota errors (and a configured
+        :attr:`disk_budget_bytes` breach, which fails before any I/O)
+        raise :class:`~repro.errors.StorageExhaustedError`.
+        """
         if chunk.key != self.key:
             raise AcquisitionError("chunk key does not match the store key")
         if abs(chunk.sample_period_ns - self.sample_period_ns) > 1e-12:
@@ -388,26 +445,70 @@ class ChunkedTraceStore:
         index = self.n_chunks
         stem = f"chunk-{index:05d}"
         compressed = self.compression == "zstd-npz"
+        plain_meta, array_meta = _split_metadata(chunk.metadata)
+        incoming_raw = sum(
+            np.asarray(getattr(chunk, attr)).nbytes for _, attr in _CHUNK_FIELDS
+        ) + sum(a.nbytes for a in array_meta.values())
+        if self.disk_budget_bytes is not None:
+            stored_so_far = self.byte_counts()[1]
+            if stored_so_far + incoming_raw > self.disk_budget_bytes:
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "store_append_failures_total", reason="budget"
+                    )
+                raise StorageExhaustedError(
+                    f"chunk {index} would exceed the store disk budget: "
+                    f"{stored_so_far} bytes stored + {incoming_raw} incoming "
+                    f"> {self.disk_budget_bytes} budgeted"
+                )
         checksums = {}
         raw_bytes = 0
         stored_bytes = 0
-        for suffix, attr in _CHUNK_FIELDS:
-            array = np.ascontiguousarray(getattr(chunk, attr))
-            file = self._field_file(stem, suffix)
-            if compressed:
-                np.savez_compressed(file, data=array)
-            else:
-                np.save(file, array)
-            checksums[file.name] = _sha256(file)
-            raw_bytes += array.nbytes
-            stored_bytes += file.stat().st_size
-        plain_meta, array_meta = _split_metadata(chunk.metadata)
-        if array_meta:
-            sidecar = self.path / f"{stem}.meta.npz"
-            np.savez_compressed(sidecar, **array_meta)
-            checksums[sidecar.name] = _sha256(sidecar)
-            raw_bytes += sum(a.nbytes for a in array_meta.values())
-            stored_bytes += sidecar.stat().st_size
+        renamed: List[Path] = []
+        try:
+            for position, (suffix, attr) in enumerate(_CHUNK_FIELDS):
+                array = np.ascontiguousarray(getattr(chunk, attr))
+                if self.faults is not None:
+                    self.faults.check_store_write(index, position)
+                file = self._field_file(stem, suffix)
+                if compressed:
+                    self._write_atomic(
+                        file, lambda fh, a=array: np.savez_compressed(fh, data=a)
+                    )
+                else:
+                    self._write_atomic(file, lambda fh, a=array: np.save(fh, a))
+                renamed.append(file)
+                checksums[file.name] = _sha256(file)
+                raw_bytes += array.nbytes
+                stored_bytes += file.stat().st_size
+            if array_meta:
+                if self.faults is not None:
+                    self.faults.check_store_write(index, len(_CHUNK_FIELDS))
+                sidecar = self.path / f"{stem}.meta.npz"
+                self._write_atomic(
+                    sidecar, lambda fh: np.savez_compressed(fh, **array_meta)
+                )
+                renamed.append(sidecar)
+                checksums[sidecar.name] = _sha256(sidecar)
+                raw_bytes += sum(a.nbytes for a in array_meta.values())
+                stored_bytes += sidecar.stat().st_size
+        except OSError as exc:
+            for file in renamed:
+                try:
+                    file.unlink()
+                except OSError:  # pragma: no cover - cleanup best-effort
+                    pass
+            exhausted = exc.errno in (errno.ENOSPC, errno.EDQUOT, errno.EFBIG)
+            if self.metrics.enabled:
+                self.metrics.inc(
+                    "store_append_failures_total",
+                    reason="enospc" if exhausted else "io",
+                )
+            if exhausted:
+                raise StorageExhaustedError(
+                    f"out of disk space writing chunk {index}: {exc}"
+                ) from exc
+            raise
         self._manifest["chunks"].append(
             {
                 "index": index,

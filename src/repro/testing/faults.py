@@ -10,18 +10,32 @@ demand:
   "fails twice then succeeds" is one tuple), simulate the worker pool
   dying while collecting chunk *k*, or simulate a hard process crash
   right after chunk *k* is folded and checkpointed.
+* System-resource faults — the failure modes paper-scale campaigns
+  actually hit: ``enospc@K`` makes the store's write path fail with
+  ``ENOSPC`` while persisting chunk *K* (mid-append: the first field
+  file lands, the second raises), ``shm-alloc-fail@K`` makes the
+  shared-memory ring's allocation fail when publishing chunk *K*
+  (the transport must degrade to pickle, not abort), and
+  ``journal-torn@N`` tears the service job journal mid-append of
+  record *N* (a trailing fragment, exactly the footprint of a daemon
+  killed between ``write`` and ``flush``).  ``slow-client`` and
+  ``stalled-server`` are service-harness directives: the chaos soak
+  interprets them by drip-feeding request bytes and bouncing the HTTP
+  front-end, respectively — the plan just carries the flags.
 * File-level corruption helpers — flip a byte in a named chunk file,
   truncate it, or drop the tail of the store manifest — used to prove
   :meth:`~repro.store.ChunkedTraceStore.verify` and manifest validation
   actually detect damage.
 
 Everything is a pure function of the plan; no randomness, no timing.
-The same plans drive the test suite and the CLI's ``--inject-fault``
-debug flag (``repro-rftc campaign --inject-fault worker@2x1``).
+The same plans drive the test suite, the chaos soak
+(``benchmarks/soak_service_chaos.py``), and the CLI's ``--inject-fault``
+debug flag (``repro-rftc campaign --inject-fault worker@2x1,enospc@3``).
 """
 
 from __future__ import annotations
 
+import errno
 import re
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,7 +51,12 @@ from repro.errors import (
 #: ``worker@K`` with no ``xN`` repeat count means "this chunk always fails".
 ALWAYS = 10**9
 
-_SPEC_RE = re.compile(r"^(worker|pool|crash)@(\d+)(?:x(\d+))?$")
+_SPEC_RE = re.compile(
+    r"^(worker|pool|crash|enospc|shm-alloc-fail|journal-torn)@(\d+)(?:x(\d+))?$"
+)
+
+#: Index-free service-harness directives the plan carries as flags.
+_FLAG_DIRECTIVES = ("slow-client", "stalled-server")
 
 
 @dataclass(frozen=True)
@@ -60,11 +79,36 @@ class FaultPlan:
         checkpoint) the parent raises
         :class:`~repro.errors.InjectedCrashError`, simulating a killed
         process at the worst-aligned instant.
+    enospc_chunks:
+        Chunk indices whose store append fails with ``OSError(ENOSPC)``
+        *mid-write* — after the first field file is persisted but before
+        the rest — so the store's atomic-append cleanup is what the test
+        exercises, not a convenient pre-write failure.
+    shm_alloc_failures:
+        Chunk indices whose shared-memory publish fails with
+        ``OSError(ENOSPC)`` inside the worker, as a full ``/dev/shm``
+        would; the engine must fall back to the pickle transport for
+        that worker and keep the campaign alive.
+    journal_torn_record:
+        1-based journal record index after which the service job journal
+        is torn mid-append (the line is half-written and the process
+        "dies"); replay must truncate the fragment and stay appendable.
+    slow_client:
+        Harness flag: the chaos soak drip-feeds request bytes to the
+        HTTP front-end, which must answer 408 instead of hanging.
+    stalled_server:
+        Harness flag: the chaos soak stops and restarts the HTTP
+        front-end mid-flood; clients must retry through the outage.
     """
 
     worker_errors: Tuple[Tuple[int, int], ...] = ()
     pool_breaks: Tuple[int, ...] = ()
     crash_after: Optional[int] = None
+    enospc_chunks: Tuple[int, ...] = ()
+    shm_alloc_failures: Tuple[int, ...] = ()
+    journal_torn_record: Optional[int] = None
+    slow_client: bool = False
+    stalled_server: bool = False
 
     def __post_init__(self) -> None:
         for entry in self.worker_errors:
@@ -77,6 +121,14 @@ class FaultPlan:
             raise ConfigurationError("pool_breaks indices must be >= 0")
         if self.crash_after is not None and self.crash_after < 0:
             raise ConfigurationError("crash_after must be >= 0")
+        if any(index < 0 for index in self.enospc_chunks):
+            raise ConfigurationError("enospc_chunks indices must be >= 0")
+        if any(index < 0 for index in self.shm_alloc_failures):
+            raise ConfigurationError(
+                "shm_alloc_failures indices must be >= 0"
+            )
+        if self.journal_torn_record is not None and self.journal_torn_record < 1:
+            raise ConfigurationError("journal_torn_record must be >= 1")
 
     # -- engine hooks --------------------------------------------------
 
@@ -103,6 +155,30 @@ class FaultPlan:
                 f"injected crash after folding chunk {chunk_index}"
             )
 
+    def check_store_write(self, chunk_index: int, file_position: int) -> None:
+        """Raise ``OSError(ENOSPC)`` mid-append of a scheduled chunk.
+
+        Called by the store's write path before each field file of chunk
+        ``chunk_index`` is written; the fault fires at ``file_position``
+        1 — after the first file landed — so a surviving half-written
+        chunk is exactly what the atomic-append cleanup must prevent.
+        """
+        if chunk_index in self.enospc_chunks and file_position == 1:
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC writing chunk {chunk_index} "
+                f"(file {file_position})",
+            )
+
+    def check_shm_publish(self, chunk_index: int) -> None:
+        """Raise ``OSError(ENOSPC)`` if this chunk's shm publish must fail."""
+        if chunk_index in self.shm_alloc_failures:
+            raise OSError(
+                errno.ENOSPC,
+                f"injected shared-memory allocation failure publishing "
+                f"chunk {chunk_index}",
+            )
+
     # -- parsing -------------------------------------------------------
 
     @classmethod
@@ -112,17 +188,30 @@ class FaultPlan:
         Comma-separated directives: ``worker@K`` (chunk *K* always fails),
         ``worker@KxN`` (fails on the first *N* attempts), ``pool@K``
         (pool dies collecting chunk *K*), ``crash@K`` (parent crashes
-        after folding chunk *K*).  Example: ``worker@1x2,crash@3``.
+        after folding chunk *K*), ``enospc@K`` (store append of chunk
+        *K* hits ``ENOSPC`` mid-write), ``shm-alloc-fail@K`` (chunk
+        *K*'s shared-memory publish fails), ``journal-torn@N`` (job
+        journal torn mid-append of record *N*), and the index-free
+        harness flags ``slow-client`` / ``stalled-server``.  Example:
+        ``worker@1x2,enospc@3,slow-client``.
         """
         worker_errors = []
         pool_breaks = []
         crash_after = None
+        enospc_chunks = []
+        shm_alloc_failures = []
+        journal_torn_record = None
+        flags = {name: False for name in _FLAG_DIRECTIVES}
         for part in filter(None, (p.strip() for p in text.split(","))):
+            if part in flags:
+                flags[part] = True
+                continue
             match = _SPEC_RE.match(part)
             if match is None:
                 raise ConfigurationError(
                     f"bad fault directive {part!r}; expected worker@K[xN], "
-                    "pool@K, or crash@K"
+                    "pool@K, crash@K, enospc@K, shm-alloc-fail@K, "
+                    "journal-torn@N, slow-client, or stalled-server"
                 )
             kind, index, count = match.group(1), int(match.group(2)), match.group(3)
             if kind == "worker":
@@ -131,6 +220,16 @@ class FaultPlan:
                 raise ConfigurationError(f"{kind}@K takes no repeat count")
             elif kind == "pool":
                 pool_breaks.append(index)
+            elif kind == "enospc":
+                enospc_chunks.append(index)
+            elif kind == "shm-alloc-fail":
+                shm_alloc_failures.append(index)
+            elif kind == "journal-torn":
+                if journal_torn_record is not None:
+                    raise ConfigurationError(
+                        "only one journal-torn@N directive allowed"
+                    )
+                journal_torn_record = index
             else:
                 if crash_after is not None:
                     raise ConfigurationError("only one crash@K directive allowed")
@@ -139,6 +238,11 @@ class FaultPlan:
             worker_errors=tuple(worker_errors),
             pool_breaks=tuple(pool_breaks),
             crash_after=crash_after,
+            enospc_chunks=tuple(enospc_chunks),
+            shm_alloc_failures=tuple(shm_alloc_failures),
+            journal_torn_record=journal_torn_record,
+            slow_client=flags["slow-client"],
+            stalled_server=flags["stalled-server"],
         )
 
 
@@ -176,6 +280,30 @@ def truncate_chunk_file(
         raise ConfigurationError("keep_bytes must be >= 0")
     file = _chunk_file(store_path, file_name)
     file.write_bytes(file.read_bytes()[:keep_bytes])
+
+
+def tear_journal_tail(
+    journal_path: Union[str, Path], keep_fraction: float = 0.5
+) -> None:
+    """Tear the final journal line mid-append, as a killed daemon would.
+
+    Keeps every complete record and ``keep_fraction`` of the final
+    line's bytes (newline dropped) — the exact on-disk footprint of a
+    process dying between ``write`` and ``flush`` completing.  Replay
+    must report the torn line, truncate it, and stay appendable.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigurationError("keep_fraction must be in [0, 1)")
+    journal = Path(journal_path)
+    if not journal.is_file():
+        raise ConfigurationError(f"no journal at {journal_path}")
+    raw = journal.read_bytes()
+    lines = raw.splitlines(keepends=True)
+    if not lines:
+        raise ConfigurationError(f"{journal_path} is empty; nothing to tear")
+    last = lines[-1].rstrip(b"\n")
+    kept = last[: max(1, int(len(last) * keep_fraction))]
+    journal.write_bytes(b"".join(lines[:-1]) + kept)
 
 
 def drop_manifest_tail(

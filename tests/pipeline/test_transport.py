@@ -120,6 +120,124 @@ def test_pool_death_under_shm_degrades_bit_identical_and_sweeps():
 
 
 @requires_shm
+def test_midrun_shm_alloc_failure_degrades_to_pickle_bit_identical():
+    baseline = _run(workers=1)
+    before = _ring_segments()
+    obs = Observability.create()
+    report = _run(
+        transport="shm",
+        workers=2,
+        faults=FaultPlan.parse("shm-alloc-fail@1"),
+        obs=obs,
+    )
+    # The campaign survives on pickle transport, not aborts.
+    assert report.transport_degraded
+    assert not report.degraded  # the *pool* stayed up
+    assert "DEGRADED to pickle" in report.summary()
+    assert obs.metrics.counter_value("campaign_transport_degraded_total") == 1
+    np.testing.assert_array_equal(
+        report.results["cpa[0]"].peak_corr,
+        baseline.results["cpa[0]"].peak_corr,
+    )
+    assert _ring_segments() <= before
+
+
+def test_startup_ring_failure_degrades_instead_of_aborting(monkeypatch):
+    baseline = _run(workers=1)
+
+    def _explode(*args, **kwargs):
+        raise OSError(28, "injected: no space on /dev/shm at startup")
+
+    monkeypatch.setattr(shm_transport, "ChunkTransportRing", _explode)
+    obs = Observability.create()
+    report = _run(transport="shm", workers=2, obs=obs)
+    assert report.transport_degraded
+    assert report.transport == "pickle"
+    assert obs.metrics.counter_value("campaign_transport_degraded_total") == 1
+    np.testing.assert_array_equal(
+        report.results["cpa[0]"].peak_corr,
+        baseline.results["cpa[0]"].peak_corr,
+    )
+
+
+def test_healthy_run_reports_no_transport_degradation():
+    report = _run(transport="pickle", workers=2)
+    assert not report.transport_degraded
+    assert "DEGRADED" not in report.summary()
+
+
+@requires_shm
+def test_leak_scan_and_sweep_roundtrip():
+    from multiprocessing import shared_memory
+
+    name = "rftc-shm-test-leak-scan"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+    segment.close()
+    try:
+        assert name in shm_transport.leaked_segments()
+        swept = shm_transport.sweep_prefix("rftc-shm-test-")
+        assert name in swept
+        assert name not in shm_transport.leaked_segments()
+    finally:
+        # In case the sweep failed, do not leak out of the test.
+        try:
+            leftover = shared_memory.SharedMemory(name=name)
+            leftover.close()
+            leftover.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@requires_shm
+def test_sigkilled_campaign_tree_leak_is_swept(tmp_path):
+    """Tree-wide SIGKILL is the one true leak path; sweep reclaims it."""
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    script = (
+        "from repro.pipeline import CampaignSpec, StreamingCampaign\n"
+        "spec = CampaignSpec(target='unprotected', noise_std=2.0)\n"
+        "engine = StreamingCampaign(spec, chunk_size=200, workers=2,\n"
+        "                           seed=5, transport='shm')\n"
+        "engine.run(200000)\n"
+    )
+    env = dict(os.environ, PYTHONPATH="src")
+    before = _ring_segments()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        env=env,
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if _ring_segments() - before:
+                break
+            if proc.poll() is not None:
+                pytest.fail("campaign subprocess exited before mapping shm")
+            time.sleep(0.05)
+        else:
+            pytest.fail("campaign subprocess never mapped ring segments")
+        # Kill the whole tree at once: parent, workers, and the
+        # resource tracker all die before anyone can unlink.
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - kill failed
+            proc.kill()
+            proc.wait()
+    leaked = set(shm_transport.leaked_segments()) - before
+    assert leaked, "tree-wide SIGKILL should have orphaned ring segments"
+    swept = shm_transport.sweep_prefix()
+    assert leaked <= set(swept)
+    assert set(shm_transport.leaked_segments()) <= before
+
+
+@requires_shm
 def test_chunk_timeout_under_shm_degrades_bit_identical_and_sweeps():
     baseline = _run(workers=1)
     before = _ring_segments()

@@ -1,0 +1,235 @@
+"""Service-side resource exhaustion: journal, compaction, failed jobs.
+
+Disk pressure on the journal must never tear records for the running
+daemon, compaction must be replay-equivalent to the incremental journal,
+and a job whose trace store hits ``ENOSPC`` must fail cleanly with its
+partial store deleted and its quota bytes released.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import InjectedCrashError, StorageExhaustedError
+from repro.pipeline import CampaignSpec
+from repro.service import CampaignService, JobStore
+from repro.service.jobs import next_job_id
+from repro.testing.faults import FaultPlan
+from tests.service.test_jobs import make_job
+
+
+def small_spec(**overrides):
+    fields = dict(target="rftc", m_outputs=1, p_configs=16, plan_seed=7)
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class _EnospcHandle:
+    """File-handle proxy whose next write dies half-way with ENOSPC."""
+
+    def __init__(self, inner, failures=1):
+        self._inner = inner
+        self._failures = failures
+
+    def write(self, data):
+        if self._failures > 0:
+            self._failures -= 1
+            self._inner.write(data[: len(data) // 2])  # short write
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        return self._inner.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestJournalEnospc:
+    def test_short_write_rolled_back_and_journal_appendable(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        clean_bytes = path.read_bytes()
+        store._handle = _EnospcHandle(store._handle)
+        with pytest.raises(StorageExhaustedError, match="out of disk"):
+            store.add(make_job(1))
+        # The half-written record was truncated away: on disk the
+        # journal is byte-identical to before the failed append.
+        store._handle.flush()
+        assert path.read_bytes() == clean_bytes
+        # The in-memory index must not claim a job the journal lost.
+        assert store.get(next_job_id(1)) is None
+        # Space "frees up" (the proxy's failure budget is spent):
+        # the same append now lands, and replay sees both jobs whole.
+        store.add(make_job(1))
+        store.close()
+        replayed = JobStore(path)
+        assert replayed.torn_line is None
+        assert [j.job_id for j in replayed.jobs()] == [
+            next_job_id(0), next_job_id(1),
+        ]
+        replayed.close()
+
+    def test_non_enospc_oserror_propagates_unwrapped(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+
+        class _EioHandle(_EnospcHandle):
+            def write(self, data):
+                if self._failures > 0:
+                    self._failures -= 1
+                    raise OSError(errno.EIO, "injected I/O error")
+                return self._inner.write(data)
+
+        store._handle = _EioHandle(store._handle)
+        with pytest.raises(OSError) as err:
+            store.add(make_job(0))
+        assert not isinstance(err.value, StorageExhaustedError)
+        store.close()
+
+
+class TestTornRecordInjection:
+    def test_injected_tear_is_repaired_on_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.faults = FaultPlan.parse("journal-torn@2")
+        store.add(make_job(0))
+        with pytest.raises(InjectedCrashError):
+            store.add(make_job(1))
+        store.close()
+        # Exactly what a daemon killed mid-append leaves behind: one
+        # whole record plus a torn half-line with no newline.
+        assert not path.read_bytes().endswith(b"\n")
+
+        replayed = JobStore(path)
+        assert replayed.torn_line is not None
+        assert [j.job_id for j in replayed.jobs()] == [next_job_id(0)]
+        assert replayed.record_count == 1
+        # Truncation repair leaves the journal appendable.
+        replayed.add(make_job(1))
+        replayed.close()
+        again = JobStore(path)
+        assert again.torn_line is None
+        assert len(again.jobs()) == 2
+        again.close()
+
+    def test_record_numbering_is_global_across_replay(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        store.add(make_job(0))
+        store.add(make_job(1))
+        store.close()
+        reopened = JobStore(path)
+        assert reopened.record_count == 2
+        # journal-torn@3 targets the first *post-replay* append here.
+        reopened.faults = FaultPlan.parse("journal-torn@3")
+        with pytest.raises(InjectedCrashError):
+            reopened.add(make_job(2))
+        reopened.close()
+
+
+class TestCompaction:
+    def test_compact_saves_lines_and_replays_identically(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        jobs = [make_job(n) for n in range(2)]
+        for n, job in enumerate(jobs):
+            store.add(job)
+            store.update(job, state="running", dispatch_seq=n, started_at=1.0)
+            store.update(
+                job,
+                state="done",
+                completion_seq=n,
+                finished_at=2.0,
+                result={"n": n},
+            )
+        docs_before = [j.to_dict() for j in store.jobs()]
+        assert store.record_count == 6
+        saved = store.compact()
+        assert saved == 4
+        assert store.record_count == 2
+        assert sum(1 for _ in open(path)) == 2
+        # Still appendable after the handle swap.
+        store.add(make_job(9))
+        store.close()
+
+        replayed = JobStore(path)
+        assert [j.to_dict() for j in replayed.jobs()][:2] == docs_before
+        assert replayed.max_seq("dispatch_seq") == 1
+        assert replayed.max_seq("completion_seq") == 1
+        replayed.close()
+
+    def test_compacted_journal_is_pure_job_records(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        job = make_job(0)
+        store.add(job)
+        store.update(job, state="cancelled")
+        store.compact()
+        store.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["record"] for r in records] == ["job"]
+        assert records[0]["job"]["state"] == "cancelled"
+
+    def test_service_compacts_on_start_and_serves_results(self, tmp_path):
+        data = tmp_path / "svc"
+        spec = small_spec()
+        with CampaignService(data, worker_budget=1) as service:
+            job = service.submit(spec, n_traces=40, chunk_size=20)
+            assert service.join(timeout=60)
+            result_before = service.result(job.job_id)
+
+        compacted = CampaignService(data, worker_budget=1, compact_journal=True)
+        try:
+            assert (
+                compacted.metrics.counter_value(
+                    "service_journal_compactions_total"
+                )
+                == 1
+            )
+            assert (
+                compacted.metrics.counter_value(
+                    "service_journal_compacted_lines_total"
+                )
+                > 0
+            )
+            assert compacted.result(job.job_id) == result_before
+        finally:
+            compacted.shutdown()
+
+        # A plain restart of the compacted journal sees the same state.
+        again = CampaignService(data, worker_budget=1)
+        try:
+            assert again.result(job.job_id) == result_before
+        finally:
+            again.shutdown()
+
+
+class TestJobEnospc:
+    def test_store_job_fails_cleanly_and_releases_quota(self, tmp_path):
+        data = tmp_path / "svc"
+        plan = FaultPlan.parse("enospc@1")
+        service = CampaignService(
+            data,
+            worker_budget=1,
+            job_faults=lambda job: plan if job.store else None,
+        )
+        service.start()
+        try:
+            job = service.submit(
+                small_spec(), n_traces=40, chunk_size=20, store=True
+            )
+            assert service.join(timeout=60)
+            doc = service.status(job.job_id)
+            assert doc["state"] == "failed"
+            assert "out of disk" in doc["error"]
+            assert doc["store_bytes"] == 0
+            assert service.store_usage("default") == 0
+            store_path = data / "stores" / "default" / job.job_id
+            assert not store_path.exists()
+
+            # Non-store jobs are untouched by the fault plan and the
+            # failure above leaves the worker healthy.
+            ok = service.submit(small_spec(), n_traces=40, chunk_size=20)
+            assert service.join(timeout=60)
+            assert service.status(ok.job_id)["state"] == "done"
+        finally:
+            service.shutdown()

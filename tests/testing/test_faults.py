@@ -13,6 +13,7 @@ from repro.testing.faults import (
     FaultPlan,
     corrupt_chunk_file,
     drop_manifest_tail,
+    tear_journal_tail,
     truncate_chunk_file,
 )
 
@@ -83,6 +84,52 @@ class TestFaultPlanParse:
         with pytest.raises(ConfigurationError):
             FaultPlan.parse("crash@1,crash@2")
 
+    def test_system_fault_directives(self):
+        plan = FaultPlan.parse(
+            "enospc@3, shm-alloc-fail@1, journal-torn@4, "
+            "slow-client, stalled-server"
+        )
+        assert plan.enospc_chunks == (3,)
+        assert plan.shm_alloc_failures == (1,)
+        assert plan.journal_torn_record == 4
+        assert plan.slow_client and plan.stalled_server
+
+    def test_system_fault_validation(self):
+        for bad in (
+            "enospc@-1",
+            "enospc@1x2",
+            "shm-alloc-fail@",
+            "journal-torn@0",
+            "journal-torn@1,journal-torn@2",
+            "slow-client@1",
+        ):
+            with pytest.raises(ConfigurationError):
+                FaultPlan.parse(bad)
+
+    def test_system_fault_plan_picklable(self):
+        import pickle
+
+        plan = FaultPlan.parse("enospc@2,shm-alloc-fail@0,slow-client")
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestSystemFaultHooks:
+    def test_enospc_fires_on_second_file_of_scheduled_chunk(self):
+        import errno
+
+        plan = FaultPlan.parse("enospc@2")
+        plan.check_store_write(2, 0)  # first file lands
+        with pytest.raises(OSError) as err:
+            plan.check_store_write(2, 1)
+        assert err.value.errno == errno.ENOSPC
+        plan.check_store_write(1, 1)  # other chunks untouched
+
+    def test_shm_publish_fault(self):
+        plan = FaultPlan.parse("shm-alloc-fail@1")
+        plan.check_shm_publish(0)
+        with pytest.raises(OSError):
+            plan.check_shm_publish(1)
+
 
 class TestFileCorruptionHelpers:
     def test_corrupt_flips_exactly_one_byte(self, tmp_path):
@@ -115,3 +162,24 @@ class TestFileCorruptionHelpers:
         manifest.write_text("x" * 100)
         drop_manifest_tail(tmp_path, drop_chars=30)
         assert manifest.read_text() == "x" * 70
+
+    def test_tear_journal_tail_keeps_whole_records(self, tmp_path):
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text('{"a": 1}\n{"b": 2}\n{"c": 33333333}\n')
+        tear_journal_tail(journal, keep_fraction=0.5)
+        text = journal.read_text()
+        assert text.startswith('{"a": 1}\n{"b": 2}\n')
+        tail = text.split("\n")[2]
+        assert 0 < len(tail) < len('{"c": 33333333}')
+        assert not text.endswith("\n")
+
+    def test_tear_journal_tail_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            tear_journal_tail(tmp_path / "missing.jsonl")
+        journal = tmp_path / "jobs.jsonl"
+        journal.write_text("")
+        with pytest.raises(ConfigurationError):
+            tear_journal_tail(journal)
+        journal.write_text('{"a": 1}\n')
+        with pytest.raises(ConfigurationError):
+            tear_journal_tail(journal, keep_fraction=1.0)
