@@ -11,6 +11,10 @@ Installed as ``repro-rftc`` (see pyproject), or run via
 * ``fig3``     — completion-time histogram statistics
 * ``campaign`` — streaming chunked campaign (bounded memory, worker pool,
   checkpoint/resume, fault injection, ``--metrics-out``/``--trace-out``)
+* ``matrix``   — declarative scenario sweep: acquisition × drift ×
+  adversary cells with matrix-granularity resume (``repro.scenarios``)
+* ``search``   — frequency-set search over MMCM-realizable plans,
+  scored by traces-to-disclosure and TVLA
 * ``serve``    — multi-tenant campaign service daemon (``repro.service``)
 * ``store``    — inspect or integrity-check a ChunkedTraceStore
 * ``obs``      — render a saved metrics snapshot for the terminal
@@ -356,6 +360,134 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError, ConfigurationError, ServiceError
+    from repro.scenarios import MatrixRunner, load_matrix, render_markdown, render_report
+    from repro.scenarios.report import report_json
+
+    try:
+        matrix = load_matrix(args.spec)
+    except ConfigurationError as exc:
+        print(f"bad matrix file: {exc}", file=sys.stderr)
+        return 2
+    client = None
+    if args.service:
+        host, sep, port = args.service.rpartition(":")
+        if not sep or not port.isdigit():
+            print(f"bad --service address {args.service!r}: expected HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(host, int(port), token=args.token)
+        if not client.healthy():
+            print(f"service at {args.service} is not answering /healthz",
+                  file=sys.stderr)
+            return 1
+    obs = None
+    if args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability.create()
+    runner = MatrixRunner(
+        matrix,
+        args.out,
+        workers=args.workers,
+        client=client,
+        tenant=args.tenant,
+        obs=obs,
+    )
+    print(f"matrix {matrix.name}: {matrix.n_cells} cells "
+          f"(digest {matrix.matrix_digest()[:12]}) -> {args.out}")
+
+    def on_cell(cell, status) -> None:
+        if not args.quiet:
+            print(f"  [{status:>6}] {cell.name} ({cell.cell_digest()[:12]})")
+
+    try:
+        payloads = runner.run(resume=args.resume, on_cell=on_cell)
+    except (ConfigurationError, CheckpointError) as exc:
+        print(f"matrix run failed: {exc}", file=sys.stderr)
+        return 2 if "different matrix" in str(exc) else 1
+    except ServiceError as exc:
+        print(f"matrix run failed against the service: {exc}", file=sys.stderr)
+        return 1
+    report = render_report(matrix, payloads)
+    out_dir = args.out
+    json_path = os.path.join(out_dir, "report.json")
+    md_path = os.path.join(out_dir, "report.md")
+    with open(json_path, "w") as handle:
+        handle.write(report_json(report))
+    with open(md_path, "w") as handle:
+        handle.write(render_markdown(report))
+    summary = report["summary"]
+    print(f"report: {json_path} (+ report.md)")
+    print(f"  CPA disclosed {summary['disclosed_cells']}/{summary['n_cpa_cells']}, "
+          f"TVLA leaking {summary['leaking_cells']}/{summary['n_tvla_cells']}")
+    if obs is not None and args.metrics_out:
+        snapshot = obs.metrics.snapshot()
+        text = (snapshot.to_json() if args.metrics_out.endswith(".json")
+                else snapshot.to_prometheus())
+        with open(args.metrics_out, "w") as handle:
+            handle.write(text)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.errors import ConfigurationError
+    from repro.scenarios import SearchConfig, run_search
+
+    try:
+        config = SearchConfig(
+            m_outputs=args.m,
+            p_configs=args.p,
+            n_traces=args.traces,
+            chunk_size=args.chunk_size,
+            noise_std=args.noise_std,
+            acquisition=args.acquisition,
+            seed=args.seed,
+            seed_base=args.seed_base,
+            grid=args.grid,
+            elites=args.elites,
+            children=args.children,
+        )
+    except ConfigurationError as exc:
+        print(f"bad search configuration: {exc}", file=sys.stderr)
+        return 2
+    print(f"searching {args.budget} RFTC({args.m}, {args.p}) plan seeds "
+          f"(grid {args.grid}, then {args.children} children/generation) ...")
+
+    def progress(entry) -> None:
+        if not args.quiet:
+            fd = entry["first_disclosure"]
+            print(f"  seed {entry['plan_seed']:>10} [{entry['phase']}] "
+                  f"score {entry['score']:.3f} "
+                  f"disclosure {fd if fd is not None else 'never'} "
+                  f"max|t| {entry['max_abs_t']:.2f}")
+
+    try:
+        ranking = run_search(
+            config, args.budget, workers=args.workers, progress=progress
+        )
+    except ConfigurationError as exc:
+        print(f"search failed: {exc}", file=sys.stderr)
+        return 1
+    best = ranking["best"]
+    print(f"best: plan seed {best['plan_seed']} score {best['score']:.3f} "
+          f"({best['freq_min_mhz']:.1f}-{best['freq_max_mhz']:.1f} MHz, "
+          f"{best['n_sets']} sets)")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(
+                json_module.dumps(ranking, sort_keys=True, indent=1) + "\n"
+            )
+        print(f"ranking written to {args.out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -647,6 +779,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="write the span trace as JSON Lines")
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "matrix",
+        help="run a declarative scenario matrix (repro.scenarios)",
+    )
+    p.add_argument("spec", help="matrix file (JSON, schema "
+                                "rftc-scenario-matrix/1; see docs/scenarios.md)")
+    p.add_argument("--out", required=True,
+                   help="working directory: resume state, per-cell "
+                        "checkpoints, report.json and report.md")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per cell")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed cells recorded in --out "
+                        "(matrix-granularity resume; half-finished cells "
+                        "continue from their engine checkpoint)")
+    p.add_argument("--service", default=None, metavar="HOST:PORT",
+                   help="submit cells to a repro-rftc serve daemon instead "
+                        "of running them in-process")
+    p.add_argument("--tenant", default=None,
+                   help="tenant to submit service cells under")
+    p.add_argument("--token", default=None,
+                   help="bearer token for an authenticated daemon")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a metrics snapshot after the run "
+                        "(.json -> JSON, anything else -> Prometheus text)")
+    p.set_defaults(func=_cmd_matrix)
+
+    p = sub.add_parser(
+        "search",
+        help="search MMCM-realizable frequency sets (grid + evolutionary)",
+    )
+    p.add_argument("--budget", type=int, default=8,
+                   help="candidate plan seeds to evaluate")
+    p.add_argument("--m", type=int, default=2, help="MMCM outputs used (M)")
+    p.add_argument("--p", type=int, default=16, help="stored sets (P)")
+    p.add_argument("--traces", type=int, default=1200,
+                   help="traces per evaluation cell")
+    p.add_argument("--chunk-size", type=int, default=400)
+    p.add_argument("--noise-std", type=float, default=1.0)
+    p.add_argument("--acquisition", choices=("scope", "cloud"),
+                   default="scope")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed of the cells and the child draws")
+    p.add_argument("--seed-base", type=int, default=100,
+                   help="first plan seed of the grid phase")
+    p.add_argument("--grid", type=int, default=4,
+                   help="consecutive plan seeds evaluated exhaustively first")
+    p.add_argument("--elites", type=int, default=2,
+                   help="top candidates retained across generations")
+    p.add_argument("--children", type=int, default=4,
+                   help="seeded draws per evolutionary generation")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes per evaluation cell")
+    p.add_argument("--out", default=None,
+                   help="write the ranking as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-candidate progress lines")
+    p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser(
         "serve",

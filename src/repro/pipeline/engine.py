@@ -76,7 +76,9 @@ from repro.store import ChunkedTraceStore
 from repro.testing.faults import FaultPlan
 
 #: A unit of worker work: (chunk index, trace count, chunk seed, spec,
-#: retry policy, fault plan, observe flag).
+#: retry policy, fault plan, observe flag, absolute trace offset).
+#: The offset is the campaign index of the chunk's first trace — what
+#: environment-drift models key on (see :mod:`repro.power.drift`).
 _ChunkTask = Tuple[
     int,
     int,
@@ -85,6 +87,7 @@ _ChunkTask = Tuple[
     RetryPolicy,
     Optional[FaultPlan],
     bool,
+    int,
 ]
 
 #: What a worker ships home besides the chunk: its private metrics
@@ -163,7 +166,7 @@ def _acquire_chunk(
     tuple slot for the parent to fold.  Observation reads clocks only —
     the chunk's RNG streams and bytes are untouched.
     """
-    index, n, chunk_seed, spec, retry, faults, observe = task
+    index, n, chunk_seed, spec, retry, faults, observe, trace_offset = task
     obs = Observability.create(origin=f"worker:chunk-{index}") if observe else NULL_OBS
     started = time.perf_counter()
     device_seq, data_seq = chunk_seed.spawn(2)
@@ -176,6 +179,7 @@ def _acquire_chunk(
                     faults.check_worker(index, attempt)
                 device = spec.build_device(np.random.default_rng(device_seq))
                 device.obs = obs
+                device.trace_offset = trace_offset
                 rng = np.random.default_rng(data_seq)
                 plaintexts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
                 if spec.fixed_plaintext is not None:
@@ -443,10 +447,13 @@ class StreamingCampaign:
         sizes = self.chunk_layout(n_traces)
         seeds = np.random.SeedSequence(self.seed).spawn(len(sizes))
         observe = self.obs.enabled
+        offsets = [0] * len(sizes)
+        for index in range(1, len(sizes)):
+            offsets[index] = offsets[index - 1] + sizes[index - 1]
         return [
             (
                 index, size, seeds[index], self.spec, self.retry, self.faults,
-                observe,
+                observe, offsets[index],
             )
             for index, size in enumerate(sizes)
         ]

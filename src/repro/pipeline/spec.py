@@ -19,20 +19,25 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import CheckpointError, ConfigurationError
+from repro.power.drift import DriftSpec
 
 #: Non-baseline target names (baselines come from ``baseline_names()``).
 _CORE_TARGETS = ("unprotected", "rftc")
 
 #: Version tag folded into every :meth:`CampaignSpec.spec_digest` — bump
 #: when the canonical field set changes, so old digests can never
-#: collide with new ones.  v2 added ``dtype`` and ``compression``.
-SPEC_DIGEST_SCHEMA = "rftc-campaign-spec/2"
+#: collide with new ones.  v2 added ``dtype`` and ``compression``; v3
+#: added ``acquisition`` and ``drift``.
+SPEC_DIGEST_SCHEMA = "rftc-campaign-spec/3"
 
 #: Trace dtypes a campaign can synthesize/fold in.
 SPEC_DTYPES = ("float64", "float32")
 
 #: Store chunk encodings a campaign can request.
 SPEC_COMPRESSIONS = ("none", "zstd-npz")
+
+#: Acquisition front-ends a campaign can capture through.
+SPEC_ACQUISITIONS = ("scope", "cloud")
 
 
 def spec_to_dict(spec: "CampaignSpec") -> dict:
@@ -49,6 +54,8 @@ def spec_to_dict(spec: "CampaignSpec") -> dict:
         ),
         "dtype": spec.dtype,
         "compression": spec.compression,
+        "acquisition": spec.acquisition,
+        "drift": spec.drift.to_dict() if spec.drift is not None else None,
     }
 
 
@@ -74,6 +81,12 @@ def spec_from_dict(fields: dict) -> "CampaignSpec":
             ),
             dtype=str(fields.get("dtype", "float64")),
             compression=str(fields.get("compression", "none")),
+            acquisition=str(fields.get("acquisition", "scope")),
+            drift=(
+                DriftSpec.from_dict(fields["drift"])
+                if fields.get("drift") is not None
+                else None
+            ),
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise CheckpointError(f"checkpoint spec is malformed: {exc}") from exc
@@ -118,6 +131,17 @@ class CampaignSpec:
         ``"zstd-npz"`` (``np.savez_compressed`` per field — zlib inside
         npz; the name records the manifest family, see
         :mod:`repro.store.chunked`).
+    acquisition:
+        Acquisition front-end: ``"scope"`` (the paper's bench
+        oscilloscope, default) or ``"cloud"`` (an on-chip co-tenant
+        sensor — band-limited, decimated, TDC-quantized, with
+        shared-tenant interference; see :mod:`repro.power.cloud`).
+        ``noise_std`` scales the front-end's Gaussian noise either way.
+    drift:
+        Optional :class:`~repro.power.drift.DriftSpec`: deterministic
+        seeded temperature/voltage/aging/jitter processes applied per
+        absolute trace index in the scope path.  ``None`` (default)
+        models a perfectly stable environment.
     """
 
     target: str = "rftc"
@@ -129,6 +153,8 @@ class CampaignSpec:
     fixed_plaintext: Optional[bytes] = None
     dtype: str = "float64"
     compression: str = "none"
+    acquisition: str = "scope"
+    drift: Optional[DriftSpec] = None
 
     def __post_init__(self) -> None:
         if self.target not in campaign_targets():
@@ -150,6 +176,16 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"compression must be one of {SPEC_COMPRESSIONS}, "
                 f"got {self.compression!r}"
+            )
+        if self.acquisition not in SPEC_ACQUISITIONS:
+            raise ConfigurationError(
+                f"acquisition must be one of {SPEC_ACQUISITIONS}, "
+                f"got {self.acquisition!r}"
+            )
+        if self.drift is not None and not isinstance(self.drift, DriftSpec):
+            raise ConfigurationError(
+                "drift must be a DriftSpec or None, "
+                f"got {type(self.drift).__name__}"
             )
 
     @property
@@ -194,11 +230,25 @@ class CampaignSpec:
                 self.target, key=self.key, noise_std=self.noise_std, rng=rng
             )
         device = scenario.device
+        if self.acquisition == "cloud":
+            from repro.power.cloud import CloudSensor
+
+            # Swap the bench scope for the on-chip co-tenant sensor;
+            # noise_std scales the sensor's readout noise just as it
+            # scales the scope's front-end noise.
+            device.scope = CloudSensor(
+                sample_rate_msps=device.synthesizer.sample_rate_msps,
+                noise_std=self.noise_std,
+            )
         if self.dtype != "float64":
             # Scenario builders are dtype-agnostic; the spec applies its
             # trace dtype to the measurement chain after the fact.
             device.synthesizer.dtype = self.dtype
             device.scope = dataclasses.replace(device.scope, dtype=self.dtype)
+        if self.drift is not None and self.drift.enabled:
+            from repro.power.drift import DriftProcess
+
+            device.drift = DriftProcess(self.drift)
         return device
 
     def spec_digest(self) -> str:

@@ -13,6 +13,8 @@ from repro.power.acquisition import (
     TraceSet,
     sanitize_metadata,
 )
+from repro.power.cloud import CloudSensor
+from repro.power.drift import DriftProcess, DriftSpec, build_drift
 from repro.power.leakage import (
     HammingDistanceLeakage,
     HammingWeightLeakage,
@@ -23,6 +25,9 @@ from repro.power.synth import TraceSynthesizer
 
 __all__ = [
     "AcquisitionCampaign",
+    "CloudSensor",
+    "DriftProcess",
+    "DriftSpec",
     "ProtectedAesDevice",
     "TraceSet",
     "HammingDistanceLeakage",
@@ -30,5 +35,6 @@ __all__ = [
     "LeakageModel",
     "Oscilloscope",
     "TraceSynthesizer",
+    "build_drift",
     "sanitize_metadata",
 ]

@@ -243,6 +243,15 @@ class ProtectedAesDevice:
     leakage / synthesizer / scope:
         Measurement-chain stages; defaults model the paper's bench with the
         SNR scaled for laptop-feasible trace counts (see DESIGN.md).
+        ``scope`` may also be a :class:`~repro.power.cloud.CloudSensor`
+        (anything with the scope's ``capture(analog, rng)`` contract).
+    drift:
+        Optional :class:`~repro.power.drift.DriftProcess` applied to the
+        analog traces before capture.  Drift is a function of the
+        *absolute* trace index: :attr:`trace_offset` names the campaign
+        index of the next trace this device will run, and advances with
+        every :meth:`run` so sequential chunked acquisition drifts
+        continuously.  The streaming engine instead sets it per chunk.
     """
 
     def __init__(
@@ -252,6 +261,7 @@ class ProtectedAesDevice:
         leakage: Optional[LeakageModel] = None,
         synthesizer: Optional[TraceSynthesizer] = None,
         scope: Optional[Oscilloscope] = None,
+        drift=None,
     ):
         self.datapath = AesDatapath(key)
         self.countermeasure = countermeasure
@@ -264,10 +274,18 @@ class ProtectedAesDevice:
             raise ConfigurationError(
                 "scope and synthesizer must agree on the sample rate"
             )
+        self.drift = drift
+        #: Campaign index of the next trace acquired by :meth:`run`.
+        self.trace_offset = 0
         #: Optional :class:`~repro.obs.Observability` bundle; workers of
         #: an observed campaign swap in their private one.  Observation
         #: reads the stage clocks only — never the RNG streams.
         self.obs = NULL_OBS
+
+    @property
+    def sample_period_ns(self) -> float:
+        """Period of the *captured* samples (decimating front-ends widen it)."""
+        return self.synthesizer.dt_ns * getattr(self.scope, "decimation", 1)
 
     @property
     def key(self) -> bytes:
@@ -315,10 +333,13 @@ class ProtectedAesDevice:
         t3 = time.perf_counter()
         with tracer.span("acquire_stage", stage="synth"):
             analog = self.synthesizer.synthesize(schedule, amplitudes, rng=rng)
+            if self.drift is not None:
+                analog = self.drift.apply(analog, self.trace_offset)
         t4 = time.perf_counter()
         with tracer.span("acquire_stage", stage="capture"):
             traces = self.scope.capture(analog, rng)
         t5 = time.perf_counter()
+        self.trace_offset += n
         metadata = dict(schedule.metadata)
         metadata["stage_seconds"] = {
             "schedule": t1 - t0,
@@ -340,7 +361,7 @@ class ProtectedAesDevice:
             ciphertexts=ciphertexts,
             key=self.key,
             completion_times_ns=schedule.completion_times_ns(),
-            sample_period_ns=self.synthesizer.dt_ns,
+            sample_period_ns=self.sample_period_ns,
             metadata=metadata,
         )
 

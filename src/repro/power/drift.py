@@ -1,0 +1,278 @@
+"""Run-time environment drift: temperature, voltage and aging processes.
+
+Galli et al. (arXiv 2409.01881) show that the run-time variability of a
+real device — die temperature wandering with ambient and self-heating,
+supply-voltage ripple, and slow transistor aging — misaligns and rescales
+power traces enough to degrade CPA on its own, before any deliberate
+countermeasure.  This module models those processes as **deterministic,
+seeded, per-trace** gain/offset/jitter sequences applied in the scope
+path, so a campaign can turn drift on per scenario and stay bit-for-bit
+reproducible at any worker count.
+
+Design constraints (both verified by ``tests/power/test_drift.py``):
+
+* **Self-seeded.**  Drift never draws from the acquisition RNG streams:
+  all randomness comes from the :class:`DriftSpec`'s own seed, evaluated
+  as a pure function of the *absolute trace index*.  Enabling drift
+  therefore does not perturb the plaintext/noise streams, and chunk
+  boundaries are invisible — trace ``i`` sees the same environment
+  whether it was acquired inline, by worker 3, or on a resumed run.
+* **Exact zero identity.**  A spec whose amplitudes are all zero applies
+  no arithmetic at all: the output array is the input array, bit for
+  bit, exactly as if drift were disabled.
+
+The processes
+-------------
+
+With ``i`` the absolute trace index and ``T`` the drift period in traces
+(:attr:`DriftSpec.period_traces`):
+
+* **Temperature** — a slow thermal wander: a sum of four seeded
+  sinusoids with periods ``T/1 .. T/4`` and ``1/k`` amplitude roll-off
+  (slow components dominate, like a die tracking ambient).  It moves the
+  trace **gain** (CMOS dynamic current drops as temperature rises) and
+  adds a proportional baseline **offset** (leakage current grows with
+  temperature).
+* **Voltage** — supply ripple: two faster seeded sinusoids (periods
+  ``T/16`` and ``T/37``) plus white per-trace ripple from a counter
+  hash.  Dynamic power goes as ``V^2``, so voltage acts on gain twice as
+  strongly as on offset.
+* **Aging** — monotonic gain decay, linear in ``i`` over
+  :attr:`DriftSpec.aging_traces` (NBTI-style slowdown observed as
+  amplitude loss).  ``amplitude=1`` loses 10% of gain after
+  ``aging_traces`` encryptions.
+* **Jitter** — per-trace trigger misalignment: a circular sample shift
+  of up to ``jitter_samples`` points, uniform from the counter hash.
+  (This models scope/sensor trigger wander, not the intra-trace clock
+  jitter knob of :class:`~repro.power.synth.TraceSynthesizer`.)
+
+The counter hash is SplitMix64 over ``(seed, index)`` — stateless, so
+any subsequence of traces can be evaluated without generating its
+prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Schema tag folded into serialized drift specs.
+DRIFT_SCHEMA = "rftc-drift-spec/1"
+
+#: SplitMix64 constants (Steele et al., the JDK's SplittableRandom).
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(seed: int, counters: np.ndarray) -> np.ndarray:
+    """Stateless uint64 hash of ``(seed, counter)`` per element."""
+    z = (np.asarray(counters, dtype=np.uint64) + np.uint64(seed)) * _SM64_GAMMA
+    z = (z ^ (z >> np.uint64(30))) * _SM64_M1
+    z = (z ^ (z >> np.uint64(27))) * _SM64_M2
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_uniform(seed: int, indices: np.ndarray) -> np.ndarray:
+    """Per-index uniform floats in ``[-1, 1)`` from the counter hash."""
+    bits = _splitmix64(seed, indices)
+    # 53 mantissa bits -> [0, 1), then centered.
+    return (bits >> np.uint64(11)).astype(np.float64) * (2.0**-52) - 1.0
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Declarative drift configuration — a :class:`CampaignSpec` field.
+
+    Attributes
+    ----------
+    temperature / voltage / aging:
+        Dimensionless process amplitudes; 0 disables the component
+        exactly.  ``temperature=1`` swings gain by about ±5% and offset
+        by about ±1 leakage unit; ``voltage=1`` similarly; ``aging=1``
+        decays gain 10% over ``aging_traces``.
+    jitter_samples:
+        Maximum per-trace trigger misalignment in scope samples
+        (circular shift); 0 disables jitter exactly.
+    seed:
+        Seed of the drift processes — independent of the campaign seed.
+    period_traces:
+        Fundamental period of the thermal wander, in traces.
+    aging_traces:
+        Trace count over which ``aging=1`` loses 10% of gain.
+    """
+
+    temperature: float = 0.0
+    voltage: float = 0.0
+    aging: float = 0.0
+    jitter_samples: int = 0
+    seed: int = 7
+    period_traces: int = 100_000
+    aging_traces: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        for name in ("temperature", "voltage", "aging"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} amplitude must be >= 0")
+        if self.jitter_samples < 0:
+            raise ConfigurationError("jitter_samples must be >= 0")
+        if self.period_traces < 2:
+            raise ConfigurationError("period_traces must be >= 2")
+        if self.aging_traces < 1:
+            raise ConfigurationError("aging_traces must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any component would actually touch the traces."""
+        return bool(
+            self.temperature > 0
+            or self.voltage > 0
+            or self.aging > 0
+            or self.jitter_samples > 0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe description (round-trips through :meth:`from_dict`)."""
+        return {
+            "temperature": self.temperature,
+            "voltage": self.voltage,
+            "aging": self.aging,
+            "jitter_samples": self.jitter_samples,
+            "seed": self.seed,
+            "period_traces": self.period_traces,
+            "aging_traces": self.aging_traces,
+        }
+
+    @staticmethod
+    def from_dict(fields: dict) -> "DriftSpec":
+        try:
+            return DriftSpec(
+                temperature=float(fields.get("temperature", 0.0)),
+                voltage=float(fields.get("voltage", 0.0)),
+                aging=float(fields.get("aging", 0.0)),
+                jitter_samples=int(fields.get("jitter_samples", 0)),
+                seed=int(fields.get("seed", 7)),
+                period_traces=int(fields.get("period_traces", 100_000)),
+                aging_traces=int(fields.get("aging_traces", 1_000_000)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed drift spec: {exc}") from exc
+
+
+class DriftProcess:
+    """Evaluates a :class:`DriftSpec` on absolute trace indices.
+
+    The seeded sinusoid phases are drawn once at construction (from the
+    spec's seed, via the explicit generator API); evaluation is then a
+    pure function of the index array.
+    """
+
+    #: (relative frequency, amplitude weight) of the thermal harmonics.
+    _THERMAL_HARMONICS = ((1, 1.0), (2, 0.5), (3, 1.0 / 3.0), (4, 0.25))
+    #: Relative frequencies of the supply-ripple sinusoids.
+    _RIPPLE_HARMONICS = (16, 37)
+
+    def __init__(self, spec: DriftSpec):
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        self._thermal_phases = rng.uniform(
+            0.0, 2.0 * np.pi, len(self._THERMAL_HARMONICS)
+        )
+        self._ripple_phases = rng.uniform(
+            0.0, 2.0 * np.pi, len(self._RIPPLE_HARMONICS)
+        )
+        # Distinct hash streams for ripple noise and jitter.
+        self._ripple_seed = spec.seed * 2 + 1
+        self._jitter_seed = spec.seed * 2 + 2
+
+    # -- per-trace processes (all pure functions of the index) ---------
+
+    def _thermal(self, idx: np.ndarray) -> np.ndarray:
+        """Unit-scale thermal wander at each absolute index."""
+        w = 2.0 * np.pi / self.spec.period_traces
+        out = np.zeros(idx.shape, dtype=np.float64)
+        for (k, weight), phase in zip(
+            self._THERMAL_HARMONICS, self._thermal_phases
+        ):
+            out += weight * np.sin(w * k * idx + phase)
+        return out
+
+    def _ripple(self, idx: np.ndarray) -> np.ndarray:
+        """Unit-scale supply ripple: fast sinusoids + white component."""
+        w = 2.0 * np.pi / self.spec.period_traces
+        out = np.zeros(idx.shape, dtype=np.float64)
+        for k, phase in zip(self._RIPPLE_HARMONICS, self._ripple_phases):
+            out += 0.4 * np.sin(w * k * idx + phase)
+        out += 0.2 * _hash_uniform(self._ripple_seed, idx)
+        return out
+
+    def gain(self, idx: np.ndarray) -> np.ndarray:
+        """Multiplicative amplitude drift at each absolute index."""
+        idx = np.asarray(idx, dtype=np.float64)
+        g = np.ones(idx.shape, dtype=np.float64)
+        if self.spec.temperature > 0:
+            g += 0.05 * self.spec.temperature * self._thermal(idx)
+        if self.spec.voltage > 0:
+            # P ~ V^2: voltage couples into gain at twice its offset weight.
+            g += 0.04 * self.spec.voltage * self._ripple(idx)
+        if self.spec.aging > 0:
+            g -= 0.1 * self.spec.aging * (idx / self.spec.aging_traces)
+        return g
+
+    def offset(self, idx: np.ndarray) -> np.ndarray:
+        """Additive baseline drift at each absolute index."""
+        idx = np.asarray(idx, dtype=np.float64)
+        o = np.zeros(idx.shape, dtype=np.float64)
+        if self.spec.temperature > 0:
+            o += 1.0 * self.spec.temperature * self._thermal(idx)
+        if self.spec.voltage > 0:
+            o += 0.02 * self.spec.voltage * self._ripple(idx)
+        return o
+
+    def shifts(self, idx: np.ndarray) -> np.ndarray:
+        """Per-trace circular sample shifts (int64, possibly all zero)."""
+        if self.spec.jitter_samples == 0:
+            return np.zeros(np.asarray(idx).shape, dtype=np.int64)
+        u = _hash_uniform(self._jitter_seed, np.asarray(idx))
+        return np.rint(u * self.spec.jitter_samples).astype(np.int64)
+
+    # -- application ---------------------------------------------------
+
+    def apply(self, analog: np.ndarray, start_index: int) -> np.ndarray:
+        """Drift ``(n, S)`` analog traces whose first row is trace
+        ``start_index`` of the campaign.
+
+        Returns the input object untouched when the spec is all-zero
+        (the exact-zero identity); otherwise returns a new array of the
+        same dtype.  Gain and offset are computed in float64 and applied
+        in the trace dtype, mirroring the scope's noise handling.
+        """
+        if not self.spec.enabled:
+            return analog
+        analog = np.asarray(analog)
+        if analog.ndim != 2:
+            raise ConfigurationError("analog traces must be a 2-D matrix")
+        n, n_samples = analog.shape
+        idx = np.arange(start_index, start_index + n, dtype=np.int64)
+        out = analog
+        if self.spec.jitter_samples > 0:
+            shifts = self.shifts(idx)
+            cols = (
+                np.arange(n_samples, dtype=np.int64)[None, :]
+                - shifts[:, None]
+            ) % n_samples
+            out = np.take_along_axis(out, cols, axis=1)
+        if self.spec.temperature > 0 or self.spec.voltage > 0 or self.spec.aging > 0:
+            gain = self.gain(idx).astype(analog.dtype)[:, None]
+            offset = self.offset(idx).astype(analog.dtype)[:, None]
+            out = out * gain + offset
+        return out
+
+
+def build_drift(spec: Optional[DriftSpec]) -> Optional[DriftProcess]:
+    """A :class:`DriftProcess` for ``spec``, or ``None`` when absent."""
+    return None if spec is None else DriftProcess(spec)

@@ -1,0 +1,43 @@
+"""Scenario matrix: acquisition × drift × adversary × countermeasure sweeps.
+
+The countermeasure-design loop from related work, as a first-class
+subsystem: a declarative :class:`ScenarioSpec` names one evaluation cell
+(target build, acquisition front-end, environment drift, adversary), a
+:class:`MatrixSpec` expands axes of variants into the full cross
+product, and :class:`MatrixRunner` runs every cell through the existing
+:class:`~repro.pipeline.StreamingCampaign` engine — locally or via the
+``repro.service`` daemon — inheriting checkpointing, shared-memory
+transport, result caching and observability for free.
+:mod:`repro.scenarios.search` layers a frequency-set search driver
+(grid + seeded evolutionary over MMCM-realizable sets) on top.
+
+See ``docs/scenarios.md`` for the file format and the model math.
+"""
+
+from repro.scenarios.report import render_markdown, render_report
+from repro.scenarios.runner import MatrixRunner, MatrixState
+from repro.scenarios.search import (
+    SearchConfig,
+    run_search,
+    score_candidate,
+)
+from repro.scenarios.spec import (
+    MATRIX_SCHEMA,
+    MatrixSpec,
+    ScenarioSpec,
+    load_matrix,
+)
+
+__all__ = [
+    "MATRIX_SCHEMA",
+    "MatrixRunner",
+    "MatrixSpec",
+    "MatrixState",
+    "ScenarioSpec",
+    "SearchConfig",
+    "load_matrix",
+    "render_markdown",
+    "render_report",
+    "run_search",
+    "score_candidate",
+]

@@ -1,0 +1,108 @@
+"""Deterministic matrix reports: canonical JSON plus a markdown table.
+
+Reports contain only seed-derived outcomes — no timings, worker counts,
+paths, or hostnames — serialized with sorted keys and cells in digest
+order, so two runs of the same matrix (any worker count, resumed or
+not) produce **byte-identical** files.  CI's ``matrix-smoke`` lane
+asserts exactly that with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.scenarios.spec import MatrixSpec
+
+#: Version tag of the aggregated report payload.
+REPORT_SCHEMA = "rftc-scenario-report/1"
+
+
+def render_report(matrix: MatrixSpec, payloads: List[dict]) -> dict:
+    """Aggregate per-cell payloads into the matrix report document."""
+    ordered = sorted(payloads, key=lambda p: p["digest"])
+    cpa_cells = [p for p in ordered if p["adversary"] == "cpa"]
+    tvla_cells = [p for p in ordered if p["adversary"] == "tvla"]
+    summary: Dict[str, object] = {
+        "n_cells": len(ordered),
+        "n_cpa_cells": len(cpa_cells),
+        "n_tvla_cells": len(tvla_cells),
+        "disclosed_cells": sum(1 for p in cpa_cells if p["cpa"]["disclosed"]),
+        "leaking_cells": sum(1 for p in tvla_cells if p["tvla"]["leaking"]),
+        "max_abs_t": (
+            max(p["tvla"]["max_abs_t"] for p in tvla_cells)
+            if tvla_cells
+            else None
+        ),
+        "total_traces": sum(p["n_traces"] for p in ordered),
+    }
+    return {
+        "schema": REPORT_SCHEMA,
+        "name": matrix.name,
+        "matrix_digest": matrix.matrix_digest(),
+        "summary": summary,
+        "cells": ordered,
+    }
+
+
+def report_json(report: dict) -> str:
+    """The canonical byte-stable serialization of a report."""
+    return json.dumps(report, sort_keys=True, indent=1) + "\n"
+
+
+def _outcome(payload: dict) -> str:
+    if payload["adversary"] == "tvla":
+        tvla = payload["tvla"]
+        verdict = "LEAK" if tvla["leaking"] else "PASS"
+        return f"{verdict} (max \\|t\\| {tvla['max_abs_t']:.2f})"
+    cpa = payload["cpa"]
+    if cpa["disclosed"]:
+        if cpa["first_disclosure"] is not None:
+            return f"DISCLOSED @ {cpa['first_disclosure']} traces"
+        return "DISCLOSED (rank 0)"
+    return f"SAFE (rank {cpa['true_byte_rank']})"
+
+
+def _drift_label(payload: dict) -> str:
+    drift = payload["drift"]
+    if drift is None:
+        return "none"
+    parts = []
+    for key, tag in (("temperature", "T"), ("voltage", "V"), ("aging", "A")):
+        if drift.get(key, 0.0) > 0:
+            parts.append(f"{tag}={drift[key]:g}")
+    if drift.get("jitter_samples", 0) > 0:
+        parts.append(f"j={drift['jitter_samples']}")
+    return ",".join(parts) if parts else "zero"
+
+
+def render_markdown(report: dict) -> str:
+    """A human-readable summary table of the report (stable text)."""
+    summary = report["summary"]
+    lines = [
+        f"# Scenario matrix: {report['name']}",
+        "",
+        f"Matrix digest `{report['matrix_digest'][:16]}`, "
+        f"{summary['n_cells']} cells, "
+        f"{summary['total_traces']} traces total.",
+        "",
+        f"- CPA cells disclosed: {summary['disclosed_cells']}"
+        f"/{summary['n_cpa_cells']}",
+        f"- TVLA cells leaking: {summary['leaking_cells']}"
+        f"/{summary['n_tvla_cells']}",
+    ]
+    if summary["max_abs_t"] is not None:
+        lines.append(f"- Worst max |t|: {summary['max_abs_t']:.2f}")
+    lines += [
+        "",
+        "| Cell | Target | Acquisition | Drift | Adversary | Traces | Outcome |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for payload in report["cells"]:
+        lines.append(
+            f"| {payload['cell']} | {payload['target']} "
+            f"| {payload['acquisition']} | {_drift_label(payload)} "
+            f"| {payload['adversary']} | {payload['n_traces']} "
+            f"| {_outcome(payload)} |"
+        )
+    return "\n".join(lines) + "\n"

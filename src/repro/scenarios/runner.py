@@ -1,0 +1,459 @@
+"""Running a scenario matrix: local engine cells, matrix-level resume.
+
+One cell is one :class:`~repro.pipeline.StreamingCampaign` run — the
+runner adds two layers on top:
+
+* **Per-cell payloads** (:func:`run_cell`): a deterministic dict of
+  seed-derived outcomes (never timings or host facts), in the spirit of
+  ``repro.service.execution.serialize_report``, extended with the CPA
+  disclosure curve so matrix reports can rank countermeasures by
+  traces-to-disclosure.
+* **Matrix-granularity resume** (:class:`MatrixState`): after every
+  finished cell the runner atomically rewrites
+  ``<out_dir>/matrix-state.json`` keyed by cell digest.  Re-running with
+  ``resume=True`` reuses every completed cell's payload and continues
+  with the rest; a half-finished cell additionally resumes from its own
+  engine checkpoint under ``<out_dir>/cells/``.  Because cell payloads
+  are pure functions of the cell spec, a resumed matrix report is
+  byte-identical to an uninterrupted one.
+
+Cells can also be dispatched to a ``repro-rftc serve`` daemon through a
+:class:`~repro.service.client.ServiceClient` — the daemon runs its
+standard consumer stack, which tracks no disclosure curve, so
+service-run CPA cells report ``first_disclosure: null`` (documented in
+``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import AttackError, CheckpointError, ConfigurationError
+from repro.leakage_assessment import TVLA_THRESHOLD
+from repro.obs import NULL_OBS, Observability
+from repro.pipeline import (
+    CompletionTimeConsumer,
+    StreamingCampaign,
+    TvlaStreamConsumer,
+)
+from repro.scenarios.spec import MatrixSpec, ScenarioSpec
+
+#: Version tag of the runner's resume-state file.
+STATE_SCHEMA = "rftc-scenario-state/1"
+
+
+class DisclosureConsumer:
+    """Streaming CPA on key byte 0 plus its rank-vs-traces curve.
+
+    Wraps :class:`~repro.attacks.IncrementalCpa` and records the true
+    byte's rank after every folded chunk, giving traces-to-disclosure at
+    chunk granularity without a second pass over the traces.  The curve
+    is acquisition-order dependent, so ``merge`` only supports the
+    empty-shard directions of the consumer contract (exact no-op /
+    exact adoption); the streaming engine folds chunks sequentially in
+    the parent and never needs the populated-shard direction.
+    """
+
+    def __init__(self, key: bytes, byte_index: int = 0, name: str = "disclosure"):
+        from repro.attacks.incremental import IncrementalCpa
+        from repro.attacks.models import expand_last_round_key
+
+        self._inc = IncrementalCpa(byte_index=byte_index)
+        self._true_byte = int(expand_last_round_key(key)[byte_index])
+        self._trace_counts: List[int] = []
+        self._ranks: List[int] = []
+        self.name = name
+
+    @property
+    def byte_index(self) -> int:
+        return self._inc.byte_index
+
+    @property
+    def n_traces(self) -> int:
+        return self._inc.n_traces
+
+    def consume(self, chunk) -> None:
+        self._inc.update(chunk.traces, chunk.ciphertexts)
+        outcome = self._inc.result()
+        self._trace_counts.append(int(self._inc.n_traces))
+        self._ranks.append(int(outcome.rank_of(self._true_byte)))
+
+    def result(self) -> dict:
+        """Disclosure curve plus the final attack outcome."""
+        outcome = self._inc.result()
+        first = None
+        for count, rank in zip(self._trace_counts, self._ranks):
+            if rank == 0:
+                first = count
+                break
+        true_peak = float(outcome.peak_corr[self._true_byte])
+        others = np.delete(outcome.peak_corr, self._true_byte)
+        return {
+            "byte_index": int(self.byte_index),
+            "best_guess": int(outcome.best_guess),
+            "true_byte_rank": int(outcome.rank_of(self._true_byte)),
+            "peak_corr_max": float(outcome.peak_corr.max()),
+            "margin": float(true_peak - others.max()),
+            "trace_counts": list(self._trace_counts),
+            "ranks": list(self._ranks),
+            "first_disclosure": first,
+        }
+
+    def snapshot(self) -> dict:
+        state = {f"cpa_{k}": v for k, v in self._inc.snapshot().items()}
+        state["true_byte"] = self._true_byte
+        state["trace_counts"] = np.asarray(self._trace_counts, dtype=np.int64)
+        state["ranks"] = np.asarray(self._ranks, dtype=np.int64)
+        return state
+
+    def restore(self, state: dict) -> None:
+        if int(state.get("true_byte", -1)) != self._true_byte:
+            raise CheckpointError(
+                "disclosure snapshot was taken against a different key"
+            )
+        self._inc.restore(
+            {k[4:]: v for k, v in state.items() if k.startswith("cpa_")}
+        )
+        counts = np.asarray(state.get("trace_counts", ()), dtype=np.int64)
+        ranks = np.asarray(state.get("ranks", ()), dtype=np.int64)
+        if counts.shape != ranks.shape:
+            raise CheckpointError("disclosure snapshot curve length mismatch")
+        self._trace_counts = [int(c) for c in counts]
+        self._ranks = [int(r) for r in ranks]
+
+    def merge(self, other: "DisclosureConsumer") -> None:
+        if not isinstance(other, DisclosureConsumer):
+            raise AttackError("can only merge another DisclosureConsumer")
+        if other.n_traces == 0:
+            return
+        if self.n_traces == 0:
+            self.restore(other.snapshot())
+            return
+        raise AttackError(
+            "disclosure curves are acquisition-order dependent; merging two "
+            "populated shards is unsupported (fold chunks sequentially)"
+        )
+
+
+def cell_consumers(cell: ScenarioSpec) -> list:
+    """The analysis stack a local cell run folds chunks into."""
+    consumers: list = [CompletionTimeConsumer()]
+    if cell.adversary == "tvla":
+        consumers.append(TvlaStreamConsumer())
+    else:
+        consumers.append(DisclosureConsumer(cell.to_campaign().key))
+    return consumers
+
+
+def _cell_payload(cell: ScenarioSpec, completion, adversary_block: dict) -> dict:
+    """The deterministic per-cell result record (no timings, no hosts)."""
+    payload = {
+        "cell": cell.name,
+        "digest": cell.cell_digest(),
+        "target": cell.to_campaign().label(),
+        "acquisition": cell.acquisition,
+        "drift": cell.drift.to_dict() if cell.drift is not None else None,
+        "adversary": cell.adversary,
+        "n_traces": cell.n_traces,
+        "chunk_size": cell.chunk_size,
+        "seed": cell.seed,
+        "completion": {
+            "n_encryptions": completion["n_encryptions"],
+            "distinct_times": completion["distinct_times"],
+            "min_ns": completion["min_ns"],
+            "max_ns": completion["max_ns"],
+            "max_identical": completion["max_identical"],
+        },
+    }
+    payload[cell.adversary] = adversary_block
+    return payload
+
+
+def run_cell(
+    cell: ScenarioSpec,
+    workers: int = 1,
+    checkpoint: Union[str, Path, None] = None,
+    resume: bool = False,
+    obs: Optional[Observability] = None,
+    progress=None,
+) -> dict:
+    """Run one cell locally through the streaming engine.
+
+    With ``checkpoint`` set, the engine rewrites it after every chunk;
+    ``resume=True`` continues from an existing checkpoint file
+    (bit-identically, per the engine contract) and the checkpoint is
+    removed once the cell completes.  Returns the cell payload.
+    """
+    spec = cell.to_campaign()
+    consumers = cell_consumers(cell)
+    checkpoint = Path(checkpoint) if checkpoint is not None else None
+    if resume and checkpoint is not None and checkpoint.is_file():
+        report = StreamingCampaign.resume(
+            store=None,
+            checkpoint=checkpoint,
+            consumers=consumers,
+            workers=workers,
+            progress=progress,
+            obs=obs,
+        )
+    else:
+        engine = StreamingCampaign(
+            spec,
+            chunk_size=cell.chunk_size,
+            workers=workers,
+            seed=cell.seed,
+            obs=obs,
+        )
+        report = engine.run(
+            cell.n_traces,
+            consumers=consumers,
+            progress=progress,
+            checkpoint=checkpoint,
+        )
+    if checkpoint is not None and checkpoint.is_file():
+        checkpoint.unlink()
+
+    completion = report.results["completion"]
+    completion_block = {
+        "n_encryptions": completion.n_encryptions,
+        "distinct_times": completion.distinct_times,
+        "min_ns": completion.min_ns,
+        "max_ns": completion.max_ns,
+        "max_identical": completion.max_identical,
+    }
+    if cell.adversary == "tvla":
+        tvla = report.results["tvla"]
+        adversary_block = {
+            "max_abs_t": float(tvla.max_abs_t),
+            "leaking": bool(tvla.max_abs_t >= TVLA_THRESHOLD),
+            "n_fixed": int(tvla.n_fixed),
+            "n_random": int(tvla.n_random),
+        }
+    else:
+        disclosure = report.results["disclosure"]
+        adversary_block = {
+            "best_guess": disclosure["best_guess"],
+            "true_byte_rank": disclosure["true_byte_rank"],
+            "peak_corr_max": disclosure["peak_corr_max"],
+            "margin": disclosure["margin"],
+            "first_disclosure": disclosure["first_disclosure"],
+            "disclosed": disclosure["first_disclosure"] is not None,
+        }
+    return _cell_payload(cell, completion_block, adversary_block)
+
+
+def _service_payload(cell: ScenarioSpec, doc: dict) -> dict:
+    """Adapt a service result payload onto the cell payload layout."""
+    if cell.adversary == "tvla":
+        tvla = doc["tvla"]
+        adversary_block = {
+            "max_abs_t": float(tvla["max_abs_t"]),
+            "leaking": bool(tvla["max_abs_t"] >= TVLA_THRESHOLD),
+            "n_fixed": int(tvla["n_fixed"]),
+            "n_random": int(tvla["n_random"]),
+        }
+    else:
+        from repro.attacks.models import expand_last_round_key
+
+        cpa = doc["cpa"]
+        peaks = np.asarray(cpa["peak_corr"], dtype=np.float64)
+        true_byte = int(
+            expand_last_round_key(cell.to_campaign().key)[cpa["byte_index"]]
+        )
+        others = np.delete(peaks, true_byte)
+        rank = int(cpa["true_byte_rank"])
+        adversary_block = {
+            "best_guess": int(cpa["best_guess"]),
+            "true_byte_rank": rank,
+            "peak_corr_max": float(peaks.max()),
+            "margin": float(peaks[true_byte] - others.max()),
+            # The daemon's standard stack tracks no per-chunk curve.
+            "first_disclosure": None,
+            "disclosed": rank == 0,
+        }
+    return _cell_payload(cell, doc["completion"], adversary_block)
+
+
+@dataclass
+class MatrixState:
+    """Durable per-cell completion record for matrix-granularity resume.
+
+    ``cells`` maps cell digest to the finished cell payload.  ``save``
+    is atomic (write-to-temp then :func:`os.replace`), so a crash
+    mid-write leaves the previous state intact and a resumed matrix
+    never sees a torn file.
+    """
+
+    path: Path
+    matrix_digest: str
+    cells: Dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MatrixState":
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text())
+        except OSError as exc:
+            raise CheckpointError(f"cannot read matrix state {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"matrix state {path} is corrupt (not JSON): {exc}"
+            ) from exc
+        if doc.get("schema") != STATE_SCHEMA:
+            raise CheckpointError(
+                f"matrix state {path} has schema {doc.get('schema')!r}; "
+                f"this build reads {STATE_SCHEMA!r}"
+            )
+        return cls(
+            path=path,
+            matrix_digest=str(doc["matrix_digest"]),
+            cells=dict(doc.get("cells", {})),
+        )
+
+    def save(self) -> None:
+        doc = {
+            "schema": STATE_SCHEMA,
+            "matrix_digest": self.matrix_digest,
+            "cells": self.cells,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, self.path)
+
+    def mark_done(self, digest: str, payload: dict) -> None:
+        self.cells[digest] = payload
+        self.save()
+
+
+#: Called after each cell with (cell, status) where status is one of
+#: ``"done"`` / ``"cached"`` — lets the CLI print progress lines.
+CellCallback = Callable[[ScenarioSpec, str], None]
+
+
+class MatrixRunner:
+    """Expand a matrix and run every cell, resumably.
+
+    Parameters
+    ----------
+    matrix:
+        The sweep (see :class:`MatrixSpec`).
+    out_dir:
+        Working directory: ``matrix-state.json`` (resume state) and
+        ``cells/`` (per-cell engine checkpoints) live here, and the CLI
+        writes the reports next to them.
+    workers:
+        Worker processes per *cell* (cells themselves run sequentially
+        in digest order — the deterministic schedule).
+    client / tenant:
+        When a :class:`~repro.service.client.ServiceClient` is given,
+        cells are submitted to the daemon (durable jobs, so a daemon
+        restart resumes them) instead of run in-process.
+    obs:
+        Optional observability bundle; the runner emits
+        ``scenario_cells_total`` / ``scenario_cells_cached_total`` /
+        ``scenario_cell_seconds`` into it (see
+        ``docs/observability.md``).
+    """
+
+    def __init__(
+        self,
+        matrix: MatrixSpec,
+        out_dir: Union[str, Path],
+        workers: int = 1,
+        client=None,
+        tenant: Optional[str] = None,
+        obs: Optional[Observability] = None,
+        service_timeout_s: float = 600.0,
+    ):
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.matrix = matrix
+        self.out_dir = Path(out_dir)
+        self.workers = int(workers)
+        self.client = client
+        self.tenant = tenant
+        self.obs = obs if obs is not None else NULL_OBS
+        self.service_timeout_s = float(service_timeout_s)
+
+    @property
+    def state_path(self) -> Path:
+        return self.out_dir / "matrix-state.json"
+
+    def _load_state(self, resume: bool) -> MatrixState:
+        digest = self.matrix.matrix_digest()
+        if resume and self.state_path.is_file():
+            state = MatrixState.load(self.state_path)
+            if state.matrix_digest != digest:
+                raise ConfigurationError(
+                    f"state in {self.out_dir} belongs to a different matrix "
+                    f"(state {state.matrix_digest[:12]}, "
+                    f"spec {digest[:12]}); run without --resume or use a "
+                    "fresh --out directory"
+                )
+            return state
+        return MatrixState(path=self.state_path, matrix_digest=digest)
+
+    def _run_one(self, cell: ScenarioSpec, resume: bool) -> dict:
+        if self.client is not None:
+            doc = self.client.submit(
+                cell.to_campaign(),
+                n_traces=cell.n_traces,
+                chunk_size=cell.chunk_size,
+                seed=cell.seed,
+                tenant=self.tenant,
+                durable=True,
+            )
+            final = self.client.wait(doc["job_id"], timeout=self.service_timeout_s)
+            if final["state"] != "done":
+                raise ConfigurationError(
+                    f"cell {cell.name!r} ({cell.cell_digest()[:12]}) ended "
+                    f"{final['state']} on the service: {final.get('error')}"
+                )
+            return _service_payload(cell, self.client.result(doc["job_id"]))
+        checkpoint = self.out_dir / "cells" / f"{cell.cell_digest()}.ckpt"
+        checkpoint.parent.mkdir(parents=True, exist_ok=True)
+        return run_cell(
+            cell,
+            workers=self.workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            obs=self.obs,
+        )
+
+    def run(
+        self,
+        resume: bool = False,
+        on_cell: Optional[CellCallback] = None,
+    ) -> List[dict]:
+        """Run (or finish) every cell; returns payloads in digest order."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        cells = self.matrix.expand()
+        state = self._load_state(resume)
+        payloads: List[dict] = []
+        for cell in cells:
+            digest = cell.cell_digest()
+            cached = state.cells.get(digest)
+            if cached is not None:
+                self.obs.metrics.inc("scenario_cells_cached_total")
+                payloads.append(cached)
+                if on_cell is not None:
+                    on_cell(cell, "cached")
+                continue
+            started = time.perf_counter()
+            payload = self._run_one(cell, resume)
+            self.obs.metrics.observe_seconds(
+                "scenario_cell_seconds", time.perf_counter() - started
+            )
+            self.obs.metrics.inc("scenario_cells_total")
+            state.mark_done(digest, payload)
+            payloads.append(payload)
+            if on_cell is not None:
+                on_cell(cell, "done")
+        return payloads

@@ -12,6 +12,7 @@ import pytest
 
 from repro.pipeline import CampaignSpec, spec_from_dict, spec_to_dict
 from repro.pipeline.spec import SPEC_DIGEST_SCHEMA
+from repro.power.drift import DriftSpec
 
 
 def _base_spec(**overrides) -> CampaignSpec:
@@ -42,6 +43,24 @@ class TestDigestStability:
 
     def test_equal_specs_share_digest(self):
         assert _base_spec().spec_digest() == _base_spec().spec_digest()
+
+    def test_round_trip_preserves_acquisition_and_drift(self):
+        spec = _base_spec(
+            acquisition="cloud", drift=DriftSpec(temperature=1.0, voltage=0.5)
+        )
+        rebuilt = spec_from_dict(spec_to_dict(spec))
+        assert rebuilt == spec
+        assert rebuilt.spec_digest() == spec.spec_digest()
+
+    def test_pre_v3_dict_defaults_to_scope_no_drift(self):
+        """Old checkpoints (no acquisition/drift keys) still rebuild."""
+        fields = spec_to_dict(_base_spec())
+        fields.pop("acquisition")
+        fields.pop("drift")
+        rebuilt = spec_from_dict(fields)
+        assert rebuilt.acquisition == "scope"
+        assert rebuilt.drift is None
+        assert rebuilt == _base_spec()
 
     def test_digest_ignores_field_dict_order(self):
         """A shuffled spec dict rebuilds to the same digest."""
@@ -81,6 +100,9 @@ class TestDigestSensitivity:
             {"fixed_plaintext": b"\x00" * 16},
             {"dtype": "float32"},
             {"compression": "zstd-npz"},
+            {"acquisition": "cloud"},
+            {"drift": DriftSpec(temperature=1.0)},
+            {"drift": DriftSpec(jitter_samples=2)},
         ],
         ids=lambda o: next(iter(o)),
     )

@@ -1,0 +1,107 @@
+"""Cloud co-tenant sensor contracts: shapes, determinism, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import CloudSensor
+
+
+class TestGeometry:
+    def test_decimation_shrinks_samples(self, rng):
+        sensor = CloudSensor(decimation=4)
+        out = sensor.capture(rng.normal(size=(10, 256)), rng)
+        assert out.shape == (10, 64)
+
+    def test_output_samples_rounds_up(self):
+        sensor = CloudSensor(decimation=4)
+        assert sensor.output_samples(256) == 64
+        assert sensor.output_samples(257) == 65
+
+    def test_no_decimation(self, rng):
+        sensor = CloudSensor(decimation=1)
+        out = sensor.capture(rng.normal(size=(5, 100)), rng)
+        assert out.shape == (5, 100)
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"decimation": 0},
+            {"tdc_bits": -1},
+            {"tdc_bits": 17},
+            {"bandwidth_mhz": 0.0},
+            {"noise_std": -1.0},
+            {"tenant_noise_std": -0.5},
+            {"tenant_burst_samples": 0},
+            {"full_scale": 0.0},
+            {"dtype": "int8"},
+        ],
+    )
+    def test_rejects_bad_fields(self, fields):
+        with pytest.raises(ConfigurationError):
+            CloudSensor(**fields)
+
+
+class TestDeterminism:
+    def test_same_rng_state_same_capture(self, rng):
+        analog = rng.normal(size=(8, 128))
+        a = CloudSensor().capture(analog, np.random.default_rng(42))
+        b = CloudSensor().capture(analog, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_quantization_levels_bounded(self, rng):
+        sensor = CloudSensor(tdc_bits=3, noise_std=0.0, tenant_noise_std=0.0)
+        out = sensor.capture(rng.normal(scale=50.0, size=(6, 64)), rng)
+        assert len(np.unique(out)) <= 2**3
+
+    def test_float32_dtype(self, rng):
+        sensor = CloudSensor(dtype="float32")
+        out = sensor.capture(rng.normal(size=(4, 64)), rng)
+        assert out.dtype == np.float32
+
+
+class TestDeviceIntegration:
+    def test_campaign_spec_swaps_scope(self):
+        from repro.pipeline import CampaignSpec
+
+        device = CampaignSpec(
+            target="unprotected", acquisition="cloud"
+        ).build_device(np.random.default_rng(0))
+        assert isinstance(device.scope, CloudSensor)
+
+    def test_sample_period_reflects_decimation(self):
+        from repro.pipeline import CampaignSpec
+
+        rng = np.random.default_rng(0)
+        scope_dev = CampaignSpec(target="unprotected").build_device(rng)
+        cloud_dev = CampaignSpec(
+            target="unprotected", acquisition="cloud"
+        ).build_device(rng)
+        assert cloud_dev.sample_period_ns == pytest.approx(
+            scope_dev.sample_period_ns * cloud_dev.scope.decimation
+        )
+
+    def test_cloud_campaign_worker_invariance(self):
+        from repro.pipeline import CampaignSpec, StreamingCampaign
+        from repro.pipeline.consumers import CpaStreamConsumer
+
+        spec = CampaignSpec(target="unprotected", acquisition="cloud")
+
+        def run(workers):
+            consumer = CpaStreamConsumer(0)
+            StreamingCampaign(
+                spec, chunk_size=40, workers=workers, seed=5
+            ).run(120, consumers=[consumer])
+            return consumer.snapshot()
+
+        one = run(1)
+        two = run(2)
+        for key in one:
+            np.testing.assert_array_equal(one[key], two[key])
+
+    def test_cloud_digest_differs_from_scope(self):
+        from repro.pipeline import CampaignSpec
+
+        scope = CampaignSpec(target="unprotected")
+        cloud = CampaignSpec(target="unprotected", acquisition="cloud")
+        assert scope.spec_digest() != cloud.spec_digest()

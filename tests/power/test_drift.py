@@ -1,0 +1,191 @@
+"""Drift model contracts: zero identity, determinism, stream isolation.
+
+The invariants the scenario matrix leans on:
+
+* amplitude-0 drift is *bit-identical* to drift disabled — enabling the
+  subsystem with nothing to do must not move a single bit;
+* drift is a pure function of the absolute trace index, so chunked
+  acquisition (any chunk size) equals monolithic acquisition;
+* drift never draws from the acquisition RNG streams — a drifting
+  campaign sees the same plaintexts and the same noise as a stable one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import DriftProcess, DriftSpec, build_drift
+from repro.power.drift import _hash_uniform
+
+
+class TestDriftSpec:
+    def test_zero_spec_is_disabled(self):
+        assert not DriftSpec().enabled
+
+    def test_any_amplitude_enables(self):
+        assert DriftSpec(temperature=0.5).enabled
+        assert DriftSpec(voltage=0.1).enabled
+        assert DriftSpec(aging=0.2).enabled
+        assert DriftSpec(jitter_samples=1).enabled
+
+    def test_round_trips_via_dict(self):
+        spec = DriftSpec(
+            temperature=1.5, voltage=0.25, aging=0.1, jitter_samples=3,
+            seed=11, period_traces=5000, aging_traces=100_000,
+        )
+        assert DriftSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"temperature": -0.1},
+            {"voltage": -1.0},
+            {"aging": -0.5},
+            {"jitter_samples": -1},
+            {"period_traces": 0},
+            {"aging_traces": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, fields):
+        with pytest.raises(ConfigurationError):
+            DriftSpec(**fields)
+
+
+class TestZeroIdentity:
+    def test_zero_amplitudes_return_input_object(self, rng):
+        analog = rng.normal(size=(16, 64))
+        process = DriftProcess(DriftSpec())
+        assert process.apply(analog, 0) is analog
+
+    def test_build_drift_zero_spec(self, rng):
+        analog = rng.normal(size=(8, 32))
+        out = build_drift(DriftSpec()).apply(analog, 100)
+        assert out is analog
+
+
+class TestDeterminism:
+    def _spec(self):
+        return DriftSpec(
+            temperature=1.0, voltage=0.5, aging=0.3, jitter_samples=2,
+            seed=5, period_traces=50, aging_traces=500,
+        )
+
+    def test_same_spec_same_output(self, rng):
+        analog = rng.normal(size=(20, 48))
+        a = DriftProcess(self._spec()).apply(analog.copy(), 7)
+        b = DriftProcess(self._spec()).apply(analog.copy(), 7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_chunked_equals_monolithic(self, rng):
+        """Chunk boundaries are invisible: index is absolute."""
+        analog = rng.normal(size=(30, 40))
+        process = DriftProcess(self._spec())
+        whole = process.apply(analog, 0)
+        pieces = [
+            process.apply(analog[lo:hi], lo)
+            for lo, hi in ((0, 7), (7, 19), (19, 30))
+        ]
+        np.testing.assert_array_equal(whole, np.vstack(pieces))
+
+    def test_input_never_mutated(self, rng):
+        analog = rng.normal(size=(12, 24))
+        before = analog.copy()
+        DriftProcess(self._spec()).apply(analog, 0)
+        np.testing.assert_array_equal(analog, before)
+
+    def test_different_seeds_differ(self, rng):
+        analog = rng.normal(size=(10, 32))
+        a = DriftProcess(DriftSpec(temperature=1.0, seed=1)).apply(analog, 0)
+        b = DriftProcess(DriftSpec(temperature=1.0, seed=2)).apply(analog, 0)
+        assert not np.array_equal(a, b)
+
+    def test_hash_uniform_is_stateless(self):
+        idx = np.arange(100, dtype=np.uint64)
+        a = _hash_uniform(3, idx)
+        b = _hash_uniform(3, idx[::-1])[::-1]
+        np.testing.assert_array_equal(a, b)
+        assert float(np.abs(a).max()) < 1.0
+
+    def test_dtype_preserved(self, rng):
+        analog = rng.normal(size=(6, 16)).astype(np.float32)
+        out = DriftProcess(self._spec()).apply(analog, 0)
+        assert out.dtype == np.float32
+
+
+class TestCampaignIntegration:
+    def test_campaign_zero_drift_bit_identical_to_disabled(self):
+        """The satellite contract: amplitude 0 == drift absent, bitwise."""
+        from repro.pipeline import CampaignSpec, StreamingCampaign
+        from repro.pipeline.consumers import CpaStreamConsumer
+
+        def run(drift):
+            spec = CampaignSpec(target="unprotected", drift=drift)
+            consumer = CpaStreamConsumer(0)
+            StreamingCampaign(spec, chunk_size=40, seed=3).run(
+                120, consumers=[consumer]
+            )
+            return consumer.snapshot()
+
+        disabled = run(None)
+        zero = run(DriftSpec())
+        for key in disabled:
+            np.testing.assert_array_equal(disabled[key], zero[key])
+
+    def test_drift_does_not_perturb_acquisition_streams(self):
+        """Drift is self-seeded: plaintexts match the stable campaign."""
+        from repro.pipeline import CampaignSpec, StreamingCampaign
+
+        class Capture:
+            name = "capture"
+
+            def __init__(self):
+                self.plaintexts = []
+
+            def consume(self, chunk):
+                self.plaintexts.append(chunk.plaintexts.copy())
+
+            def result(self):
+                return np.vstack(self.plaintexts)
+
+            def snapshot(self):
+                return {}
+
+            def restore(self, state):
+                pass
+
+            def merge(self, other):
+                pass
+
+        def run(drift):
+            spec = CampaignSpec(target="unprotected", drift=drift)
+            capture = Capture()
+            StreamingCampaign(spec, chunk_size=30, seed=9).run(
+                90, consumers=[capture]
+            )
+            return capture.result()
+
+        stable = run(None)
+        drifting = run(DriftSpec(temperature=2.0, jitter_samples=3))
+        np.testing.assert_array_equal(stable, drifting)
+
+    def test_worker_count_invariance_with_drift(self):
+        from repro.pipeline import CampaignSpec, StreamingCampaign
+        from repro.pipeline.consumers import CpaStreamConsumer
+
+        spec = CampaignSpec(
+            target="unprotected",
+            drift=DriftSpec(temperature=1.0, voltage=0.5, jitter_samples=2,
+                            period_traces=40),
+        )
+
+        def run(workers):
+            consumer = CpaStreamConsumer(0)
+            StreamingCampaign(
+                spec, chunk_size=40, workers=workers, seed=17
+            ).run(160, consumers=[consumer])
+            return consumer.snapshot()
+
+        one = run(1)
+        two = run(2)
+        for key in one:
+            np.testing.assert_array_equal(one[key], two[key])

@@ -1,0 +1,131 @@
+"""Frequency-set search: determinism, budget adherence, scoring."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+from repro.scenarios import SearchConfig, run_search, score_candidate
+from repro.scenarios.search import RANKING_SCHEMA
+
+
+def fast_config(**overrides) -> SearchConfig:
+    fields = dict(
+        m_outputs=1,
+        p_configs=8,
+        n_traces=200,
+        chunk_size=100,
+        noise_std=1.0,
+        seed=0,
+        seed_base=100,
+        grid=2,
+        elites=1,
+        children=2,
+    )
+    fields.update(overrides)
+    return SearchConfig(**fields)
+
+
+class TestScoreCandidate:
+    def _payloads(self, first, max_abs_t):
+        return (
+            {"cpa": {"first_disclosure": first}},
+            {"tvla": {"max_abs_t": max_abs_t}},
+        )
+
+    def test_undisclosed_and_quiet_is_perfect(self):
+        cpa, tvla = self._payloads(None, 2.0)
+        assert score_candidate(cpa, tvla, 1200) == pytest.approx(1.0)
+
+    def test_late_disclosure_beats_early(self):
+        cpa_late, tvla = self._payloads(900, 2.0)
+        cpa_early, _ = self._payloads(200, 2.0)
+        assert score_candidate(cpa_late, tvla, 1200) > score_candidate(
+            cpa_early, tvla, 1200
+        )
+
+    def test_disclosure_component_is_fractional(self):
+        cpa, tvla = self._payloads(600, 2.0)
+        assert score_candidate(cpa, tvla, 1200) == pytest.approx(
+            0.6 * 0.5 + 0.4 * 1.0
+        )
+
+    def test_tvla_component_shrinks_past_threshold(self):
+        cpa, tvla = self._payloads(None, 9.0)
+        assert score_candidate(cpa, tvla, 1200) == pytest.approx(
+            0.6 + 0.4 * (4.5 / 9.0)
+        )
+
+    def test_bounded_in_unit_interval(self):
+        for first, t in ((None, 0.5), (1, 1e6), (1200, 4.5)):
+            cpa, tvla = self._payloads(first, t)
+            assert 0.0 <= score_candidate(cpa, tvla, 1200) <= 1.0
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "fields", [{"grid": 0}, {"elites": 0}, {"children": 0}]
+    )
+    def test_rejects_bad_shape(self, fields):
+        with pytest.raises(ConfigurationError):
+            fast_config(**fields)
+
+    def test_candidate_cells_share_everything_but_adversary(self):
+        cpa, tvla = fast_config().candidate_cells(7)
+        assert cpa.adversary == "cpa"
+        assert tvla.adversary == "tvla"
+        assert cpa.plan_seed == tvla.plan_seed == 7
+        assert cpa.target == tvla.target == "rftc"
+
+
+class TestRunSearch:
+    def test_budget_respected_and_ranked(self):
+        doc = run_search(fast_config(), budget=3)
+        assert doc["schema"] == RANKING_SCHEMA
+        assert len(doc["ranking"]) == 3
+        scores = [e["score"] for e in doc["ranking"]]
+        assert scores == sorted(scores, reverse=True)
+        assert doc["best"] == doc["ranking"][0]
+
+    def test_grid_then_generations(self):
+        doc = run_search(fast_config(), budget=3)
+        phases = {e["phase"] for e in doc["ranking"]}
+        assert "grid" in phases
+        assert any(p.startswith("gen") for p in phases)
+        grid_seeds = {
+            e["plan_seed"] for e in doc["ranking"] if e["phase"] == "grid"
+        }
+        assert grid_seeds == {100, 101}
+        assert doc["generations"] >= 1
+
+    def test_budget_within_grid_skips_evolution(self):
+        doc = run_search(fast_config(grid=3), budget=2)
+        assert doc["generations"] == 0
+        assert all(e["phase"] == "grid" for e in doc["ranking"])
+
+    def test_deterministic_document(self):
+        a = run_search(fast_config(), budget=3)
+        b = run_search(fast_config(), budget=3)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_worker_count_invariant(self):
+        a = run_search(fast_config(), budget=2, workers=1)
+        b = run_search(fast_config(), budget=2, workers=2)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_entries_carry_plan_facts(self):
+        doc = run_search(fast_config(), budget=2)
+        for entry in doc["ranking"]:
+            assert entry["n_sets"] >= 1
+            assert entry["freq_min_mhz"] <= entry["freq_max_mhz"]
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            run_search(fast_config(), budget=0)
+
+    def test_metrics_emitted(self):
+        obs = Observability.create()
+        run_search(fast_config(), budget=3, obs=obs)
+        assert obs.metrics.counter_value("search_candidates_total") == 3
+        assert obs.metrics.counter_value("search_generations_total") >= 1

@@ -13,6 +13,8 @@ PACKAGES = [
     "repro.rftc",
     "repro.power",
     "repro.power.modes_acquisition",
+    "repro.power.drift",
+    "repro.power.cloud",
     "repro.attacks",
     "repro.preprocess",
     "repro.leakage_assessment",
@@ -34,6 +36,11 @@ PACKAGES = [
     "repro.service.service",
     "repro.service.server",
     "repro.service.client",
+    "repro.scenarios",
+    "repro.scenarios.spec",
+    "repro.scenarios.runner",
+    "repro.scenarios.report",
+    "repro.scenarios.search",
     "repro.experiments",
     "repro.experiments.figures",
     "repro.experiments.tables",
@@ -64,6 +71,7 @@ class TestImports:
             "repro.pipeline",
             "repro.store",
             "repro.obs",
+            "repro.scenarios",
         ],
     )
     def test_all_entries_resolve(self, name):
