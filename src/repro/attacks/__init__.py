@@ -8,7 +8,25 @@ from repro.attacks.models import (
     recover_master_key_from_last_round,
 )
 from repro.attacks.incremental import IncrementalCpa, IncrementalCpaBank
+from repro.attacks.lattice import (
+    lattice_align,
+    lattice_cells,
+    lattice_cpa_attack,
+    lattice_occupancy,
+    lattice_rank,
+    lattice_reference_ns,
+    lattice_shifts,
+)
 from repro.attacks.mia import mia_byte, mutual_information
+from repro.attacks.mlp import (
+    MlpConfig,
+    MlpModel,
+    mlp_attack,
+    mlp_classify,
+    mlp_expected_hd,
+    mlp_rank,
+    train_mlp_profile,
+)
 from repro.attacks.progression import (
     RankProgression,
     guessing_entropy_progression,
@@ -29,6 +47,7 @@ from repro.attacks.success_rate import (
     SuccessRateCurve,
     success_rate_curve,
     traces_to_disclosure,
+    wilson_interval,
 )
 
 __all__ = [
@@ -44,8 +63,22 @@ __all__ = [
     "recover_master_key_from_last_round",
     "IncrementalCpa",
     "IncrementalCpaBank",
+    "lattice_align",
+    "lattice_cells",
+    "lattice_cpa_attack",
+    "lattice_occupancy",
+    "lattice_rank",
+    "lattice_reference_ns",
+    "lattice_shifts",
     "mia_byte",
     "mutual_information",
+    "MlpConfig",
+    "MlpModel",
+    "mlp_attack",
+    "mlp_classify",
+    "mlp_expected_hd",
+    "mlp_rank",
+    "train_mlp_profile",
     "RankProgression",
     "guessing_entropy_progression",
     "rank_progression",
@@ -59,4 +92,5 @@ __all__ = [
     "SuccessRateCurve",
     "success_rate_curve",
     "traces_to_disclosure",
+    "wilson_interval",
 ]

@@ -27,6 +27,33 @@ from repro.power.acquisition import TraceSet
 Preprocessor = Callable[[np.ndarray], np.ndarray]
 
 
+def wilson_interval(
+    successes: np.ndarray, n: int, z: float = 1.96
+) -> np.ndarray:
+    """Wilson score interval(s) for binomial proportions, shape ``(..., 2)``.
+
+    Well-defined at the edges: SR = 0 and SR = 1 produce finite bounds
+    clipped into [0, 1], never NaN.  ``successes`` may be a scalar or an
+    array of success counts out of ``n`` trials.
+    """
+    if n < 1:
+        raise AttackError("wilson_interval needs n >= 1 trials")
+    if z <= 0:
+        raise AttackError("z must be positive")
+    successes = np.asarray(successes, dtype=np.float64)
+    if successes.size and (
+        successes.min() < 0 or successes.max() > n
+    ):
+        raise AttackError("successes must lie in [0, n]")
+    p = successes / n
+    denom = 1 + z**2 / n
+    center = (p + z**2 / (2 * n)) / denom
+    half = (z / denom) * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
+    return np.stack(
+        [np.clip(center - half, 0, 1), np.clip(center + half, 0, 1)], axis=-1
+    )
+
+
 @dataclass
 class SuccessRateCurve:
     """SR(n) estimates plus provenance.
@@ -66,13 +93,9 @@ class SuccessRateCurve:
         near SR = 0.5; reporting the interval keeps scaled-budget runs
         honest about it.
         """
-        p = self.success_rates
-        n = self.n_repeats
-        denom = 1 + z**2 / n
-        center = (p + z**2 / (2 * n)) / denom
-        half = (z / denom) * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
-        return np.stack([np.clip(center - half, 0, 1),
-                         np.clip(center + half, 0, 1)], axis=1)
+        return wilson_interval(
+            self.success_rates * self.n_repeats, self.n_repeats, z
+        )
 
 
 def success_rate_curve(
@@ -85,6 +108,7 @@ def success_rate_curve(
     rng: Optional[np.random.Generator] = None,
     label: str = "",
     use_plaintexts: bool = False,
+    seed: Optional[int] = None,
 ) -> SuccessRateCurve:
     """Estimate SR(n) by repeated subsampled attacks.
 
@@ -103,9 +127,22 @@ def success_rate_curve(
         ciphertexts (set ``use_plaintexts=True`` for first-round models).
     preprocess:
         Optional per-subset trace transform (DTW / PCA / FFT...).
+    rng / seed:
+        The subsampling randomness — exactly one must be given (a
+        generator, or an int that derives one through ``SeedSequence``).
+        There is deliberately no unseeded fallback: the curve would
+        silently change between runs, violating the repo-wide
+        replayable-from-seed contract (and the ``repro verify`` lint
+        bans unseeded ``default_rng()`` in ``src/`` for the same
+        reason).  A fixed seed makes the curve byte-reproducible.
     """
+    if (rng is None) == (seed is None):
+        raise AttackError(
+            "success_rate_curve needs exactly one of rng= or seed= — "
+            "subsampling must be replayable, so there is no unseeded default"
+        )
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
     counts = np.asarray(sorted(set(int(c) for c in trace_counts)), dtype=np.int64)
     if counts.size == 0 or counts[0] < 4:
         raise AttackError("trace_counts must contain values >= 4")

@@ -50,16 +50,32 @@ class TemplateModel:
     class_values: np.ndarray
 
 
+#: Minimum traces a class needs before it contributes anywhere in the
+#: profiling pipeline.  POI selection and template building share this
+#: single threshold: a class too sparse to get a template must not steer
+#: POI selection either (a class mean over 2 noisy traces is mostly
+#: noise, and its "signal" would pick noise samples as POIs).
+MIN_CLASS_TRACES = 3
+
+
 def select_points_of_interest(
-    traces: np.ndarray, labels: np.ndarray, n_poi: int
+    traces: np.ndarray,
+    labels: np.ndarray,
+    n_poi: int,
+    min_class_traces: int = MIN_CLASS_TRACES,
 ) -> np.ndarray:
-    """Samples with the highest between-class mean variance (SOST-like)."""
+    """Samples with the highest between-class mean variance (SOST-like).
+
+    Classes with fewer than ``min_class_traces`` members are excluded —
+    the same threshold :func:`build_templates` applies, so POIs are only
+    ever chosen from classes that also receive a template.
+    """
     traces = np.asarray(traces, dtype=np.float64)
     labels = np.asarray(labels)
     means = []
     for value in np.unique(labels):
         group = traces[labels == value]
-        if group.shape[0] >= 2:
+        if group.shape[0] >= min_class_traces:
             means.append(group.mean(axis=0))
     if len(means) < 2:
         raise AttackError("need at least 2 populated classes for POI selection")
@@ -87,21 +103,24 @@ def build_templates(
     if not 0 <= key_byte <= 255:
         raise AttackError("key_byte must be a byte")
     labels = last_round_hd_predictions(ciphertexts, byte_index)[:, key_byte]
-    poi = select_points_of_interest(traces, labels, n_poi)
+    values, counts = np.unique(labels, return_counts=True)
+    surviving = values[counts >= MIN_CLASS_TRACES]
+    if surviving.size < 2:
+        raise AttackError("too few populated HD classes to profile")
+    # POIs come from the surviving classes only (same threshold), so a
+    # class too sparse to template never steers the sample selection.
+    keep = np.isin(labels, surviving)
+    poi = select_points_of_interest(traces[keep], labels[keep], n_poi)
     reduced = traces[:, poi]
     class_values = []
     means = []
     residuals = []
-    for value in np.unique(labels):
+    for value in surviving:
         group = reduced[labels == value]
-        if group.shape[0] < 3:
-            continue
         mu = group.mean(axis=0)
         class_values.append(int(value))
         means.append(mu)
         residuals.append(group - mu)
-    if len(means) < 2:
-        raise AttackError("too few populated HD classes to profile")
     pooled = np.concatenate(residuals, axis=0)
     cov = (pooled.T @ pooled) / max(1, pooled.shape[0] - len(means))
     cov += ridge * np.eye(cov.shape[0]) * max(1.0, np.trace(cov) / cov.shape[0])

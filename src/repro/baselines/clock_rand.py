@@ -47,7 +47,7 @@ class FritzkeClockRandomization(CountermeasureBase):
         if any(m <= 0 for m in multipliers):
             raise ConfigurationError("multipliers must be positive")
         self.multipliers: Tuple[int, ...] = tuple(int(m) for m in multipliers)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self.label = f"clock-rand({len(self.multipliers)} clocks)"
 
     @property

@@ -46,7 +46,7 @@ class IPpapClocks(CountermeasureBase):
     ):
         self.freq_mhz = check_positive("freq_mhz", freq_mhz)
         self.n_phases = check_positive_int("n_phases", n_phases)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self._generator = FloatingMeanGenerator(
             a=n_phases - 1, b=max(1, (n_phases - 1) // 2),
             block_len=block_len, rng=self._rng,

@@ -51,7 +51,7 @@ class PhaseShiftedClocks(CountermeasureBase):
         )
         if self.hops_per_encryption > 10:
             raise ConfigurationError("at most one hop per round (10 rounds)")
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self.label = f"phase-shift({n_phases} phases)"
 
     def _hop_amounts(self, n: int) -> np.ndarray:

@@ -41,7 +41,7 @@ class RandomClockDummyData(CountermeasureBase):
     ):
         self.freq_mhz = check_positive("freq_mhz", freq_mhz)
         self.max_dummies = check_positive_int("max_dummies", max_dummies)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self.label = f"RCDD(<= {max_dummies} dummies)"
 
     def schedule(self, n_encryptions: int) -> ClockSchedule:

@@ -50,7 +50,7 @@ class RandomDelayInsertion(CountermeasureBase):
         self.freq_mhz = check_positive("freq_mhz", freq_mhz)
         self.n_buffers = check_positive_int("n_buffers", n_buffers)
         self.buffer_delay_ns = check_positive("buffer_delay_ns", buffer_delay_ns)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self.label = f"RDI({n_buffers} taps)"
 
     def schedule(self, n_encryptions: int) -> ClockSchedule:

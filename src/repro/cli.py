@@ -422,7 +422,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         handle.write(render_markdown(report))
     summary = report["summary"]
     print(f"report: {json_path} (+ report.md)")
-    print(f"  CPA disclosed {summary['disclosed_cells']}/{summary['n_cpa_cells']}, "
+    n_recovery = (summary['n_cpa_cells'] + summary['n_mlp_cells']
+                  + summary['n_lattice_cells'])
+    print(f"  key recovery disclosed {summary['disclosed_cells']}/{n_recovery}, "
           f"TVLA leaking {summary['leaking_cells']}/{summary['n_tvla_cells']}")
     if obs is not None and args.metrics_out:
         snapshot = obs.metrics.snapshot()

@@ -80,7 +80,7 @@ def run_attack_suite(
     hardware, the defaults here are the laptop-scaled equivalents (see
     EXPERIMENTS.md for the scaling discussion).
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
     result = AttackSuiteResult(scenario_name=scenario_name)
     for attack in attacks:
         pre = make_preprocessor(attack)

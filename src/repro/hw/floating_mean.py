@@ -47,7 +47,7 @@ class FloatingMeanGenerator:
         if self.b > self.a:
             raise ConfigurationError(f"b ({b}) must not exceed a ({a})")
         self.block_len = check_positive_int("block_len", block_len)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(0))
         self._remaining = 0
         self._mean = 0
 

@@ -15,6 +15,13 @@ execution when the pool dies, and atomic
 See ``docs/robustness.md`` for the guarantees.
 """
 
+from repro.pipeline.attack_consumers import (
+    LatticeCpaConsumer,
+    MiaStreamConsumer,
+    MlpAttackConsumer,
+    SuccessRateConsumer,
+    TemplateAttackConsumer,
+)
 from repro.pipeline.checkpoint import CampaignCheckpoint
 from repro.pipeline.consumers import (
     CompletionTimeConsumer,
@@ -48,9 +55,14 @@ __all__ = [
     "CompletionTimeStats",
     "CpaBankConsumer",
     "CpaStreamConsumer",
+    "LatticeCpaConsumer",
+    "MiaStreamConsumer",
+    "MlpAttackConsumer",
     "PipelineReport",
     "RetryPolicy",
     "StreamingCampaign",
+    "SuccessRateConsumer",
+    "TemplateAttackConsumer",
     "TraceConsumer",
     "TvlaStreamConsumer",
 ]

@@ -44,7 +44,7 @@ class _RandomSource:
 
     def __init__(self, source: Union[np.random.Generator, FibonacciLfsr, None]):
         if source is None:
-            source = np.random.default_rng()
+            source = np.random.default_rng(np.random.SeedSequence(2019))
         self._np = source if isinstance(source, np.random.Generator) else None
         self._lfsr = source if isinstance(source, FibonacciLfsr) else None
         if self._np is None and self._lfsr is None:

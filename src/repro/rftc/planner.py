@@ -339,7 +339,7 @@ def plan_overlap_free(
     """
     if tolerance_ns <= 0:
         raise ConfigurationError("tolerance_ns must be positive")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(np.random.SeedSequence(2019))
     spec = params.spec
     comps = enumerate_compositions(params.m_outputs, params.rounds).astype(np.float64)
     seen: Set[int] = set()

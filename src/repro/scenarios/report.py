@@ -17,17 +17,30 @@ from repro.scenarios.spec import MatrixSpec
 #: Version tag of the aggregated report payload.
 REPORT_SCHEMA = "rftc-scenario-report/1"
 
+#: Adversaries whose payload block is a key-recovery (disclosure-style)
+#: record — everything except ``tvla``, which reports a t-statistic.
+KEY_RECOVERY_ADVERSARIES = ("cpa", "mlp", "lattice")
+
 
 def render_report(matrix: MatrixSpec, payloads: List[dict]) -> dict:
     """Aggregate per-cell payloads into the matrix report document."""
     ordered = sorted(payloads, key=lambda p: p["digest"])
     cpa_cells = [p for p in ordered if p["adversary"] == "cpa"]
     tvla_cells = [p for p in ordered if p["adversary"] == "tvla"]
+    mlp_cells = [p for p in ordered if p["adversary"] == "mlp"]
+    lattice_cells = [p for p in ordered if p["adversary"] == "lattice"]
+    recovery_cells = [
+        p for p in ordered if p["adversary"] in KEY_RECOVERY_ADVERSARIES
+    ]
     summary: Dict[str, object] = {
         "n_cells": len(ordered),
         "n_cpa_cells": len(cpa_cells),
         "n_tvla_cells": len(tvla_cells),
-        "disclosed_cells": sum(1 for p in cpa_cells if p["cpa"]["disclosed"]),
+        "n_mlp_cells": len(mlp_cells),
+        "n_lattice_cells": len(lattice_cells),
+        "disclosed_cells": sum(
+            1 for p in recovery_cells if p[p["adversary"]]["disclosed"]
+        ),
         "leaking_cells": sum(1 for p in tvla_cells if p["tvla"]["leaking"]),
         "max_abs_t": (
             max(p["tvla"]["max_abs_t"] for p in tvla_cells)
@@ -55,12 +68,12 @@ def _outcome(payload: dict) -> str:
         tvla = payload["tvla"]
         verdict = "LEAK" if tvla["leaking"] else "PASS"
         return f"{verdict} (max \\|t\\| {tvla['max_abs_t']:.2f})"
-    cpa = payload["cpa"]
-    if cpa["disclosed"]:
-        if cpa["first_disclosure"] is not None:
-            return f"DISCLOSED @ {cpa['first_disclosure']} traces"
+    recovery = payload[payload["adversary"]]
+    if recovery["disclosed"]:
+        if recovery["first_disclosure"] is not None:
+            return f"DISCLOSED @ {recovery['first_disclosure']} traces"
         return "DISCLOSED (rank 0)"
-    return f"SAFE (rank {cpa['true_byte_rank']})"
+    return f"SAFE (rank {recovery['true_byte_rank']})"
 
 
 def _drift_label(payload: dict) -> str:
@@ -86,8 +99,8 @@ def render_markdown(report: dict) -> str:
         f"{summary['n_cells']} cells, "
         f"{summary['total_traces']} traces total.",
         "",
-        f"- CPA cells disclosed: {summary['disclosed_cells']}"
-        f"/{summary['n_cpa_cells']}",
+        f"- Key-recovery cells disclosed: {summary['disclosed_cells']}"
+        f"/{summary['n_cpa_cells'] + summary['n_mlp_cells'] + summary['n_lattice_cells']}",
         f"- TVLA cells leaking: {summary['leaking_cells']}"
         f"/{summary['n_tvla_cells']}",
     ]

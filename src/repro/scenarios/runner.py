@@ -20,8 +20,9 @@ runner adds two layers on top:
 Cells can also be dispatched to a ``repro-rftc serve`` daemon through a
 :class:`~repro.service.client.ServiceClient` — the daemon runs its
 standard consumer stack, which tracks no disclosure curve, so
-service-run CPA cells report ``first_disclosure: null`` (documented in
-``docs/scenarios.md``).
+service-run CPA cells report ``first_disclosure: null``, and the
+profiled/aligned adversaries (``mlp`` / ``lattice``) are local-only
+(documented in ``docs/scenarios.md``).
 """
 
 from __future__ import annotations
@@ -142,13 +143,100 @@ class DisclosureConsumer:
         )
 
 
+#: Traces the profiled adversaries acquire from their clone device.
+#: Sized so the MLP generalizes (it overfits badly under ~2000 traces);
+#: template profiling is comfortable well below this.
+PROFILE_TRACES = 4000
+
+#: Offset deriving a cell's clone-device seed from its campaign seed.
+#: Any fixed value works — it only has to keep the profiling stream
+#: disjoint from the victim stream while staying a pure function of the
+#: cell (so resumed / re-run cells profile the identical model).
+PROFILE_SEED_OFFSET = 1_000_003
+
+
+def profile_clone(cell: ScenarioSpec):
+    """Acquire the profiling campaign for a profiled adversary's cell.
+
+    The attacker's clone is the *same device build* as the victim (same
+    target, shape, plan seed, noise) but a different acquisition stream:
+    device randomness and plaintexts come from ``cell.seed +
+    PROFILE_SEED_OFFSET``.  Pure function of the cell spec, so the model
+    trained on it — and therefore the cell payload — is deterministic.
+    """
+    from repro.power.acquisition import AcquisitionCampaign
+
+    spec = cell.to_campaign()
+    profile_seed = cell.seed + PROFILE_SEED_OFFSET
+    device = spec.build_device(
+        np.random.default_rng(np.random.SeedSequence(profile_seed))
+    )
+    return AcquisitionCampaign(device, seed=profile_seed).collect(
+        PROFILE_TRACES
+    )
+
+
+def lattice_reference_for(cell: ScenarioSpec) -> float:
+    """The fixed alignment reference a lattice cell uses, in ns.
+
+    For RFTC targets the frequency plan enumerates the full completion
+    lattice, so the reference is its exact maximum.  Other targets have
+    no plan; a small clone-device probe (same derivation as
+    :func:`profile_clone`) measures their completion-time spread.  Both
+    are pure functions of the cell spec and independent of the victim
+    stream, which keeps the alignment — and so the payload — identical
+    across worker counts and resume.
+    """
+    from repro.power.acquisition import AcquisitionCampaign
+
+    spec = cell.to_campaign()
+    if cell.target == "rftc":
+        from repro.experiments.scenarios import cached_plan
+
+        plan = cached_plan(
+            cell.m_outputs, cell.p_configs, cell.plan_seed, True
+        )
+        return float(np.max(plan.all_completion_times_ns()))
+    probe_seed = cell.seed + PROFILE_SEED_OFFSET
+    device = spec.build_device(
+        np.random.default_rng(np.random.SeedSequence(probe_seed))
+    )
+    probe = AcquisitionCampaign(device, seed=probe_seed).collect(64)
+    return float(np.max(probe.completion_times_ns))
+
+
 def cell_consumers(cell: ScenarioSpec) -> list:
-    """The analysis stack a local cell run folds chunks into."""
+    """The analysis stack a local cell run folds chunks into.
+
+    Profiled adversaries (``mlp``) train their model here, before the
+    victim campaign starts — so building the stack for an ``mlp`` cell
+    acquires and fits the clone profile (a few seconds), deterministically
+    per cell.
+    """
     consumers: list = [CompletionTimeConsumer()]
+    key = cell.to_campaign().key
     if cell.adversary == "tvla":
         consumers.append(TvlaStreamConsumer())
+    elif cell.adversary == "mlp":
+        from repro.attacks.mlp import train_mlp_profile
+        from repro.attacks.models import expand_last_round_key
+        from repro.pipeline import MlpAttackConsumer
+
+        clone = profile_clone(cell)
+        model = train_mlp_profile(
+            clone.traces,
+            clone.ciphertexts,
+            int(expand_last_round_key(key)[0]),
+        )
+        consumers.append(MlpAttackConsumer(model, key))
+    elif cell.adversary == "lattice":
+        from repro.pipeline import LatticeCpaConsumer
+
+        consumers.append(
+            LatticeCpaConsumer(key, lattice_reference_for(cell))
+        )
     else:
-        consumers.append(DisclosureConsumer(cell.to_campaign().key))
+        consumers.append(DisclosureConsumer(key))
     return consumers
 
 
@@ -237,7 +325,10 @@ def run_cell(
             "n_random": int(tvla.n_random),
         }
     else:
-        disclosure = report.results["disclosure"]
+        # cpa / mlp / lattice all report a disclosure-style block (the
+        # attack consumers share the DisclosureConsumer result layout).
+        result_key = "disclosure" if cell.adversary == "cpa" else cell.adversary
+        disclosure = report.results[result_key]
         adversary_block = {
             "best_guess": disclosure["best_guess"],
             "true_byte_rank": disclosure["true_byte_rank"],
@@ -246,6 +337,8 @@ def run_cell(
             "first_disclosure": disclosure["first_disclosure"],
             "disclosed": disclosure["first_disclosure"] is not None,
         }
+        if cell.adversary == "lattice":
+            adversary_block["reference_ns"] = disclosure["reference_ns"]
     return _cell_payload(cell, completion_block, adversary_block)
 
 
@@ -402,6 +495,14 @@ class MatrixRunner:
 
     def _run_one(self, cell: ScenarioSpec, resume: bool) -> dict:
         if self.client is not None:
+            if cell.adversary in ("mlp", "lattice"):
+                raise ConfigurationError(
+                    f"cell {cell.name!r} uses the {cell.adversary!r} "
+                    "adversary, which needs local profiling/alignment "
+                    "state the service daemon's standard stack does not "
+                    "run — drop --service for this matrix (see "
+                    "docs/scenarios.md)"
+                )
             doc = self.client.submit(
                 cell.to_campaign(),
                 n_traces=cell.n_traces,

@@ -3,8 +3,9 @@
 A :class:`ScenarioSpec` names one evaluation cell: which device build is
 attacked (target / RFTC shape / plan seed), through which acquisition
 front-end (bench scope or cloud co-tenant sensor), under which
-environment drift, by which adversary (CPA key recovery or TVLA leakage
-assessment), with which trace budget.  :meth:`ScenarioSpec.to_campaign`
+environment drift, by which adversary (CPA / profiled-MLP /
+lattice-alignment key recovery, or TVLA leakage assessment), with which
+trace budget.  :meth:`ScenarioSpec.to_campaign`
 lowers the cell onto the streaming pipeline's :class:`CampaignSpec`, so
 every cell inherits the engine's determinism contract: the cell result
 is a pure function of the cell fields.
@@ -38,8 +39,14 @@ MATRIX_SCHEMA = "rftc-scenario-matrix/1"
 
 #: Adversaries a cell can run.  ``cpa`` recovers key byte 0 with the
 #: streaming last-round attack and tracks the disclosure curve; ``tvla``
-#: runs the fixed-vs-random t-test over interleaved rows.
-SCENARIO_ADVERSARIES = ("cpa", "tvla")
+#: runs the fixed-vs-random t-test over interleaved rows; ``mlp``
+#: profiles a clone device with the pure-numpy MLP and attacks the
+#: victim stream through its posterior-mean HD feature; ``lattice``
+#: realigns every chunk by its known completion times before CPA (the
+#: completion-time-lattice attacker).  Adding values here does not
+#: change existing cells' digests — only cells *using* a new value get
+#: new digests.
+SCENARIO_ADVERSARIES = ("cpa", "tvla", "mlp", "lattice")
 
 #: ScenarioSpec fields a matrix patch may set (everything else is a typo).
 _PATCHABLE_FIELDS = (
@@ -79,8 +86,10 @@ class ScenarioSpec:
         Optional :class:`~repro.power.drift.DriftSpec` — the
         environment axis (``None`` = stable lab).
     adversary:
-        ``"cpa"`` or ``"tvla"`` — decides the consumer stack and the
-        outcome block of the cell payload.
+        One of :data:`SCENARIO_ADVERSARIES` — decides the consumer
+        stack and the outcome block of the cell payload.  ``mlp`` and
+        ``lattice`` run locally only (the service daemon's standard
+        stack has no profiling step; see ``docs/scenarios.md``).
     n_traces / chunk_size / seed:
         The campaign budget and master seed for this cell.
     """

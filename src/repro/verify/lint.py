@@ -1,11 +1,17 @@
 """AST-based repository invariants (`repro verify --suite lint`).
 
-Four mechanical rules that guard reproducibility and operability:
+Five mechanical rules that guard reproducibility and operability:
 
 * **no-global-np-random** — ``src/`` must never touch numpy's global
   random state (``np.random.seed``, ``np.random.normal``, ...); only the
   explicit generator API (``default_rng``/``Generator``/``SeedSequence``)
   is allowed, so every experiment stays replayable from its seed.
+* **no-unseeded-default-rng** — the explicit-generator API must itself
+  be seeded: a zero-argument ``default_rng()`` call seeds from the OS
+  entropy pool, so a ``rng=None`` fallback built on it silently makes a
+  result irreplayable (the ``success_rate_curve`` bug this rule grew
+  from).  Rule is syntactic: it flags literal zero-argument calls, not
+  ``default_rng(maybe_none)`` flowing ``None`` at runtime.
 * **consumer-protocol** — every trace consumer (a class with both
   ``consume`` and ``result`` methods) must also implement the full
   checkpoint/shard contract: ``snapshot``, ``restore`` and ``merge``.
@@ -64,6 +70,31 @@ def find_global_random(tree: ast.AST, filename: str) -> List[str]:
         ):
             violations.append(
                 f"{filename}:{node.lineno} np.random.{node.attr}"
+            )
+    return violations
+
+
+def find_unseeded_default_rng(tree: ast.AST, filename: str) -> List[str]:
+    """Zero-argument ``default_rng()`` calls (nondeterministic by default).
+
+    Matches both the attribute form (``np.random.default_rng()``) and a
+    bare imported name (``default_rng()``).  Any argument — even an
+    explicit ``None`` — passes: the rule targets the *silent* unseeded
+    fallback idiom, and runtime ``None`` flow is out of AST reach.
+    """
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or node.args or node.keywords:
+            continue
+        func = node.func
+        unseeded = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "default_rng"
+            and _is_np_random(func.value)
+        ) or (isinstance(func, ast.Name) and func.id == "default_rng")
+        if unseeded:
+            violations.append(
+                f"{filename}:{node.lineno} default_rng() without a seed"
             )
     return violations
 
@@ -186,12 +217,14 @@ def run_lint_checks(checks: Checks, src_root: Optional[str] = None) -> None:
     )
 
     random_violations: List[str] = []
+    unseeded_violations: List[str] = []
     consumer_violations: List[str] = []
     metric_names: List[Tuple[str, str, int]] = []
     cli_violations: List[str] = []
     for path, tree in trees.items():
         rel = str(path.relative_to(repo_root))
         random_violations.extend(find_global_random(tree, rel))
+        unseeded_violations.extend(find_unseeded_default_rng(tree, rel))
         consumer_violations.extend(find_incomplete_consumers(tree, rel))
         for name, lineno in find_metric_names(tree):
             metric_names.append((name, rel, lineno))
@@ -203,6 +236,12 @@ def run_lint_checks(checks: Checks, src_root: Optional[str] = None) -> None:
         not random_violations,
         "; ".join(random_violations[:5])
         or "no numpy global-random-state use in src/",
+    )
+    checks.record(
+        "lint:no-unseeded-default-rng",
+        not unseeded_violations,
+        "; ".join(unseeded_violations[:5])
+        or "every default_rng() call in src/ carries a seed",
     )
     checks.record(
         "lint:consumer-protocol",

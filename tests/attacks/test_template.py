@@ -5,6 +5,7 @@ import pytest
 
 from repro.attacks.models import expand_last_round_key
 from repro.attacks.template import (
+    MIN_CLASS_TRACES,
     build_templates,
     select_points_of_interest,
     template_attack,
@@ -85,6 +86,56 @@ class TestProfiledAttack:
             model, ts.traces[half:], ts.ciphertexts[half:], rk10[0]
         )
         assert rank > 3
+
+
+class TestSparseClasses:
+    """POI selection and template building share one class threshold —
+    a class too sparse to get a template must not steer POIs either."""
+
+    def test_sparse_class_cannot_steer_poi(self, rng):
+        n = 202
+        labels = np.zeros(n, dtype=int)
+        labels[100:200] = 1
+        labels[200:] = 2  # only 2 members — below MIN_CLASS_TRACES
+        traces = rng.normal(size=(n, 20))
+        traces[labels == 1, 13] += 4.0  # the real leak
+        traces[labels == 2, 5] += 100.0  # huge, but from a sparse class
+        poi = select_points_of_interest(traces, labels, 1)
+        assert poi.tolist() == [13]
+
+    def test_threshold_is_shared(self):
+        assert MIN_CLASS_TRACES >= 3
+
+    def test_sparse_classes_excluded_from_templates(self, unprotected_traceset):
+        """Random ciphertexts make the outer HD classes (0 and 8, each
+        ~1/256 of traces) too sparse at n=200; they must not receive a
+        template row."""
+        ts = unprotected_traceset
+        from repro.attacks.models import (
+            expand_last_round_key,
+            last_round_hd_predictions,
+        )
+
+        key_byte = int(expand_last_round_key(ts.key)[0])
+        n = 200
+        model = build_templates(ts.traces[:n], ts.ciphertexts[:n], key_byte)
+        labels = last_round_hd_predictions(ts.ciphertexts[:n], 0)[:, key_byte]
+        values, counts = np.unique(labels, return_counts=True)
+        expected = set(int(v) for v, c in zip(values, counts) if c >= MIN_CLASS_TRACES)
+        assert set(model.class_values.tolist()) == expected
+        assert expected != set(int(v) for v in values), (
+            "fixture should actually contain at least one sparse class at "
+            "this profiling size; bump n down if this fires"
+        )
+
+    def test_too_few_surviving_classes_raises(self, rng):
+        # 40 traces whose ciphertexts are all identical: one class only.
+        traces = rng.normal(size=(40, 8))
+        ciphertexts = np.tile(
+            rng.integers(0, 256, size=(1, 16), dtype=np.uint8), (40, 1)
+        )
+        with pytest.raises(AttackError, match="class"):
+            build_templates(traces, ciphertexts, 0)
 
 
 class TestValidation:

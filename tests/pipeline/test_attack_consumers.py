@@ -1,0 +1,366 @@
+"""Attack-zoo streaming consumers: checkpoint contract, merges, engine
+worker invariance.
+
+Every consumer in ``repro.pipeline.attack_consumers`` must satisfy the
+engine's consumer contract: ``restore(snapshot())`` then continuing is
+bit-identical, empty-shard merges are exact, and results cannot depend
+on the worker count or on a checkpoint/resume boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.models import expand_last_round_key
+from repro.attacks.mlp import MlpConfig, train_mlp_profile
+from repro.attacks.template import build_templates
+from repro.errors import AttackError, CheckpointError
+from repro.experiments.scenarios import cached_plan
+from repro.obs import Observability
+from repro.pipeline import (
+    CampaignSpec,
+    LatticeCpaConsumer,
+    MiaStreamConsumer,
+    MlpAttackConsumer,
+    StreamingCampaign,
+    SuccessRateConsumer,
+    TemplateAttackConsumer,
+)
+from repro.pipeline.attack_consumers import _replica_keep_mask
+
+ZOO = ("template", "mlp", "lattice", "mia", "success_rate")
+CURVE_ZOO = ("template", "mlp", "lattice", "success_rate")
+
+
+@pytest.fixture(scope="module")
+def template_model(unprotected_traceset):
+    ts = unprotected_traceset
+    true_byte = int(expand_last_round_key(ts.key)[0])
+    return build_templates(ts.traces[:1250], ts.ciphertexts[:1250], true_byte)
+
+
+@pytest.fixture(scope="module")
+def mlp_model(unprotected_traceset):
+    ts = unprotected_traceset
+    true_byte = int(expand_last_round_key(ts.key)[0])
+    config = MlpConfig(hidden_sizes=(8,), epochs=4, batch_size=128, seed=3)
+    return train_mlp_profile(
+        ts.traces[:1000], ts.ciphertexts[:1000], true_byte, config=config
+    )
+
+
+@pytest.fixture
+def zoo(unprotected_traceset, template_model, mlp_model):
+    """Factories building a fresh consumer of each kind (same config)."""
+    key = unprotected_traceset.key
+    reference = float(unprotected_traceset.completion_times_ns.max())
+    return {
+        "template": lambda: TemplateAttackConsumer(template_model, key),
+        "mlp": lambda: MlpAttackConsumer(mlp_model, key),
+        "lattice": lambda: LatticeCpaConsumer(key, reference),
+        "mia": lambda: MiaStreamConsumer(key),
+        "success_rate": lambda: SuccessRateConsumer(key, seed=5),
+    }
+
+
+def _chunks(trace_set, n_chunks=4, size=150):
+    return [
+        trace_set.subset(np.arange(i * size, (i + 1) * size))
+        for i in range(n_chunks)
+    ]
+
+
+def _assert_states_equal(state_a, state_b):
+    assert set(state_a) == set(state_b)
+    for field in state_a:
+        a, b = state_a[field], state_b[field]
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            assert np.asarray(a).dtype == np.asarray(b).dtype
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCheckpointContract:
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_mid_stream_roundtrip_bit_identical(
+        self, kind, zoo, unprotected_traceset
+    ):
+        chunks = _chunks(unprotected_traceset)
+        reference = zoo[kind]()
+        for chunk in chunks:
+            reference.consume(chunk)
+
+        half = zoo[kind]()
+        for chunk in chunks[:2]:
+            half.consume(chunk)
+        moved = zoo[kind]()
+        moved.restore(half.snapshot())
+        for chunk in chunks[2:]:
+            moved.consume(chunk)
+
+        _assert_states_equal(reference.snapshot(), moved.snapshot())
+        assert reference.result() == moved.result()
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_restore_rejects_other_key(self, kind, zoo, unprotected_traceset):
+        populated = zoo[kind]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        state = dict(populated.snapshot())
+        state["true_byte"] = (int(state["true_byte"]) + 1) % 256
+        with pytest.raises(CheckpointError):
+            zoo[kind]().restore(state)
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_result_requires_traces(self, kind, zoo):
+        with pytest.raises(AttackError):
+            zoo[kind]().result()
+
+    def test_template_restore_rejects_bad_scores(self, zoo):
+        populated = zoo["template"]()
+        state = dict(populated.snapshot())
+        state["scores"] = np.zeros(7)
+        with pytest.raises(CheckpointError):
+            zoo["template"]().restore(state)
+
+    def test_lattice_restore_rejects_other_reference(
+        self, zoo, unprotected_traceset
+    ):
+        populated = zoo["lattice"]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        state = populated.snapshot()
+        other = LatticeCpaConsumer(
+            unprotected_traceset.key, state["reference_ns"] + 8.0
+        )
+        with pytest.raises(CheckpointError, match="reference"):
+            other.restore(state)
+
+    def test_mia_restore_rejects_other_binning(self, zoo, unprotected_traceset):
+        populated = zoo["mia"]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        state = populated.snapshot()
+        other = MiaStreamConsumer(unprotected_traceset.key, n_bins=32)
+        with pytest.raises(CheckpointError):
+            other.restore(state)
+
+    def test_success_rate_restore_rejects_other_seed(
+        self, zoo, unprotected_traceset
+    ):
+        populated = zoo["success_rate"]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        other = SuccessRateConsumer(unprotected_traceset.key, seed=6)
+        with pytest.raises(CheckpointError):
+            other.restore(populated.snapshot())
+
+
+class TestMergeContract:
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_merge_empty_other_is_noop(self, kind, zoo, unprotected_traceset):
+        populated = zoo[kind]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        before = populated.result()
+        populated.merge(zoo[kind]())
+        assert populated.result() == before
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_merge_into_empty_adopts(self, kind, zoo, unprotected_traceset):
+        populated = zoo[kind]()
+        populated.consume(_chunks(unprotected_traceset)[0])
+        empty = zoo[kind]()
+        empty.merge(populated)
+        assert empty.result() == populated.result()
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_merge_rejects_foreign_type(self, kind, zoo):
+        with pytest.raises(AttackError):
+            zoo[kind]().merge(object())
+
+    @pytest.mark.parametrize("kind", CURVE_ZOO)
+    def test_curve_consumers_reject_populated_merge(
+        self, kind, zoo, unprotected_traceset
+    ):
+        chunks = _chunks(unprotected_traceset)
+        a, b = zoo[kind](), zoo[kind]()
+        a.consume(chunks[0])
+        b.consume(chunks[1])
+        with pytest.raises(AttackError, match="order"):
+            a.merge(b)
+
+    def test_mia_populated_merge_is_exact(self, zoo, unprotected_traceset):
+        """MIA's integer joint histogram is the one attack-consumer state
+        that merges exactly in both directions."""
+        chunks = _chunks(unprotected_traceset)
+        sequential = zoo["mia"]()
+        for chunk in chunks:
+            sequential.consume(chunk)
+        a, b = zoo["mia"](), zoo["mia"]()
+        for chunk in chunks[:2]:
+            a.consume(chunk)
+        for chunk in chunks[2:]:
+            b.consume(chunk)
+        a.merge(b)
+        _assert_states_equal(sequential.snapshot(), a.snapshot())
+        assert sequential.result() == a.result()
+
+    def test_mia_merge_rejects_other_binning(self, unprotected_traceset):
+        key = unprotected_traceset.key
+        with pytest.raises(AttackError, match="binning"):
+            MiaStreamConsumer(key).merge(MiaStreamConsumer(key, n_bins=32))
+
+    def test_lattice_merge_rejects_other_reference(self, unprotected_traceset):
+        key = unprotected_traceset.key
+        with pytest.raises(AttackError, match="reference"):
+            LatticeCpaConsumer(key, 100.0).merge(LatticeCpaConsumer(key, 108.0))
+
+    def test_success_rate_merge_rejects_other_config(self, unprotected_traceset):
+        key = unprotected_traceset.key
+        with pytest.raises(AttackError, match="configuration"):
+            SuccessRateConsumer(key, seed=1).merge(
+                SuccessRateConsumer(key, seed=2)
+            )
+
+
+class TestConstruction:
+    def test_lattice_rejects_bad_reference(self, key):
+        with pytest.raises(AttackError):
+            LatticeCpaConsumer(key, float("nan"))
+        with pytest.raises(AttackError):
+            LatticeCpaConsumer(key, -1.0)
+
+    def test_mia_rejects_bad_binning(self, key):
+        with pytest.raises(AttackError):
+            MiaStreamConsumer(key, bin_lo=1.0, bin_hi=1.0)
+        with pytest.raises(AttackError):
+            MiaStreamConsumer(key, n_bins=1)
+        with pytest.raises(AttackError):
+            MiaStreamConsumer(key, sample_stride=0)
+
+    def test_success_rate_rejects_bad_config(self, key):
+        with pytest.raises(AttackError):
+            SuccessRateConsumer(key, n_replicas=0)
+        with pytest.raises(AttackError):
+            SuccessRateConsumer(key, keep_fraction=0.0)
+        with pytest.raises(AttackError):
+            SuccessRateConsumer(key, keep_fraction=1.5)
+
+
+class TestReplicaThinning:
+    def test_mask_is_chunk_boundary_invariant(self):
+        whole = _replica_keep_mask(np.arange(1000), 3, 17, 0.5)
+        split = np.concatenate(
+            [
+                _replica_keep_mask(np.arange(0, 400), 3, 17, 0.5),
+                _replica_keep_mask(np.arange(400, 1000), 3, 17, 0.5),
+            ]
+        )
+        np.testing.assert_array_equal(whole, split)
+
+    def test_replicas_see_different_subsets(self):
+        indices = np.arange(2000)
+        a = _replica_keep_mask(indices, 0, 17, 0.5)
+        b = _replica_keep_mask(indices, 1, 17, 0.5)
+        assert not np.array_equal(a, b)
+
+    def test_keep_fraction_one_keeps_all(self):
+        assert _replica_keep_mask(np.arange(100), 0, 0, 1.0).all()
+
+    def test_keep_fraction_is_respected(self):
+        mask = _replica_keep_mask(np.arange(20000), 2, 9, 0.25)
+        assert abs(mask.mean() - 0.25) < 0.02
+
+
+class TestSuccessRateCurve:
+    def test_curve_on_unprotected(self, unprotected_traceset):
+        consumer = SuccessRateConsumer(unprotected_traceset.key, seed=5)
+        for chunk in _chunks(unprotected_traceset, n_chunks=5, size=500):
+            consumer.consume(chunk)
+        result = consumer.result()
+        assert result["trace_counts"] == [500, 1000, 1500, 2000, 2500]
+        rates = result["success_rates"]
+        assert rates[-1] >= 0.75
+        assert result["final_success_rate"] == rates[-1]
+        assert result["traces_to_disclosure"] is not None
+        for low, rate, high in zip(
+            result["wilson_low"], rates, result["wilson_high"]
+        ):
+            assert 0.0 <= low <= rate <= high <= 1.0
+
+
+class TestEngineIntegration:
+    def _run(self, spec, consumer, workers, n=400, chunk=100, seed=11):
+        StreamingCampaign(
+            spec, chunk_size=chunk, workers=workers, seed=seed
+        ).run(n, [consumer])
+        return consumer.result()
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_worker_count_invariance(self, kind, zoo):
+        spec = CampaignSpec(target="unprotected")
+        results = [
+            self._run(spec, zoo[kind](), workers) for workers in (1, 2, 4)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_lattice_worker_invariance_on_rftc(self):
+        spec = CampaignSpec(
+            target="rftc", m_outputs=2, p_configs=8, plan_seed=5
+        )
+        plan = cached_plan(2, 8, 5, True)
+        reference = float(np.max(plan.all_completion_times_ns()))
+        results = [
+            self._run(
+                spec, LatticeCpaConsumer(spec.key, reference), workers
+            )
+            for workers in (1, 2, 4)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    @pytest.mark.parametrize("kind", ("mlp", "lattice"))
+    def test_engine_checkpoint_resume_bit_identical(self, kind, zoo, tmp_path):
+        spec = CampaignSpec(target="unprotected")
+        uninterrupted = self._run(spec, zoo[kind](), workers=1)
+
+        checkpoint = tmp_path / "cell.ckpt"
+        consumer = zoo[kind]()
+
+        class Stop(Exception):
+            pass
+
+        def interrupt(update):
+            if update.done_traces >= 200:
+                raise Stop
+
+        with pytest.raises(Stop):
+            StreamingCampaign(spec, chunk_size=100, seed=11).run(
+                400,
+                [consumer],
+                checkpoint=checkpoint,
+                progress=interrupt,
+            )
+        assert checkpoint.is_file()
+        resumed = zoo[kind]()
+        StreamingCampaign.resume(
+            store=None, checkpoint=checkpoint, consumers=[resumed]
+        )
+        assert resumed.result() == uninterrupted
+
+    @pytest.mark.parametrize("kind", ZOO)
+    def test_metrics_emitted(self, kind, zoo, unprotected_traceset):
+        obs = Observability.create()
+        consumer = zoo[kind]()
+        consumer.set_metrics(obs.metrics)
+        chunk = _chunks(unprotected_traceset)[0]
+        consumer.consume(chunk)
+        assert (
+            obs.metrics.counter_value(
+                "attack_traces_total", attack=consumer.name
+            )
+            == chunk.n_traces
+        )
+        if kind == "success_rate":
+            gauge = obs.metrics.gauge_value(
+                "attack_success_rate", attack=consumer.name
+            )
+            assert gauge is not None and 0.0 <= gauge <= 1.0
+        elif kind != "mia":
+            rank = obs.metrics.gauge_value(
+                "attack_true_byte_rank", attack=consumer.name
+            )
+            assert rank is not None and 0 <= rank < 256

@@ -14,6 +14,7 @@ from repro.scenarios.runner import (
     STATE_SCHEMA,
     DisclosureConsumer,
     MatrixState,
+    lattice_reference_for,
     run_cell,
 )
 from repro.scenarios.spec import ScenarioSpec
@@ -171,6 +172,75 @@ class TestRunCell:
         assert resumed == uninterrupted
 
 
+class TestAdversaryCells:
+    """The profiled / aligned adversaries as matrix cells."""
+
+    def _cell(self, adversary, target="unprotected"):
+        return ScenarioSpec(
+            target=target,
+            adversary=adversary,
+            n_traces=240,
+            chunk_size=80,
+            seed=3,
+        )
+
+    def test_mlp_payload_shape(self):
+        payload = run_cell(self._cell("mlp"))
+        assert payload["adversary"] == "mlp"
+        block = payload["mlp"]
+        assert set(block) == {
+            "best_guess", "true_byte_rank", "peak_corr_max", "margin",
+            "first_disclosure", "disclosed",
+        }
+        assert block["disclosed"] == (block["first_disclosure"] is not None)
+
+    def test_lattice_payload_records_reference(self):
+        cell = self._cell("lattice", target="rftc")
+        payload = run_cell(cell)
+        block = payload["lattice"]
+        assert "reference_ns" in block
+        assert block["reference_ns"] == lattice_reference_for(cell)
+
+    def test_lattice_reference_from_plan_for_rftc(self):
+        from repro.experiments.scenarios import cached_plan
+
+        cell = self._cell("lattice", target="rftc")
+        plan = cached_plan(cell.m_outputs, cell.p_configs, cell.plan_seed, True)
+        assert lattice_reference_for(cell) == float(
+            np.max(plan.all_completion_times_ns())
+        )
+
+    def test_lattice_reference_probe_is_deterministic(self):
+        cell = self._cell("lattice")
+        assert lattice_reference_for(cell) == lattice_reference_for(cell)
+
+    def test_lattice_cell_worker_invariant(self, tmp_path):
+        cell = self._cell("lattice", target="rftc")
+        assert run_cell(cell, workers=1) == run_cell(cell, workers=2)
+
+    def test_mlp_cell_deterministic(self):
+        """The clone profile is a pure function of the cell spec, so two
+        runs of the same mlp cell give identical payloads."""
+        cell = self._cell("mlp")
+        assert run_cell(cell) == run_cell(cell)
+
+    def test_service_rejects_profiled_adversaries(self, tmp_path):
+        matrix = MatrixSpec(
+            name="svc",
+            base={
+                "target": "rftc",
+                "adversary": "lattice",
+                "n_traces": 120,
+                "chunk_size": 40,
+                "seed": 1,
+            },
+            axes=(("adv", (("lattice", {}),)),),
+        )
+        runner = MatrixRunner(matrix, tmp_path / "out", client=object())
+        with pytest.raises(ConfigurationError, match="lattice"):
+            runner.run()
+
+
 class TestMatrixState:
     def test_round_trip(self, tmp_path):
         state = MatrixState(path=tmp_path / "s.json", matrix_digest="abc")
@@ -300,3 +370,36 @@ class TestReport:
         markdown = render_markdown(render_report(matrix, payloads))
         for cell in matrix.expand():
             assert cell.name in markdown
+
+    def test_counts_new_adversaries_as_key_recovery(self, tmp_path):
+        matrix = MatrixSpec(
+            name="zoo",
+            base={
+                "target": "unprotected",
+                "n_traces": 120,
+                "chunk_size": 40,
+                "seed": 1,
+            },
+            axes=(
+                (
+                    "adv",
+                    (
+                        ("cpa", {}),
+                        ("mlp", {"adversary": "mlp"}),
+                        ("lattice", {"adversary": "lattice"}),
+                    ),
+                ),
+            ),
+        )
+        payloads = MatrixRunner(matrix, tmp_path / "out").run()
+        report = render_report(matrix, payloads)
+        summary = report["summary"]
+        assert summary["n_cpa_cells"] == 1
+        assert summary["n_mlp_cells"] == 1
+        assert summary["n_lattice_cells"] == 1
+        disclosed = sum(
+            1 for p in payloads if p[p["adversary"]]["disclosed"]
+        )
+        assert summary["disclosed_cells"] == disclosed
+        markdown = render_markdown(report)
+        assert "Key-recovery cells disclosed" in markdown

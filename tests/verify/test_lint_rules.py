@@ -8,6 +8,7 @@ from repro.verify.lint import (
     find_global_random,
     find_incomplete_consumers,
     find_metric_names,
+    find_unseeded_default_rng,
 )
 
 
@@ -43,6 +44,36 @@ class TestGlobalRandomRule:
             return 0
         '''
         assert find_global_random(_tree(src), "f.py") == []
+
+
+class TestUnseededDefaultRngRule:
+    def test_flags_both_call_forms(self):
+        src = """
+        import numpy as np
+        from numpy.random import default_rng
+        a = np.random.default_rng()
+        b = default_rng()
+        """
+        hits = find_unseeded_default_rng(_tree(src), "f.py")
+        assert len(hits) == 2
+        assert all("without a seed" in h for h in hits)
+
+    def test_any_argument_passes(self):
+        src = """
+        import numpy as np
+        a = np.random.default_rng(0)
+        b = np.random.default_rng(np.random.SeedSequence(7))
+        c = np.random.default_rng(seed)
+        d = np.random.default_rng(None)  # explicit, not the silent idiom
+        """
+        assert find_unseeded_default_rng(_tree(src), "f.py") == []
+
+    def test_unrelated_calls_ignored(self):
+        src = """
+        rng()
+        obj.default_rng_helper()
+        """
+        assert find_unseeded_default_rng(_tree(src), "f.py") == []
 
 
 class TestConsumerProtocolRule:
